@@ -1,0 +1,65 @@
+//! E6 criterion bench: simulated consensus instances per configuration —
+//! reasserts the 2/3/4 message-delay results of Definition 4 on every
+//! sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqs_consensus::ConsensusHarness;
+use rqs_core::threshold::ThresholdConfig;
+use rqs_core::{ProcessSet, Rqs};
+
+fn graded() -> Rqs {
+    ThresholdConfig::new(7, 2, 1)
+        .with_class1(0)
+        .with_class2(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_delays");
+    for (label, crashes, expect_delays) in
+        [("class1", 0usize, 2u64), ("class2", 1, 3), ("class3", 2, 4)]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("propose_learn_n7", label),
+            &crashes,
+            |b, &crashes| {
+                b.iter(|| {
+                    let rqs = graded();
+                    let n = rqs.universe_size();
+                    let mut h = ConsensusHarness::new(rqs, 2, 2);
+                    if crashes > 0 {
+                        let faulty: ProcessSet = (n - crashes..n).collect();
+                        h.crash_acceptors(faulty);
+                    }
+                    h.propose(0, 7);
+                    assert!(h.run_until_learned(400_000));
+                    let max = h
+                        .learner_delays()
+                        .into_iter()
+                        .flatten()
+                        .max()
+                        .unwrap();
+                    assert_eq!(max, expect_delays);
+                    max
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("consensus_baseline");
+    group.bench_function("classic_byzantine_n4_slow_path", |b| {
+        b.iter(|| {
+            let rqs = ThresholdConfig::classic_byzantine(4).build().unwrap();
+            let mut h = ConsensusHarness::new(rqs, 1, 1);
+            h.propose(0, 3);
+            assert!(h.run_until_learned(200_000));
+            h.learner_delays()[0].unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E11 criterion bench: wall-clock latency of the protocols on the
+//! threaded runtime (real channels, real timers).
+//!
+//! Absolute numbers depend on the host; the shape to check is that the
+//! class-1 fast path beats the degraded paths (which must wait for real
+//! `2Δ` timeouts and extra round-trips).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqs_core::threshold::ThresholdConfig;
+use rqs_runtime::{RtConsensus, RtStorage};
+use rqs_storage::Value;
+use std::time::Duration;
+
+const TICK: Duration = Duration::from_millis(2);
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_wallclock");
+    group.sample_size(20);
+
+    for n_t in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("storage_write_read", format!("n={}", 3 * n_t + 1)),
+            &n_t,
+            |b, &t| {
+                let rqs = ThresholdConfig::byzantine_fast(t).build().unwrap();
+                let st = RtStorage::with_tick(rqs, 1, TICK);
+                let mut v = 0u64;
+                b.iter(|| {
+                    v += 1;
+                    let (w, _) = st.write(Value::from(v));
+                    // Under scheduler noise an ack can miss the real-time
+                    // 2Δ window; record rather than assert the fast path.
+                    debug_assert!(w.rounds <= 3);
+                    let (r, _) = st.read(0);
+                    assert_eq!(r.returned.val, Value::from(v));
+                    (w.rounds, r.rounds)
+                });
+            },
+        );
+    }
+
+    group.bench_function("consensus_propose_learn_n4", |b| {
+        b.iter(|| {
+            let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+            let mut cons = RtConsensus::with_tick(rqs, 1, 1, TICK);
+            let wall = cons.propose_and_learn(0, 42);
+            cons.shutdown();
+            wall
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E4 criterion bench: simulated storage operations per configuration and
+//! fault level — measures harness throughput and reasserts the round
+//! counts of Theorem 9 on every sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqs_core::threshold::ThresholdConfig;
+use rqs_core::{ProcessSet, Rqs};
+use rqs_storage::{StorageHarness, Value};
+
+fn graded() -> Rqs {
+    ThresholdConfig::new(7, 2, 1)
+        .with_class1(0)
+        .with_class2(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_rounds");
+    for (label, crashes, expect_write_rounds) in
+        [("class1", 0usize, 1usize), ("class2", 1, 2), ("class3", 2, 3)]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("write_read_n7", label),
+            &crashes,
+            |b, &crashes| {
+                b.iter(|| {
+                    let rqs = graded();
+                    let n = rqs.universe_size();
+                    let mut h = StorageHarness::new(rqs, 1);
+                    if crashes > 0 {
+                        let faulty: ProcessSet = (n - crashes..n).collect();
+                        h.crash_servers(faulty);
+                    }
+                    let w = h.write(Value::from(7u64));
+                    assert_eq!(w.rounds, expect_write_rounds);
+                    let r = h.read(0);
+                    assert_eq!(r.returned.val, Value::from(7u64));
+                    r.rounds
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("storage_scale");
+    for t in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("byzantine_3t1_roundtrip", t),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let rqs = ThresholdConfig::byzantine_fast(t).build().unwrap();
+                    let mut h = StorageHarness::new(rqs, 1);
+                    h.write(Value::from(1u64));
+                    h.read(0).rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Prints every experiment table (E1–E10).
+fn main() {
+    for report in bench::all_reports() {
+        println!("{report}");
+    }
+}

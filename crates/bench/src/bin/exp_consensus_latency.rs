@@ -1,0 +1,4 @@
+//! E6: consensus message-delay table.
+fn main() {
+    println!("{}", bench::exp_latency::consensus_report());
+}

@@ -1,0 +1,4 @@
+//! E8: threshold feasibility sweep (Examples 5-6).
+fn main() {
+    println!("{}", bench::exp_sweep::report(8));
+}

@@ -1,0 +1,4 @@
+//! E7b: the full-system, live Byzantine Theorem 6 attack.
+fn main() {
+    println!("{}", bench::exp_fig16_full::report());
+}

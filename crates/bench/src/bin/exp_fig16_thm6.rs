@@ -1,0 +1,4 @@
+//! E7: the Theorem 6 counterexample (Figure 16) at the choose() level.
+fn main() {
+    println!("{}", bench::exp_fig16::report());
+}

@@ -1,0 +1,4 @@
+//! E1: the Figure 1 atomicity violation and its RQS fix.
+fn main() {
+    println!("{}", bench::exp_fig1::report());
+}

@@ -1,0 +1,4 @@
+//! E2: the Figure 3 refined quorum system.
+fn main() {
+    println!("{}", bench::exp_fig3::report());
+}

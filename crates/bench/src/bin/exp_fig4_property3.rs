@@ -1,0 +1,4 @@
+//! E3: the Figure 4 / Example 7 executions.
+fn main() {
+    println!("{}", bench::exp_fig4::report());
+}

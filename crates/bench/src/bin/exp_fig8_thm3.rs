@@ -1,0 +1,4 @@
+//! E5: the Theorem 3 counterexample executions (Figure 8).
+fn main() {
+    println!("{}", bench::exp_fig8::report());
+}

@@ -1,0 +1,5 @@
+//! E10: load, availability and class-assignment counting.
+fn main() {
+    println!("{}", bench::exp_analysis::load_availability_report());
+    println!("{}", bench::exp_analysis::counting_report());
+}

@@ -1,0 +1,4 @@
+//! E4: storage (m, QCm)-fast latency table.
+fn main() {
+    println!("{}", bench::exp_latency::storage_report());
+}

@@ -1,0 +1,4 @@
+//! E9: election module under leader failure.
+fn main() {
+    println!("{}", bench::exp_latency::view_change_report());
+}

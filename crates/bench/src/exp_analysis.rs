@@ -1,0 +1,150 @@
+//! **E10 (§6 open questions)** — quantitative structure of refined quorum
+//! systems: Naor–Wool load, per-class availability, and how many valid
+//! class assignments an adversary admits over a fixed quorum family.
+
+use crate::report::Report;
+use rqs_core::analysis::{availability, class_availability, count_class_assignments, load};
+use rqs_core::threshold::ThresholdConfig;
+use rqs_core::{Adversary, ProcessSet, QuorumClass};
+
+/// Builds the load/availability report.
+pub fn load_availability_report() -> Report {
+    let mut r = Report::new("E10a (§6): load and availability of threshold RQS");
+    r.note("Load = minimax access probability (lower is better); availability");
+    r.note("= P[some fully-correct quorum of the class] at per-process failure");
+    r.note("probability p = 0.1. Fast classes trade availability for latency.");
+    r.headers(["system", "load", "avail class1", "avail class2", "avail class3"]);
+    let systems: Vec<(String, rqs_core::Rqs)> = vec![
+        (
+            "majorities n=5".into(),
+            ThresholdConfig::classic_crash(5).build().unwrap(),
+        ),
+        (
+            "§1.2 n=5 fast@4".into(),
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+        ),
+        (
+            "byzantine n=4".into(),
+            ThresholdConfig::byzantine_fast(1).build().unwrap(),
+        ),
+        (
+            "graded n=7".into(),
+            ThresholdConfig::new(7, 2, 1)
+                .with_class1(0)
+                .with_class2(1)
+                .build()
+                .unwrap(),
+        ),
+    ];
+    let p = 0.1;
+    for (name, rqs) in systems {
+        let l = load(rqs.quorums(), rqs.universe_size());
+        let a1 = class_availability(&rqs, QuorumClass::Class1, p);
+        let a2 = class_availability(&rqs, QuorumClass::Class2, p);
+        let a3 = availability(rqs.quorums(), rqs.universe_size(), p);
+        r.row([
+            name,
+            format!("{l:.3}"),
+            format!("{a1:.4}"),
+            format!("{a2:.4}"),
+            format!("{a3:.4}"),
+        ]);
+    }
+    r
+}
+
+/// Builds the class-assignment counting report ("how many RQS given an
+/// adversary", for fixed small families).
+pub fn counting_report() -> Report {
+    let mut r = Report::new("E10b (§6): valid class assignments over fixed families");
+    r.note("For each family, the number of (QC1, QC2) assignments that");
+    r.note("satisfy Properties 1-3 — the paper's 'how many RQS' question");
+    r.note("restricted to a family.");
+    r.headers(["family", "assignments", "with class-1", "fully refined (∅≠QC1≠QC2)"]);
+
+    // The Figure 3 family.
+    let fig3_adversary = Adversary::threshold(8, 1);
+    let fig3 = vec![
+        ProcessSet::from_indices([0, 4, 5, 7]),
+        ProcessSet::from_indices([0, 1, 2, 3, 6, 7]),
+        ProcessSet::from_indices([2, 3, 4, 5, 6]),
+        ProcessSet::from_indices([0, 1, 2, 4, 5]),
+    ];
+    let c = count_class_assignments(&fig3_adversary, &fig3).expect("fig3 family");
+    r.row([
+        "Figure 3 (4 quorums, B_1 over 8)".to_string(),
+        c.total.to_string(),
+        c.with_class1.to_string(),
+        c.fully_refined.to_string(),
+    ]);
+
+    // The Example 7 family under its general adversary.
+    let ex7_adversary = Adversary::general(
+        6,
+        [
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([2, 3]),
+            ProcessSet::from_indices([1, 3]),
+        ],
+    )
+    .unwrap();
+    let ex7 = vec![
+        ProcessSet::from_indices([1, 3, 4, 5]),
+        ProcessSet::from_indices([0, 1, 2, 3, 4]),
+        ProcessSet::from_indices([0, 1, 2, 3, 5]),
+    ];
+    let c = count_class_assignments(&ex7_adversary, &ex7).expect("ex7 family");
+    r.row([
+        "Example 7 (3 quorums, general B)".to_string(),
+        c.total.to_string(),
+        c.with_class1.to_string(),
+        c.fully_refined.to_string(),
+    ]);
+
+    // Byzantine n = 4 minimal family.
+    let byz = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let c = count_class_assignments(byz.adversary(), byz.quorums()).expect("byz family");
+    r.row([
+        "byzantine n=4 (5 quorums, B_1)".to_string(),
+        c.total.to_string(),
+        c.with_class1.to_string(),
+        c.fully_refined.to_string(),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_ordering_holds() {
+        let r = load_availability_report();
+        for row in &r.rows {
+            let a1: f64 = row[2].parse().unwrap();
+            let a2: f64 = row[3].parse().unwrap();
+            let a3: f64 = row[4].parse().unwrap();
+            // a1 ≤ a2 ≤ a3 (fast classes are harder to hit), except rows
+            // with no class-1/2 quorums where availability reads 0.
+            if a1 > 0.0 {
+                assert!(a1 <= a2 + 1e-9, "{row:?}");
+            }
+            if a2 > 0.0 {
+                assert!(a2 <= a3 + 1e-9, "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_includes_paper_assignments() {
+        let r = counting_report();
+        // Figure 3's published assignment is fully refined, so the count
+        // must be ≥ 1; Example 7's likewise.
+        for row in &r.rows {
+            let fully: usize = row[3].parse().unwrap();
+            if row[0].starts_with("Figure 3") || row[0].starts_with("Example 7") {
+                assert!(fully >= 1, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! **E13 (Example 4)** — dissemination and masking quorum systems as
+//! degenerate refined quorum systems, with their Malkhi–Reiter existence
+//! boundaries (`Q3`: no three adversary elements cover `S`; `Q4`: no
+//! four), checked for threshold and general adversaries.
+
+use crate::report::Report;
+use rqs_core::classic::{
+    dissemination, dissemination_threshold, masking, masking_threshold, q_condition,
+};
+use rqs_core::{Adversary, ProcessSet};
+
+/// Builds the E13 report.
+pub fn report() -> Report {
+    let mut r = Report::new("E13 (Example 4): dissemination & masking quorum systems");
+    r.note("Dissemination = RQS with QC1 = QC2 = ∅ (Property 1 only, for");
+    r.note("self-verifying data); masking = QC1 = ∅, QC2 = RQS (Property 3");
+    r.note("degenerates to M-Consistency). Existence: Q3 / Q4 conditions;");
+    r.note("threshold boundaries n > 3k and n > 4k.");
+    r.headers(["adversary", "Q3", "dissemination", "Q4", "masking"]);
+
+    for (n, k) in [(3usize, 1usize), (4, 1), (5, 1), (6, 2), (7, 2), (9, 2)] {
+        let b = Adversary::threshold(n, k);
+        r.row([
+            format!("B_{k} over n={n}"),
+            q_condition(&b, 3).to_string(),
+            match dissemination_threshold(n, k) {
+                Ok(rqs) => format!("{} quorums", rqs.len()),
+                Err(_) => "none".to_string(),
+            },
+            q_condition(&b, 4).to_string(),
+            match masking_threshold(n, k) {
+                Ok(rqs) => format!("{} quorums", rqs.len()),
+                Err(_) => "none".to_string(),
+            },
+        ]);
+    }
+
+    // A general (correlated) adversary: racks {0,1} and {2,3} over 6.
+    let racks = Adversary::general(
+        6,
+        [ProcessSet::from_indices([0, 1]), ProcessSet::from_indices([2, 3])],
+    )
+    .unwrap();
+    r.row([
+        "racks {s1,s2},{s3,s4} over 6".to_string(),
+        q_condition(&racks, 3).to_string(),
+        match dissemination(&racks) {
+            Ok(rqs) => format!("{} quorums", rqs.len()),
+            Err(_) => "none".to_string(),
+        },
+        q_condition(&racks, 4).to_string(),
+        match masking(&racks) {
+            Ok(rqs) => format!("{} quorums", rqs.len()),
+            Err(_) => "none".to_string(),
+        },
+    ]);
+
+    // Three racks covering everything: Q3 fails.
+    let covered = Adversary::general(
+        6,
+        [
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([2, 3]),
+            ProcessSet::from_indices([4, 5]),
+        ],
+    )
+    .unwrap();
+    r.row([
+        "three racks covering S".to_string(),
+        q_condition(&covered, 3).to_string(),
+        match dissemination(&covered) {
+            Ok(rqs) => format!("{} quorums", rqs.len()),
+            Err(_) => "none".to_string(),
+        },
+        q_condition(&covered, 4).to_string(),
+        match masking(&covered) {
+            Ok(rqs) => format!("{} quorums", rqs.len()),
+            Err(_) => "none".to_string(),
+        },
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_malkhi_reiter_bounds() {
+        let r = report();
+        // n = 3k boundary: B_1 over 3 has no dissemination system.
+        assert_eq!(r.cell("dissemination", |row| row[0] == "B_1 over n=3"), Some("none"));
+        assert_ne!(r.cell("dissemination", |row| row[0] == "B_1 over n=4"), Some("none"));
+        // n = 4k boundary: B_1 over 4 has no masking system.
+        assert_eq!(r.cell("masking", |row| row[0] == "B_1 over n=4"), Some("none"));
+        assert_ne!(r.cell("masking", |row| row[0] == "B_1 over n=5"), Some("none"));
+    }
+
+    #[test]
+    fn general_adversary_rows_consistent() {
+        let r = report();
+        // Two racks: both exist; three covering racks: neither.
+        assert_ne!(
+            r.cell("dissemination", |row| row[0].starts_with("racks")),
+            Some("none")
+        );
+        assert_eq!(
+            r.cell("dissemination", |row| row[0].starts_with("three racks")),
+            Some("none")
+        );
+    }
+}

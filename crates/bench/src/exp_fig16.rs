@@ -1,0 +1,208 @@
+//! **E7 (Figure 16, Theorem 6)** — consensus over a Property-3-violating
+//! configuration loses Agreement: the `choose()` function can be driven
+//! to return a value conflicting with an already-decided one, using only
+//! `new_view_ack`s that pass every signature and proof check.
+//!
+//! The reproduction follows the proof's ex5 state: value 0 was decided in
+//! view 0 through the class-1 quorum `Q1` (so every benign member of `Q1`
+//! prepared 0), while proposer `p1`'s value 1 reached the acceptors of
+//! `Q2 ∩ Q` — the benign ones among them prepared 1 and *sent*
+//! `update1⟨1,0⟩`, which lets the Byzantine acceptors assemble a fully
+//! *valid-looking* proof that 1 was 1-updated over `Q2`.
+//!
+//! On the invalid configuration `choose()` returns **1** (Cand3-'b' +
+//! Valid3 pass because no class-1 witness survives in
+//! `Q2 ∩ Q \ B`); on the valid Example-7 configuration the same attack
+//! yields `M ∉ B` — no `C3` witness exists — and `choose()` returns the
+//! decided **0**.
+
+use crate::report::Report;
+use rqs_consensus::choose::{validate_ack, ChooseInput};
+use rqs_consensus::types::{
+    encode_new_view_ack, encode_update, NewViewAckBody, SignedNewViewAck, SignedUpdate,
+};
+use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use rqs_crypto::{KeyRegistry, SignerId};
+use std::collections::BTreeMap;
+
+/// The Property-3-violating configuration (same as E5), acceptors
+/// `{a1..a6}`: `Q1 = {a1,a5,a6}` class 1, `Q2 = {a1..a5}` and
+/// `Q = {a1..a4,a6}` class 2.
+pub fn invalid_rqs() -> Rqs {
+    crate::exp_fig8::invalid_rqs()
+}
+
+/// The valid Example-7 configuration.
+pub fn valid_rqs() -> Rqs {
+    crate::exp_fig4::example7_rqs()
+}
+
+/// Outcome of the choose()-level attack on one configuration.
+#[derive(Clone, Debug)]
+pub struct Fig16Outcome {
+    /// The value decided in view 0 (always 0 here, via Q1's update1s).
+    pub decided: u64,
+    /// Whether every forged ack passed `validate_ack`.
+    pub acks_validated: bool,
+    /// What `choose()` returned for the new view.
+    pub chosen: Option<u64>,
+    /// Whether `choose()` aborted instead.
+    pub aborted: bool,
+    /// Agreement verdict: chosen value (if any) must equal the decision.
+    pub violated: bool,
+}
+
+/// Builds the ex5-state acks over the handover quorum and runs
+/// `choose()`.
+///
+/// Roles (universe indices):
+/// - `byz` — Byzantine acceptors claiming they 1-updated 1 over `q2_id`;
+/// - `prepared1` — benign acceptors that genuinely prepared 1 (they sent
+///   `update1⟨1,0⟩`, so their signatures on the update proof are real);
+/// - `prepared0` — benign acceptors of `Q1` that prepared the decided 0.
+pub fn run_attack(
+    rqs: Rqs,
+    handover_quorum: ProcessSet,
+    q2_id: QuorumId,
+    byz: &[usize],
+    prepared1: &[usize],
+    prepared0: &[usize],
+) -> Fig16Outcome {
+    let n = rqs.universe_size();
+    let registry = KeyRegistry::new(n, 0xBAD);
+
+    // The update proof: signed update1⟨1,0⟩ echoes. Byzantine acceptors
+    // sign freely; the benign `prepared1` acceptors *really sent* that
+    // message, so they would answer a sign_req — their signatures are
+    // legitimately obtainable.
+    let signers: Vec<usize> = byz.iter().chain(prepared1.iter()).copied().collect();
+    let proof: Vec<SignedUpdate> = signers
+        .iter()
+        .map(|&i| SignedUpdate {
+            acceptor: ProcessId(i),
+            step: 1,
+            value: 1,
+            view: 0,
+            sig: registry.signer(SignerId(i)).sign(&encode_update(1, 1, 0)),
+        })
+        .collect();
+
+    let mut acks: BTreeMap<ProcessId, NewViewAckBody> = BTreeMap::new();
+    let mut signed: Vec<SignedNewViewAck> = Vec::new();
+    for p in handover_quorum.iter() {
+        let i = p.index();
+        let mut body = NewViewAckBody { view: 1, ..Default::default() };
+        if byz.contains(&i) {
+            body.prep = Some(1);
+            body.prep_view.insert(0);
+            body.update[0] = Some(1);
+            body.update_view[0].insert(0);
+            body.update_q[0].entry(0).or_default().insert(q2_id);
+            body.update_proof[0].insert(0, proof.clone());
+        } else if prepared1.contains(&i) {
+            body.prep = Some(1);
+            body.prep_view.insert(0);
+        } else if prepared0.contains(&i) {
+            body.prep = Some(0);
+            body.prep_view.insert(0);
+        }
+        let sig = registry.signer(SignerId(i)).sign(&encode_new_view_ack(&body));
+        signed.push(SignedNewViewAck {
+            acceptor: p,
+            body: body.clone(),
+            sig,
+        });
+        acks.insert(p, body);
+    }
+    let acks_validated = signed.iter().all(|a| validate_ack(&rqs, &registry, a));
+
+    let q = rqs.id_of(handover_quorum).expect("handover quorum is a quorum");
+    let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+    let out = input.choose(99); // 99 = the new leader's own value
+    let chosen = (!out.abort).then_some(out.value);
+    Fig16Outcome {
+        decided: 0,
+        acks_validated,
+        chosen,
+        aborted: out.abort,
+        violated: matches!(chosen, Some(v) if v != 0),
+    }
+}
+
+/// The attack on the invalid configuration.
+pub fn run_invalid() -> Fig16Outcome {
+    let rqs = invalid_rqs();
+    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let handover = ProcessSet::from_indices([0, 1, 2, 3, 5]); // Q
+    // Byzantine B1 = {a1,a2} ∈ B; benign {a3,a4} prepared 1; benign a6
+    // (∈ Q1) prepared the decided 0.
+    run_attack(rqs, handover, q2_id, &[0, 1], &[2, 3], &[5])
+}
+
+/// The same attack shape on the valid configuration.
+pub fn run_valid() -> Fig16Outcome {
+    let rqs = valid_rqs();
+    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let handover = ProcessSet::from_indices([0, 1, 2, 3, 5]); // Q2'
+    // Here Q1 = {a2,a4,a5,a6}: the class-1 decision on 0 means benign
+    // a2,a4,a6 prepared 0, so the Byzantine set can only be {a1} (∈ B)
+    // and only benign a3 prepared 1.
+    run_attack(rqs, handover, q2_id, &[0], &[2], &[1, 3, 5])
+}
+
+/// Builds the E7 report.
+pub fn report() -> Report {
+    let bad = run_invalid();
+    let good = run_valid();
+    let mut r = Report::new("E7 (Figure 16, Theorem 6): Property 3 is necessary for consensus");
+    r.note("Value 0 was decided in view 0 via the class-1 quorum; Byzantine");
+    r.note("acceptors forge 'we 1-updated 1 over Q2' with cryptographically");
+    r.note("valid proofs (the benign preparers of 1 really sent update1⟨1,0⟩).");
+    r.note("Without Property 3 no class-1 witness survives in Q2∩Q\\B, and");
+    r.note("choose() hands the new view the conflicting value 1.");
+    let fmt = |o: &Fig16Outcome| match (o.aborted, o.chosen) {
+        (true, _) => "abort (quorum marked faulty)".to_string(),
+        (false, Some(v)) => format!("returns {v}"),
+        _ => "-".to_string(),
+    };
+    r.headers(["configuration", "decided in view 0", "acks pass validation", "choose()", "agreement"]);
+    r.row([
+        "Property 3 violated".to_string(),
+        bad.decided.to_string(),
+        bad.acks_validated.to_string(),
+        fmt(&bad),
+        if bad.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+    ]);
+    r.row([
+        "valid RQS (Example 7)".to_string(),
+        good.decided.to_string(),
+        good.acks_validated.to_string(),
+        fmt(&good),
+        if good.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem6_violation_reproduced() {
+        let bad = run_invalid();
+        assert!(bad.acks_validated, "the forgery must be undetectable");
+        assert_eq!(bad.chosen, Some(1), "choose() hands over the wrong value");
+        assert!(bad.violated);
+    }
+
+    #[test]
+    fn valid_config_chooses_decided_value() {
+        let good = run_valid();
+        assert!(good.acks_validated);
+        assert!(
+            good.chosen == Some(0) || good.aborted,
+            "the valid config must protect the decision, got {good:?}"
+        );
+        assert!(!good.violated);
+    }
+}

@@ -1,0 +1,104 @@
+//! **E2 (Figure 3, §2.2)** — the worked refined-quorum-system example for
+//! the 1-bounded threshold adversary over 8 elements.
+//!
+//! Verifies Properties 1–3 hold, reproduces every intersection cardinality
+//! the caption states, and confirms the headline observation that quorum
+//! *class* is about intersections, not cardinality (`Q'` has 6 elements
+//! yet is class 3; `Q1` has 5 and is class 1).
+
+use crate::report::Report;
+use rqs_core::{Adversary, ProcessSet, Rqs};
+
+/// The Figure 3 system. `Q'`, `Q2`, `Q1` are as printed in the paper;
+/// `Q` is reconstructed as `{1,5,6,8}` (1-based) so that all the
+/// caption's cardinality claims hold simultaneously (the published figure
+/// text is ambiguous about `Q`).
+pub fn figure3() -> Rqs {
+    let b = Adversary::threshold(8, 1);
+    let q = ProcessSet::from_indices([0, 4, 5, 7]); // Q   = {1,5,6,8}
+    let qp = ProcessSet::from_indices([0, 1, 2, 3, 6, 7]); // Q'  = {1,2,3,4,7,8}
+    let q2 = ProcessSet::from_indices([2, 3, 4, 5, 6]); // Q2  = {3,4,5,6,7}
+    let q1 = ProcessSet::from_indices([0, 1, 2, 4, 5]); // Q1  = {1,2,3,5,6}
+    Rqs::new(b, vec![q, qp, q2, q1], vec![3], vec![2, 3]).expect("figure 3 verifies")
+}
+
+/// Builds the E2 report.
+pub fn report() -> Report {
+    let rqs = figure3();
+    let mut r = Report::new("E2 (Figure 3): example RQS for B_1 over 8 elements");
+    r.note("Caption claims: every pair intersects in ≥ k+1 = 2 elements (Property 1);");
+    r.note("Q1 meets every quorum in ≥ 2k+1 = 3 (Property 2); |Q2∩Q'| = |Q2∩Q1| = 3");
+    r.note("(P3a) and |Q2∩Q∩Q1| = 2 = k+1 (P3b). Class is not cardinality:");
+    r.note("|Q'| = 6 but class 3; |Q1| = 5 and class 1.");
+    r.headers(["pair", "intersection", "size", "claim"]);
+    let names = ["Q", "Q'", "Q2", "Q1"];
+    let quorums = rqs.quorums().to_vec();
+    for i in 0..quorums.len() {
+        for j in i + 1..quorums.len() {
+            let inter = quorums[i].intersection(quorums[j]);
+            let claim = if names[i] == "Q1" || names[j] == "Q1" {
+                "≥ 2k+1 (Property 2 via Q1)"
+            } else {
+                "≥ k+1 (Property 1)"
+            };
+            r.row([
+                format!("{} ∩ {}", names[i], names[j]),
+                inter.to_string(),
+                inter.len().to_string(),
+                claim.to_string(),
+            ]);
+        }
+    }
+    r.row([
+        "verify()".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:?}", rqs.verify().is_ok()),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::QuorumClass;
+
+    #[test]
+    fn figure3_matches_caption_cardinalities() {
+        let rqs = figure3();
+        let q = rqs.quorum(rqs.all_ids()[0]);
+        let qp = rqs.quorum(rqs.all_ids()[1]);
+        let q2 = rqs.quorum(rqs.all_ids()[2]);
+        let q1 = rqs.quorum(rqs.all_ids()[3]);
+        assert_eq!(q2.intersection(qp).len(), 3); // |Q2 ∩ Q'| = 2k+1
+        assert_eq!(q2.intersection(q1).len(), 3); // |Q2 ∩ Q1| = 2k+1
+        assert_eq!(q2.intersection(q).intersection(q1).len(), 2); // k+1
+        // Property 2 via Q1: Q1 meets everything in ≥ 3.
+        for other in [q, qp, q2, q1] {
+            assert!(q1.intersection(other).len() >= 3);
+        }
+        // Every pair ≥ 2 (Property 1).
+        for a in [q, qp, q2, q1] {
+            for b in [q, qp, q2, q1] {
+                assert!(a.intersection(b).len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn class_is_not_cardinality() {
+        let rqs = figure3();
+        let ids = rqs.all_ids();
+        assert_eq!(rqs.quorum(ids[1]).len(), 6);
+        assert_eq!(rqs.class_of(ids[1]), QuorumClass::Class3);
+        assert_eq!(rqs.quorum(ids[3]).len(), 5);
+        assert_eq!(rqs.class_of(ids[3]), QuorumClass::Class1);
+    }
+
+    #[test]
+    fn report_includes_all_pairs() {
+        let r = report();
+        assert_eq!(r.rows.len(), 6 + 1); // C(4,2) pairs + verify row
+        assert_eq!(r.cell("claim", |row| row[0] == "verify()"), Some("true"));
+    }
+}

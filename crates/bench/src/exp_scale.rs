@@ -1,0 +1,91 @@
+//! **E14 (§5 complexity remarks)** — message complexity and scaling
+//! shape of both protocols in best-case executions.
+//!
+//! The paper notes its storage algorithm (deliberately) has unbounded
+//! *worst-case* message complexity; this experiment measures the
+//! *best-case* costs, which are small and linear in `n`: a 1-round write
+//! is one round-trip to every server (`2n` messages), a 1-round read the
+//! same, and a best-case consensus instance is `O(n²)` because acceptors
+//! echo updates to each other (the paper's update phase, Fig. 11).
+
+use crate::report::Report;
+use rqs_consensus::ConsensusHarness;
+use rqs_core::threshold::ThresholdConfig;
+use rqs_storage::{StorageHarness, Value};
+
+/// Message counts for one best-case write + read at size `n = 3t + 1`.
+pub fn storage_messages(t: usize) -> (usize, usize, usize) {
+    let rqs = ThresholdConfig::byzantine_fast(t).build().unwrap();
+    let n = rqs.universe_size();
+    let mut h = StorageHarness::new(rqs, 1);
+    let before = h.world_mut().stats().messages_sent;
+    h.write(Value::from(1u64));
+    let after_write = h.world_mut().stats().messages_sent;
+    h.read(0);
+    let after_read = h.world_mut().stats().messages_sent;
+    (n, after_write - before, after_read - after_write)
+}
+
+/// Message count for one best-case consensus instance at `n = 3t + 1`.
+pub fn consensus_messages(t: usize) -> (usize, usize) {
+    let rqs = ThresholdConfig::byzantine_fast(t).build().unwrap();
+    let n = rqs.universe_size();
+    let mut h = ConsensusHarness::new(rqs, 1, 1);
+    let before = h.world_mut().stats().messages_sent;
+    h.propose(0, 7);
+    assert!(h.run_until_learned(400_000));
+    let after = h.world_mut().stats().messages_sent;
+    (n, after - before)
+}
+
+/// Builds the E14 report.
+pub fn report() -> Report {
+    let mut r = Report::new("E14 (§5): best-case message complexity vs n");
+    r.note("Best-case costs are small: writes/reads are round-trips to all");
+    r.note("servers (O(n) messages per round); consensus echoes updates");
+    r.note("acceptor-to-acceptor (O(n²) per instance). The paper's");
+    r.note("unbounded complexity applies to worst-case schedules only.");
+    r.headers(["n", "write msgs", "read msgs", "consensus msgs (to learn)"]);
+    for t in [1usize, 2, 3] {
+        let (n, w, rd) = storage_messages(t);
+        let (_, c) = consensus_messages(t);
+        r.row([n.to_string(), w.to_string(), rd.to_string(), c.to_string()]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_messages_linear_in_n() {
+        let (n1, w1, r1) = storage_messages(1);
+        let (n2, w2, r2) = storage_messages(2);
+        // One-round ops: exactly 2n messages (n requests + n replies).
+        assert_eq!(w1, 2 * n1, "write at n={n1}");
+        assert_eq!(w2, 2 * n2, "write at n={n2}");
+        assert_eq!(r1, 2 * n1, "read at n={n1}");
+        assert_eq!(r2, 2 * n2, "read at n={n2}");
+    }
+
+    #[test]
+    fn consensus_messages_quadraticish() {
+        let (n1, c1) = consensus_messages(1);
+        let (n2, c2) = consensus_messages(2);
+        assert!(c1 > 2 * n1, "acceptor echo traffic exceeds a round-trip");
+        // Growth should be super-linear (quadratic update echoes).
+        let per_node_1 = c1 as f64 / n1 as f64;
+        let per_node_2 = c2 as f64 / n2 as f64;
+        assert!(
+            per_node_2 > per_node_1,
+            "per-node message cost must grow with n ({per_node_1:.1} vs {per_node_2:.1})"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert_eq!(r.rows.len(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Tabular reports printed by the experiment binaries and asserted by the
+//! integration tests.
+
+use std::fmt;
+
+/// A printable table with a title, commentary, headers and rows.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment id + paper artifact, e.g. "E1 (Figure 1)".
+    pub title: String,
+    /// What the paper claims / what to look for.
+    pub commentary: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.commentary.push(line.into());
+        self
+    }
+
+    /// Sets the headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a row.
+    pub fn row<I, S>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Finds a cell by row predicate and column header (test helper).
+    pub fn cell(&self, col: &str, pred: impl Fn(&[String]) -> bool) -> Option<&str> {
+        let idx = self.headers.iter().position(|h| h == col)?;
+        self.rows
+            .iter()
+            .find(|r| pred(r))
+            .and_then(|r| r.get(idx))
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for line in &self.commentary {
+            writeln!(f, "   {line}")?;
+        }
+        if self.headers.is_empty() {
+            return Ok(());
+        }
+        // Column widths.
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                write!(f, "| {cell:width$} ", width = widths[i])?;
+            }
+            writeln!(f, "|")
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_formats() {
+        let mut r = Report::new("E0 (smoke)");
+        r.note("a note")
+            .headers(["a", "b"])
+            .row(["1", "22"])
+            .row(["333", "4"]);
+        let s = r.to_string();
+        assert!(s.contains("== E0 (smoke) =="));
+        assert!(s.contains("a note"));
+        assert!(s.contains("| 333 | 4"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut r = Report::new("t");
+        r.headers(["k", "v"]).row(["x", "1"]).row(["y", "2"]);
+        assert_eq!(r.cell("v", |row| row[0] == "y"), Some("2"));
+        assert_eq!(r.cell("v", |row| row[0] == "z"), None);
+        assert_eq!(r.cell("nope", |_| true), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! Byzantine acceptor behaviours for fault injection (Theorem 6 /
+//! Fig. 16 reproductions and robustness tests).
+
+use crate::types::ConsensusMsg;
+use rqs_sim::{Automaton, Context, NodeId};
+use std::any::Any;
+
+/// An acceptor that never sends anything.
+#[derive(Clone, Debug, Default)]
+pub struct SilentAcceptor;
+
+impl Automaton<ConsensusMsg> for SilentAcceptor {
+    fn on_message(&mut self, _f: NodeId, _m: ConsensusMsg, _c: &mut Context<ConsensusMsg>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A fully scriptable Byzantine acceptor.
+pub struct ScriptedAcceptor {
+    #[allow(clippy::type_complexity)]
+    script: Box<dyn FnMut(NodeId, ConsensusMsg, &mut Context<ConsensusMsg>) + 'static>,
+}
+
+impl ScriptedAcceptor {
+    /// Wraps a behaviour closure.
+    pub fn new(
+        script: impl FnMut(NodeId, ConsensusMsg, &mut Context<ConsensusMsg>) + 'static,
+    ) -> Self {
+        ScriptedAcceptor {
+            script: Box::new(script),
+        }
+    }
+
+    /// An equivocator: echoes `update1⟨v_for(sender), view, ∅⟩` back with a
+    /// value chosen per destination — the classic split-vote behaviour.
+    pub fn equivocating_update1(
+        targets_a: Vec<NodeId>,
+        value_a: u64,
+        targets_b: Vec<NodeId>,
+        value_b: u64,
+    ) -> Self {
+        ScriptedAcceptor::new(move |_from, msg, ctx| {
+            if let ConsensusMsg::Prepare { view, .. } = msg {
+                ctx.broadcast(
+                    targets_a.iter().copied(),
+                    ConsensusMsg::Update { step: 1, value: value_a, view, quorum: None },
+                );
+                ctx.broadcast(
+                    targets_b.iter().copied(),
+                    ConsensusMsg::Update { step: 1, value: value_b, view, quorum: None },
+                );
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for ScriptedAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedAcceptor").finish_non_exhaustive()
+    }
+}
+
+impl Automaton<ConsensusMsg> for ScriptedAcceptor {
+    fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
+        (self.script)(from, msg, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_sim::Time;
+
+    #[test]
+    fn silent_acceptor_is_silent() {
+        let mut a = SilentAcceptor;
+        let mut c = Context::new(NodeId(0), Time::ZERO, 0);
+        a.on_message(NodeId(1), ConsensusMsg::Sync, &mut c);
+        assert!(c.sent().is_empty());
+    }
+
+    #[test]
+    fn equivocator_splits_votes() {
+        let mut a = ScriptedAcceptor::equivocating_update1(
+            vec![NodeId(10)],
+            1,
+            vec![NodeId(11)],
+            2,
+        );
+        let mut c = Context::new(NodeId(0), Time::ZERO, 0);
+        a.on_message(
+            NodeId(5),
+            ConsensusMsg::Prepare { value: 1, view: 0, v_proof: None, quorum: None },
+            &mut c,
+        );
+        assert_eq!(c.sent().len(), 2);
+        let to_10 = c.sent().iter().find(|(n, _)| *n == NodeId(10)).unwrap();
+        let to_11 = c.sent().iter().find(|(n, _)| *n == NodeId(11)).unwrap();
+        match (&to_10.1, &to_11.1) {
+            (
+                ConsensusMsg::Update { value: v1, .. },
+                ConsensusMsg::Update { value: v2, .. },
+            ) => {
+                assert_eq!((*v1, *v2), (1, 2));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(format!("{a:?}").contains("ScriptedAcceptor"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Decision tracking shared by acceptors and learners (Fig. 15 lines
+//! 51–53).
+//!
+//! A process decides `v` upon receiving, for some view `w`:
+//!
+//! - the same `update1⟨v, w, ∗⟩` from every member of a **class-1** quorum
+//!   (2 message delays after the propose), or
+//! - the same `update2⟨v, w, Q2⟩` from every member of the **class-2**
+//!   quorum `Q2` itself (3 delays), or
+//! - the same `update3⟨v, w, ∗⟩` from every member of **any** quorum
+//!   (4 delays).
+
+use crate::types::{ProposalValue, View};
+use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Tracks update senders and fires the three decision rules.
+#[derive(Clone, Debug)]
+pub struct DecisionTracker {
+    rqs: Arc<Rqs>,
+    /// `(v, w)` → senders of `update1⟨v, w, ∗⟩`.
+    update1: BTreeMap<(ProposalValue, View), ProcessSet>,
+    /// `(v, w, Q2)` → senders of `update2⟨v, w, Q2⟩`.
+    update2: BTreeMap<(ProposalValue, View, QuorumId), ProcessSet>,
+    /// `(v, w)` → senders of `update3⟨v, w, ∗⟩`.
+    update3: BTreeMap<(ProposalValue, View), ProcessSet>,
+    decided: Option<ProposalValue>,
+}
+
+impl DecisionTracker {
+    /// New tracker over the given RQS.
+    pub fn new(rqs: Arc<Rqs>) -> Self {
+        DecisionTracker {
+            rqs,
+            update1: BTreeMap::new(),
+            update2: BTreeMap::new(),
+            update3: BTreeMap::new(),
+            decided: None,
+        }
+    }
+
+    /// The decided value, if any.
+    pub fn decided(&self) -> Option<ProposalValue> {
+        self.decided
+    }
+
+    /// Forces a decision (used when a basic subset of `decision⟨v⟩`
+    /// messages arrives, line 101).
+    pub fn force_decide(&mut self, v: ProposalValue) {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+    }
+
+    /// Records an `update_step` message from acceptor `sender`; returns
+    /// `Some(v)` the first time a decision rule fires.
+    pub fn record(
+        &mut self,
+        step: usize,
+        value: ProposalValue,
+        view: View,
+        quorum: Option<QuorumId>,
+        sender: ProcessId,
+    ) -> Option<ProposalValue> {
+        if self.decided.is_some() {
+            return None;
+        }
+        match step {
+            1 => {
+                let senders = self.update1.entry((value, view)).or_default();
+                senders.insert(sender);
+                // Class-1 quorum of identical update1s (line 51).
+                let senders = *senders;
+                if self
+                    .rqs
+                    .class1_ids()
+                    .iter()
+                    .any(|&q1| self.rqs.quorum(q1).is_subset_of(senders))
+                {
+                    self.decided = Some(value);
+                }
+            }
+            2 => {
+                let Some(q2) = quorum else {
+                    return None; // malformed update2
+                };
+                if !self.rqs.is_class2(q2) {
+                    // update2 over a non-class-2 quorum id cannot decide
+                    // (line 52 requires Q2 ∈ QC2) but is still well-formed
+                    // protocol traffic; nothing to track for deciding.
+                    return None;
+                }
+                let senders = self.update2.entry((value, view, q2)).or_default();
+                senders.insert(sender);
+                // The echoed quorum itself must have sent it (line 52).
+                if self.rqs.quorum(q2).is_subset_of(*senders) {
+                    self.decided = Some(value);
+                }
+            }
+            3 => {
+                let senders = self.update3.entry((value, view)).or_default();
+                senders.insert(sender);
+                let senders = *senders;
+                if self.rqs.any_quorum_within(senders) {
+                    self.decided = Some(value);
+                }
+            }
+            _ => {}
+        }
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+
+    fn tracker() -> (DecisionTracker, Arc<Rqs>) {
+        let rqs = Arc::new(ThresholdConfig::byzantine_fast(1).build().unwrap());
+        (DecisionTracker::new(rqs.clone()), rqs)
+    }
+
+    #[test]
+    fn class1_update1_decides() {
+        let (mut t, _rqs) = tracker();
+        for i in 0..3 {
+            assert_eq!(t.record(1, 7, 0, None, ProcessId(i)), None);
+        }
+        // 4th sender completes the class-1 (full) quorum.
+        assert_eq!(t.record(1, 7, 0, None, ProcessId(3)), Some(7));
+        assert_eq!(t.decided(), Some(7));
+        // Further records are inert.
+        assert_eq!(t.record(1, 9, 0, None, ProcessId(0)), None);
+        assert_eq!(t.decided(), Some(7));
+    }
+
+    #[test]
+    fn class2_update2_decides() {
+        let (mut t, rqs) = tracker();
+        let q2 = rqs.id_of(ProcessSet::from_indices([0, 1, 2])).unwrap();
+        assert!(rqs.is_class2(q2));
+        for i in 0..2 {
+            assert_eq!(t.record(2, 5, 1, Some(q2), ProcessId(i)), None);
+        }
+        assert_eq!(t.record(2, 5, 1, Some(q2), ProcessId(2)), Some(5));
+    }
+
+    #[test]
+    fn update2_from_outside_echoed_quorum_insufficient() {
+        let (mut t, rqs) = tracker();
+        let q2 = rqs.id_of(ProcessSet::from_indices([0, 1, 2])).unwrap();
+        // Senders 1, 2, 3 but the echoed quorum is {0,1,2}: member 0 is
+        // missing, so no decision.
+        for i in 1..4 {
+            assert_eq!(t.record(2, 5, 1, Some(q2), ProcessId(i)), None);
+        }
+        assert_eq!(t.decided(), None);
+    }
+
+    #[test]
+    fn any_quorum_update3_decides() {
+        let (mut t, _rqs) = tracker();
+        assert_eq!(t.record(3, 4, 2, None, ProcessId(1)), None);
+        assert_eq!(t.record(3, 4, 2, None, ProcessId(2)), None);
+        assert_eq!(t.record(3, 4, 2, None, ProcessId(3)), Some(4));
+    }
+
+    #[test]
+    fn mixed_values_do_not_combine() {
+        let (mut t, _rqs) = tracker();
+        t.record(3, 4, 2, None, ProcessId(0));
+        t.record(3, 5, 2, None, ProcessId(1));
+        t.record(3, 4, 3, None, ProcessId(2));
+        assert_eq!(t.decided(), None, "values/views must match exactly");
+    }
+
+    #[test]
+    fn force_decide_is_sticky() {
+        let (mut t, _rqs) = tracker();
+        t.force_decide(9);
+        t.force_decide(10);
+        assert_eq!(t.decided(), Some(9));
+    }
+
+    #[test]
+    fn malformed_update2_ignored() {
+        let (mut t, _rqs) = tracker();
+        assert_eq!(t.record(2, 5, 1, None, ProcessId(0)), None);
+        assert_eq!(t.record(9, 5, 1, None, ProcessId(0)), None);
+        assert_eq!(t.decided(), None);
+    }
+}

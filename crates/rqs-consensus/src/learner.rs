@@ -1,0 +1,213 @@
+//! The learner automaton (Fig. 15 learner side).
+//!
+//! A learner learns a value as soon as it decides one through the three
+//! update rules (lines 51–53, 60), or upon receiving `decision⟨v⟩` from a
+//! basic subset of acceptors (line 101). A learner that has not learned
+//! keeps pulling decisions from acceptors (lines 102–103).
+
+use crate::acceptor::ConsensusConfig;
+use crate::decide::DecisionTracker;
+use crate::types::{ConsensusMsg, ProposalValue};
+use rqs_core::ProcessSet;
+use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Interval between decision pulls while unlearned (the paper's "preset
+/// time").
+pub const PULL_INTERVAL: u64 = 10;
+
+/// The learner automaton.
+#[derive(Debug)]
+pub struct Learner {
+    cfg: ConsensusConfig,
+    decider: DecisionTracker,
+    decision_senders: BTreeMap<ProposalValue, ProcessSet>,
+    learned: Option<(ProposalValue, Time)>,
+    pull_timer: Option<TimerToken>,
+}
+
+impl Learner {
+    /// Creates a learner.
+    pub fn new(cfg: ConsensusConfig) -> Self {
+        let decider = DecisionTracker::new(cfg.rqs.clone());
+        Learner {
+            cfg,
+            decider,
+            decision_senders: BTreeMap::new(),
+            learned: None,
+            pull_timer: None,
+        }
+    }
+
+    /// The learned value and the time it was learned, if any.
+    pub fn learned(&self) -> Option<(ProposalValue, Time)> {
+        self.learned
+    }
+
+    fn learn(&mut self, v: ProposalValue, now: Time) {
+        if self.learned.is_none() {
+            self.learned = Some((v, now));
+        }
+    }
+
+    fn ensure_pull_timer(&mut self, ctx: &mut Context<ConsensusMsg>) {
+        if self.learned.is_none() && self.pull_timer.is_none() {
+            self.pull_timer = Some(ctx.set_timer(PULL_INTERVAL));
+        }
+    }
+}
+
+impl Automaton<ConsensusMsg> for Learner {
+    fn on_start(&mut self, ctx: &mut Context<ConsensusMsg>) {
+        // Lines 102–103: learners pull on a timer from the start, so even
+        // a learner cut off from all protocol traffic eventually catches
+        // up once the network heals.
+        self.ensure_pull_timer(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
+        let Some(sender) = self.cfg.acceptor_index(from) else {
+            return; // learners only listen to acceptors
+        };
+        // Any protocol traffic starts the pull loop (lines 102–103).
+        self.ensure_pull_timer(ctx);
+        match msg {
+            ConsensusMsg::Update { step, value, view, quorum } => {
+                if let Some(v) = self.decider.record(step, value, view, quorum, sender) {
+                    self.learn(v, ctx.now()); // line 60
+                }
+            }
+            ConsensusMsg::Decision { value } => {
+                let senders = self.decision_senders.entry(value).or_default();
+                senders.insert(sender);
+                // Line 101: a basic subset of decisions is trustworthy.
+                if self.cfg.rqs.adversary().is_basic(*senders) {
+                    self.decider.force_decide(value);
+                    self.learn(value, ctx.now());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<ConsensusMsg>) {
+        if self.pull_timer != Some(timer) {
+            return;
+        }
+        self.pull_timer = None;
+        if self.learned.is_none() {
+            ctx.broadcast(self.cfg.acceptors.clone(), ConsensusMsg::DecisionPull);
+            self.pull_timer = Some(ctx.set_timer(PULL_INTERVAL));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+    use rqs_crypto::KeyRegistry;
+    use std::sync::Arc;
+
+    fn config() -> ConsensusConfig {
+        ConsensusConfig {
+            rqs: Arc::new(ThresholdConfig::byzantine_fast(1).build().unwrap()),
+            registry: KeyRegistry::new(4, 11),
+            acceptors: (0..4).map(NodeId).collect(),
+            proposers: vec![NodeId(4), NodeId(5)],
+            learners: vec![NodeId(6)],
+        }
+    }
+
+    fn ctx(at: u64) -> Context<ConsensusMsg> {
+        Context::new(NodeId(6), Time(at), 0)
+    }
+
+    #[test]
+    fn learns_from_class1_update1_quorum() {
+        let cfg = config();
+        let mut l = Learner::new(cfg);
+        for i in 0..4 {
+            let mut c = ctx(2);
+            l.on_message(
+                NodeId(i),
+                ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+                &mut c,
+            );
+        }
+        assert_eq!(l.learned().map(|(v, _)| v), Some(7));
+        assert_eq!(l.learned().map(|(_, t)| t), Some(Time(2)));
+    }
+
+    #[test]
+    fn learns_from_basic_subset_of_decisions() {
+        let cfg = config();
+        let mut l = Learner::new(cfg);
+        let mut c = ctx(3);
+        l.on_message(NodeId(0), ConsensusMsg::Decision { value: 4 }, &mut c);
+        assert_eq!(l.learned(), None, "one decision (∈ B_1) is not enough");
+        let mut c2 = ctx(4);
+        l.on_message(NodeId(1), ConsensusMsg::Decision { value: 4 }, &mut c2);
+        assert_eq!(l.learned().map(|(v, _)| v), Some(4));
+    }
+
+    #[test]
+    fn conflicting_single_decisions_do_not_learn() {
+        let cfg = config();
+        let mut l = Learner::new(cfg);
+        let mut c = ctx(3);
+        l.on_message(NodeId(0), ConsensusMsg::Decision { value: 4 }, &mut c);
+        l.on_message(NodeId(1), ConsensusMsg::Decision { value: 5 }, &mut c);
+        assert_eq!(l.learned(), None);
+    }
+
+    #[test]
+    fn ignores_non_acceptor_senders() {
+        let cfg = config();
+        let mut l = Learner::new(cfg);
+        let mut c = ctx(3);
+        // Node 9 is not an acceptor.
+        l.on_message(NodeId(9), ConsensusMsg::Decision { value: 4 }, &mut c);
+        l.on_message(NodeId(9), ConsensusMsg::Decision { value: 4 }, &mut c);
+        assert_eq!(l.learned(), None);
+    }
+
+    #[test]
+    fn pull_loop_runs_until_learned() {
+        let cfg = config();
+        let mut l = Learner::new(cfg);
+        let mut c = ctx(0);
+        // First traffic arms the pull timer.
+        l.on_message(
+            NodeId(0),
+            ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+            &mut c,
+        );
+        let (_, token) = c.armed_timers()[0];
+        let mut c2 = ctx(PULL_INTERVAL);
+        l.on_timer(token, &mut c2);
+        let pulls = c2
+            .sent()
+            .iter()
+            .filter(|(_, m)| matches!(m, ConsensusMsg::DecisionPull))
+            .count();
+        assert_eq!(pulls, 4);
+        assert_eq!(c2.armed_timers().len(), 1, "re-armed while unlearned");
+        // After learning, the timer is not re-armed.
+        l.learn(7, Time(20));
+        let (_, token2) = c2.armed_timers()[0];
+        let mut c3 = ctx(2 * PULL_INTERVAL);
+        l.on_timer(token2, &mut c3);
+        assert!(c3.sent().is_empty());
+        assert!(c3.armed_timers().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! # RQS Byzantine consensus
+//!
+//! The optimally-resilient, best-case-optimal Byzantine consensus
+//! algorithm of *Refined Quorum Systems* (Guerraoui & Vukolić, §4,
+//! Figures 9–15) in the proposer/acceptor/learner framework:
+//!
+//! - tolerates **any** number of Byzantine proposers and learners, the
+//!   largest possible adversary of acceptors, and unbounded asynchrony;
+//! - learns in `m + 1` message delays when a correct class-`m` quorum of
+//!   acceptors is available under best-case conditions (`(m, QCm)`-fast
+//!   for `m ∈ {1,2,3}`: 2, 3 or 4 message delays);
+//! - uses digital signatures **only** on the view-change path, never in
+//!   best-case executions.
+//!
+//! Modules:
+//!
+//! - [`types`] — messages and signed proof objects;
+//! - [`choose`] — the `choose()` value-selection function (Fig. 13), the
+//!   safety core, as pure testable code;
+//! - [`decide`] — the three decision rules (2/3/4 message delays);
+//! - [`acceptor`], [`proposer`], [`learner`] — the three automatons,
+//!   including the Election module (Fig. 14);
+//! - [`byzantine`] — scriptable Byzantine acceptors;
+//! - [`harness`] — one-call deployment measuring learning latency.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rqs_core::threshold::ThresholdConfig;
+//! use rqs_consensus::ConsensusHarness;
+//!
+//! let rqs = ThresholdConfig::byzantine_fast(1).build()?; // n = 4, t = k = 1
+//! let mut consensus = ConsensusHarness::new(rqs, 2, 2);
+//! consensus.propose(0, 42);
+//! assert!(consensus.run_until_learned(100_000));
+//! assert_eq!(consensus.agreed_value(), Some(42));
+//! // Fast path: 2 message delays.
+//! assert!(consensus.learner_delays().iter().all(|d| *d == Some(2)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod acceptor;
+pub mod byzantine;
+pub mod choose;
+pub mod decide;
+pub mod harness;
+pub mod learner;
+pub mod proposer;
+pub mod types;
+
+pub use acceptor::{Acceptor, ConsensusConfig, SUSPECT_TIMEOUT};
+pub use choose::{validate_ack, ChooseInput, ChooseOutcome};
+pub use decide::DecisionTracker;
+pub use harness::ConsensusHarness;
+pub use learner::{Learner, PULL_INTERVAL};
+pub use proposer::{Proposer, SYNC_DELAY};
+pub use types::{ConsensusMsg, ProposalValue, View, INIT_VIEW};

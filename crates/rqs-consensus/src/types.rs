@@ -1,0 +1,295 @@
+//! Message and proof types of the consensus algorithm (Figs. 10–15).
+//!
+//! Authenticated messages (`⟨m⟩_σx`) carry [`rqs_crypto::Signature`] tags
+//! over canonical byte encodings defined here. Signatures appear **only**
+//! on the view-change path (`view_change`, `new_view_ack`, `sign_ack`),
+//! never in best-case executions — exactly as in the paper.
+
+use core::fmt;
+use rqs_core::{ProcessId, QuorumId};
+use rqs_crypto::Signature;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A proposal value. The paper's domain `D`; we use integers.
+pub type ProposalValue = u64;
+
+/// A view number; `0` is the initial view in which every proposer may
+/// propose directly.
+pub type View = u64;
+
+/// The initial view.
+pub const INIT_VIEW: View = 0;
+
+/// An update step (1 or 2) as stored in acceptor state; step 3 exists only
+/// as a message.
+pub type Step = usize;
+
+/// A signed `view_change⟨next_view⟩` message (Fig. 14 line 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignedViewChange {
+    /// The signing acceptor.
+    pub acceptor: ProcessId,
+    /// The view being promoted.
+    pub next_view: View,
+    /// Signature over [`encode_view_change`].
+    pub sig: Signature,
+}
+
+/// Canonical bytes of a `view_change⟨next_view⟩` message.
+pub fn encode_view_change(next_view: View) -> Vec<u8> {
+    let mut out = b"vc:".to_vec();
+    out.extend_from_slice(&next_view.to_be_bytes());
+    out
+}
+
+/// A signed echo of an `update_step⟨v, w⟩` message (a `sign_ack`,
+/// Fig. 12 line 29).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignedUpdate {
+    /// The signing acceptor.
+    pub acceptor: ProcessId,
+    /// Which update step the echo vouches for.
+    pub step: Step,
+    /// The updated value.
+    pub value: ProposalValue,
+    /// The view of the update.
+    pub view: View,
+    /// Signature over [`encode_update`].
+    pub sig: Signature,
+}
+
+/// Canonical bytes of an `update_step⟨v, w⟩` message for signing.
+pub fn encode_update(step: Step, value: ProposalValue, view: View) -> Vec<u8> {
+    let mut out = b"up:".to_vec();
+    out.push(step as u8);
+    out.extend_from_slice(&value.to_be_bytes());
+    out.extend_from_slice(&view.to_be_bytes());
+    out
+}
+
+/// The body of a `new_view_ack` (Fig. 12 line 28): the acceptor's
+/// prepared/updated state, with signature sets vouching for the updates.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NewViewAckBody {
+    /// The view this ack answers.
+    pub view: View,
+    /// `Prep` — the last prepared value.
+    pub prep: Option<ProposalValue>,
+    /// `Prepview` — views in which `prep` was prepared.
+    pub prep_view: BTreeSet<View>,
+    /// `Update[1..2]` — last 1-updated / 2-updated values (index 0 =
+    /// step 1).
+    pub update: [Option<ProposalValue>; 2],
+    /// `Updateview[1..2]`.
+    pub update_view: [BTreeSet<View>; 2],
+    /// `Updateproof[step, w]` — signed `update_step` echoes from a basic
+    /// subset (index 0 = step 1).
+    pub update_proof: [BTreeMap<View, Vec<SignedUpdate>>; 2],
+    /// `UpdateQ[step, w]` — quorum ids over which the updates happened.
+    pub update_q: [BTreeMap<View, BTreeSet<QuorumId>>; 2],
+}
+
+/// Canonical bytes of a `new_view_ack` body for signing.
+pub fn encode_new_view_ack(body: &NewViewAckBody) -> Vec<u8> {
+    let mut out = b"nva:".to_vec();
+    out.extend_from_slice(&body.view.to_be_bytes());
+    match body.prep {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        None => out.push(0),
+    }
+    for w in &body.prep_view {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    for s in 0..2 {
+        out.push(b'u');
+        match body.update[s] {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+        for w in &body.update_view[s] {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        for (w, proofs) in &body.update_proof[s] {
+            out.extend_from_slice(&w.to_be_bytes());
+            for p in proofs {
+                out.extend_from_slice(&(p.acceptor.0 as u64).to_be_bytes());
+                out.extend_from_slice(p.sig.to_string().as_bytes());
+            }
+        }
+        for (w, qs) in &body.update_q[s] {
+            out.extend_from_slice(&w.to_be_bytes());
+            for q in qs {
+                out.extend_from_slice(&(q.0 as u64).to_be_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// A signed `new_view_ack`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedNewViewAck {
+    /// The signing acceptor.
+    pub acceptor: ProcessId,
+    /// The ack body.
+    pub body: NewViewAckBody,
+    /// Signature over [`encode_new_view_ack`].
+    pub sig: Signature,
+}
+
+/// The `vProof` a proposer attaches to a `prepare` outside the initial
+/// view: signed `new_view_ack`s from every member of a quorum `Q`.
+pub type VProof = Vec<SignedNewViewAck>;
+
+/// The `viewProof` attached to a `new_view`: signed `view_change`s from a
+/// quorum.
+pub type ViewProof = Vec<SignedViewChange>;
+
+/// Messages of the consensus protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsensusMsg {
+    /// `prepare⟨v, view, vProof, Q⟩` (Fig. 10 line 9). `v_proof`/`quorum`
+    /// are `None` in the initial view.
+    Prepare {
+        /// Proposed value.
+        value: ProposalValue,
+        /// View.
+        view: View,
+        /// Signed acks certifying the value (non-initial views).
+        v_proof: Option<VProof>,
+        /// The quorum the acks came from.
+        quorum: Option<QuorumId>,
+    },
+    /// `update_step⟨v, view, Q⟩` (Fig. 10 lines 33/38). `quorum` is `None`
+    /// for step 1, the echoed sender-quorum for steps 2 and 3.
+    Update {
+        /// Step 1, 2 or 3.
+        step: usize,
+        /// Value.
+        value: ProposalValue,
+        /// View.
+        view: View,
+        /// Sender-quorum id carried by steps 2–3.
+        quorum: Option<QuorumId>,
+    },
+    /// `new_view⟨view, viewProof⟩` (Fig. 12 line 2).
+    NewView {
+        /// The new view.
+        view: View,
+        /// Quorum of signed `view_change`s.
+        view_proof: ViewProof,
+    },
+    /// Signed `new_view_ack` (Fig. 12 line 28).
+    NewViewAck(SignedNewViewAck),
+    /// `sign_req⟨v, w, step⟩` (Fig. 12 line 24).
+    SignReq {
+        /// The value whose update needs vouching.
+        value: ProposalValue,
+        /// The view of the update.
+        view: View,
+        /// The update step.
+        step: usize,
+    },
+    /// `sign_ack⟨m⟩σ` (Fig. 12 line 29).
+    SignAck(SignedUpdate),
+    /// Signed `view_change⟨next_view⟩` (Fig. 14 line 4).
+    ViewChange(SignedViewChange),
+    /// `decision⟨v⟩` (Fig. 14 line 7 / Fig. 15 line 40).
+    Decision {
+        /// The decided value.
+        value: ProposalValue,
+    },
+    /// `decision_pull` (Fig. 15 lines 103).
+    DecisionPull,
+    /// `sync` (Fig. 15 line 102) — wakes acceptor suspicion timers.
+    Sync,
+}
+
+impl fmt::Display for ConsensusMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusMsg::Prepare { value, view, .. } => write!(f, "prepare⟨{value},{view}⟩"),
+            ConsensusMsg::Update { step, value, view, quorum } => match quorum {
+                Some(q) => write!(f, "update{step}⟨{value},{view},{q}⟩"),
+                None => write!(f, "update{step}⟨{value},{view},∅⟩"),
+            },
+            ConsensusMsg::NewView { view, .. } => write!(f, "new_view⟨{view}⟩"),
+            ConsensusMsg::NewViewAck(a) => write!(f, "new_view_ack⟨{}⟩", a.body.view),
+            ConsensusMsg::SignReq { value, view, step } => {
+                write!(f, "sign_req⟨{value},{view},{step}⟩")
+            }
+            ConsensusMsg::SignAck(s) => write!(f, "sign_ack⟨{},{},{}⟩", s.value, s.view, s.step),
+            ConsensusMsg::ViewChange(v) => write!(f, "view_change⟨{}⟩", v.next_view),
+            ConsensusMsg::Decision { value } => write!(f, "decision⟨{value}⟩"),
+            ConsensusMsg::DecisionPull => write!(f, "decision_pull"),
+            ConsensusMsg::Sync => write!(f, "sync"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_crypto::{KeyRegistry, SignerId};
+
+    #[test]
+    fn encodings_distinguish_inputs() {
+        assert_ne!(encode_view_change(1), encode_view_change(2));
+        assert_ne!(encode_update(1, 5, 3), encode_update(2, 5, 3));
+        assert_ne!(encode_update(1, 5, 3), encode_update(1, 6, 3));
+        assert_ne!(encode_update(1, 5, 3), encode_update(1, 5, 4));
+    }
+
+    #[test]
+    fn ack_body_encoding_covers_fields() {
+        let mut a = NewViewAckBody {
+            view: 3,
+            ..Default::default()
+        };
+        let base = encode_new_view_ack(&a);
+        a.prep = Some(9);
+        let with_prep = encode_new_view_ack(&a);
+        assert_ne!(base, with_prep);
+        a.update[0] = Some(4);
+        a.update_view[0].insert(2);
+        let with_update = encode_new_view_ack(&a);
+        assert_ne!(with_prep, with_update);
+        a.update_q[0].entry(2).or_default().insert(QuorumId(1));
+        assert_ne!(with_update, encode_new_view_ack(&a));
+    }
+
+    #[test]
+    fn signed_view_change_roundtrip() {
+        let reg = KeyRegistry::new(3, 1);
+        let kp = reg.signer(SignerId(2));
+        let svc = SignedViewChange {
+            acceptor: ProcessId(2),
+            next_view: 7,
+            sig: kp.sign(&encode_view_change(7)),
+        };
+        assert!(reg.verify(SignerId(2), &encode_view_change(7), &svc.sig));
+        assert!(!reg.verify(SignerId(2), &encode_view_change(8), &svc.sig));
+    }
+
+    #[test]
+    fn display_compact() {
+        let m = ConsensusMsg::Update {
+            step: 2,
+            value: 5,
+            view: 1,
+            quorum: Some(QuorumId(3)),
+        };
+        assert_eq!(m.to_string(), "update2⟨5,1,Q3⟩");
+        assert_eq!(ConsensusMsg::Sync.to_string(), "sync");
+        assert_eq!(
+            ConsensusMsg::Decision { value: 4 }.to_string(),
+            "decision⟨4⟩"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # Refined quorum systems (RQS)
+//!
+//! A faithful, production-quality implementation of the quorum-system
+//! abstraction from:
+//!
+//! > Rachid Guerraoui and Marko Vukolić. *Refined Quorum Systems.*
+//! > PODC 2007; full version EPFL LPD-REPORT-2007-002.
+//!
+//! A refined quorum system of a set `S` is a set of three classes of
+//! subsets (quorums) of `S`: first-class quorums are also second-class
+//! quorums, themselves being third-class quorums. First-class quorums have
+//! large intersections with all other quorums; second-class quorums
+//! typically have smaller intersections with those of the third class; the
+//! latter correspond to traditional quorums. A distributed object
+//! implementation expedites an operation when a first-class quorum of
+//! correct processes is accessed, then degrades gracefully through the
+//! second and third classes.
+//!
+//! ## Modules
+//!
+//! - [`process`] — process ids and compact process sets;
+//! - [`adversary`] — general and threshold adversary structures
+//!   (Definition 1), basic/large subsets (Definition 5);
+//! - [`rqs`] — the RQS definition itself: quorum classes, Properties 1–3,
+//!   verification with violation witnesses (Definition 2);
+//! - [`threshold`] — the canonical threshold constructions of Examples
+//!   2–6 with their closed-form feasibility inequalities;
+//! - [`analysis`] — load, availability and class-assignment counting
+//!   (the §6 open questions);
+//! - [`classic`] — dissemination and masking quorum systems (Example 4)
+//!   with the Q3/Q4 existence conditions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rqs_core::{Adversary, ProcessSet, Rqs, QuorumClass};
+//! use rqs_core::threshold::ThresholdConfig;
+//!
+//! // The paper's "important instantiation": n = 3t+1 = 4 servers, one of
+//! // which may be Byzantine; all quorums class 2, the full set class 1.
+//! let rqs = ThresholdConfig::byzantine_fast(1).build()?;
+//! assert_eq!(rqs.class_of_set(ProcessSet::universe(4)), Some(QuorumClass::Class1));
+//!
+//! // Best-case storage latency when all servers are correct: 1 round.
+//! let class = rqs.best_available_class(ProcessSet::empty()).unwrap();
+//! assert_eq!(class.storage_rounds(), 1);
+//!
+//! // If one server fails, only class-2 quorums remain: 2 rounds.
+//! let class = rqs.best_available_class(ProcessSet::from_indices([0])).unwrap();
+//! assert_eq!(class.storage_rounds(), 2);
+//! # Ok::<(), rqs_core::RqsViolation>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod analysis;
+pub mod classic;
+pub mod process;
+pub mod rqs;
+pub mod threshold;
+
+pub use adversary::{Adversary, AdversaryError, FaultAssignment};
+pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
+pub use rqs::{QuorumClass, QuorumId, Rqs, RqsBuilder, RqsViolation, StructuralIssue};
+pub use threshold::ThresholdConfig;

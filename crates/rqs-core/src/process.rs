@@ -1,0 +1,545 @@
+//! Process identifiers and compact process sets.
+//!
+//! A refined quorum system is defined over a finite universe `S` of
+//! processes (the paper's servers/acceptors). We represent subsets of `S`
+//! as bitsets over up to [`MAX_PROCESSES`] processes, which is far beyond
+//! the sizes for which explicit quorum-system manipulation is tractable.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of processes in a universe.
+///
+/// [`ProcessSet`] packs membership into a `u128`, so process indices must
+/// be in `0..128`. Quorum-system enumeration is exponential in the universe
+/// size, so this bound is never the practical limit.
+pub const MAX_PROCESSES: usize = 128;
+
+/// Identifier of a process in the universe `S`.
+///
+/// Process ids are small dense indices (`0..n` for a universe of size `n`),
+/// mirroring the paper's `s_1 .. s_n` naming (our `ProcessId(0)` is the
+/// paper's `s_1`).
+///
+/// # Examples
+///
+/// ```
+/// use rqs_core::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "s4"); // 1-based display, like the paper
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Zero-based index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper numbers servers from 1 (`s1`, `s2`, ...).
+        write!(f, "s{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(value: usize) -> Self {
+        ProcessId(value)
+    }
+}
+
+/// A subset of the process universe, stored as a 128-bit bitset.
+///
+/// `ProcessSet` is the workhorse of the crate: quorums, adversary elements,
+/// intersections (`Q ∩ Q'`), unions (`B1 ∪ B2`) and differences
+/// (`Q2 ∩ Q \ B`) from the paper's Properties 1–3 are all `ProcessSet`
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use rqs_core::ProcessSet;
+/// let q = ProcessSet::from_indices([0, 1, 2]);
+/// let q2 = ProcessSet::from_indices([1, 2, 3]);
+/// assert_eq!(q.intersection(q2), ProcessSet::from_indices([1, 2]));
+/// assert_eq!(q.union(q2).len(), 4);
+/// assert!(q.intersection(q2).is_subset_of(q));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ProcessSet {
+    bits: u128,
+}
+
+impl ProcessSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        ProcessSet { bits: 0 }
+    }
+
+    /// The full universe `{0, .., n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES`.
+    #[inline]
+    pub fn universe(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "universe size {n} exceeds {MAX_PROCESSES}");
+        if n == MAX_PROCESSES {
+            ProcessSet { bits: u128::MAX }
+        } else {
+            ProcessSet {
+                bits: (1u128 << n) - 1,
+            }
+        }
+    }
+
+    /// A singleton set.
+    #[inline]
+    pub fn singleton(p: ProcessId) -> Self {
+        assert!(p.0 < MAX_PROCESSES, "process index {} out of range", p.0);
+        ProcessSet { bits: 1u128 << p.0 }
+    }
+
+    /// Builds a set from zero-based indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_PROCESSES`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = ProcessSet::empty();
+        for i in indices {
+            assert!(i < MAX_PROCESSES, "process index {i} out of range");
+            s.bits |= 1u128 << i;
+        }
+        s
+    }
+
+    /// Raw bit representation (bit `i` set iff process `i` is a member).
+    #[inline]
+    pub const fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// Builds a set directly from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u128) -> Self {
+        ProcessSet { bits }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// `true` iff the set has no members.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, p: ProcessId) -> bool {
+        p.0 < MAX_PROCESSES && (self.bits >> p.0) & 1 == 1
+    }
+
+    /// Adds a process (idempotent).
+    #[inline]
+    pub fn insert(&mut self, p: ProcessId) {
+        assert!(p.0 < MAX_PROCESSES, "process index {} out of range", p.0);
+        self.bits |= 1u128 << p.0;
+    }
+
+    /// Removes a process (idempotent).
+    #[inline]
+    pub fn remove(&mut self, p: ProcessId) {
+        if p.0 < MAX_PROCESSES {
+            self.bits &= !(1u128 << p.0);
+        }
+    }
+
+    /// Returns `self ∩ other`.
+    #[inline]
+    pub const fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Returns `self ∪ other`.
+    #[inline]
+    pub const fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Returns `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// The complement of `self` with respect to the universe `{0..n}`
+    /// (the paper writes this `X̄ = S \ X`).
+    #[inline]
+    pub fn complement(self, n: usize) -> ProcessSet {
+        ProcessSet::universe(n).difference(self)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: ProcessSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// `true` iff `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset_of(self, other: ProcessSet) -> bool {
+        other.bits & !self.bits == 0
+    }
+
+    /// `true` iff the two sets share no member.
+    #[inline]
+    pub const fn is_disjoint(self, other: ProcessSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// `true` iff `self` and `other` have at least one common member.
+    #[inline]
+    pub const fn intersects(self, other: ProcessSet) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.bits }
+    }
+
+    /// Smallest member, if any.
+    #[inline]
+    pub fn min(self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(ProcessId(self.bits.trailing_zeros() as usize))
+        }
+    }
+
+    /// Members collected into a vector (ascending).
+    pub fn to_vec(self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+
+    /// All subsets of `{0..n}` of exactly `k` elements, in lexicographic
+    /// (Gosper's-hack) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES` or `k > n`.
+    pub fn subsets_of_size(n: usize, k: usize) -> SubsetsOfSize {
+        assert!(n <= MAX_PROCESSES, "universe size {n} exceeds {MAX_PROCESSES}");
+        assert!(k <= n, "subset size {k} exceeds universe size {n}");
+        SubsetsOfSize {
+            n,
+            current: if k == 0 { None } else { Some((1u128 << k) - 1) },
+            emitted_empty: k != 0,
+        }
+    }
+
+    /// All subsets of `base` (including the empty set and `base` itself).
+    ///
+    /// The number of subsets is `2^|base|`; callers should keep `|base|`
+    /// small (≤ ~20).
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            base: self.bits,
+            current: Some(0),
+        }
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<T: IntoIterator<Item = ProcessId>>(iter: T) -> Self {
+        let mut s = ProcessSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl FromIterator<usize> for ProcessSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        ProcessSet::from_indices(iter)
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<T: IntoIterator<Item = ProcessId>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`], ascending.
+#[derive(Clone, Debug)]
+pub struct Iter {
+    bits: u128,
+}
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            None
+        } else {
+            let i = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(ProcessId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Iterator over all `k`-subsets of `{0..n}` (see
+/// [`ProcessSet::subsets_of_size`]).
+#[derive(Clone, Debug)]
+pub struct SubsetsOfSize {
+    n: usize,
+    current: Option<u128>,
+    emitted_empty: bool,
+}
+
+impl Iterator for SubsetsOfSize {
+    type Item = ProcessSet;
+
+    fn next(&mut self) -> Option<ProcessSet> {
+        if !self.emitted_empty {
+            // k == 0: the single empty subset.
+            self.emitted_empty = true;
+            return Some(ProcessSet::empty());
+        }
+        let v = self.current?;
+        let limit = if self.n == MAX_PROCESSES {
+            u128::MAX
+        } else {
+            (1u128 << self.n) - 1
+        };
+        if v & !limit != 0 {
+            self.current = None;
+            return None;
+        }
+        self.current = gosper_next(v);
+        Some(ProcessSet::from_bits(v))
+    }
+}
+
+/// Gosper's hack: smallest integer greater than `v` with the same popcount,
+/// or `None` if it would overflow `u128`.
+fn gosper_next(v: u128) -> Option<u128> {
+    let t = v | v.wrapping_sub(1);
+    if t == u128::MAX {
+        return None;
+    }
+    let shift = v.trailing_zeros() + 1;
+    let low = (!t & t.wrapping_add(1)).wrapping_sub(1);
+    let shifted = if shift >= 128 { 0 } else { low >> shift };
+    Some(t.wrapping_add(1) | shifted)
+}
+
+/// Iterator over all subsets of a base set (see [`ProcessSet::subsets`]).
+#[derive(Clone, Debug)]
+pub struct Subsets {
+    base: u128,
+    current: Option<u128>,
+}
+
+impl Iterator for Subsets {
+    type Item = ProcessSet;
+
+    fn next(&mut self) -> Option<ProcessSet> {
+        let cur = self.current?;
+        // Standard subset-enumeration trick: next = (cur - base) & base
+        // walks all submasks of `base` starting from 0.
+        let next = (cur.wrapping_sub(self.base)) & self.base;
+        self.current = if cur == self.base { None } else { Some(next) };
+        Some(ProcessSet::from_bits(cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_universe() {
+        assert!(ProcessSet::empty().is_empty());
+        assert_eq!(ProcessSet::universe(5).len(), 5);
+        assert_eq!(ProcessSet::universe(0), ProcessSet::empty());
+        assert_eq!(ProcessSet::universe(128).len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size")]
+    fn universe_too_big_panics() {
+        let _ = ProcessSet::universe(129);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::empty();
+        s.insert(ProcessId(3));
+        s.insert(ProcessId(3));
+        assert!(s.contains(ProcessId(3)));
+        assert_eq!(s.len(), 1);
+        s.remove(ProcessId(3));
+        assert!(!s.contains(ProcessId(3)));
+        assert!(s.is_empty());
+        // removing a non-member is a no-op
+        s.remove(ProcessId(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::from_indices([0, 1, 2, 3]);
+        let b = ProcessSet::from_indices([2, 3, 4, 5]);
+        assert_eq!(a.intersection(b), ProcessSet::from_indices([2, 3]));
+        assert_eq!(a.union(b), ProcessSet::from_indices([0, 1, 2, 3, 4, 5]));
+        assert_eq!(a.difference(b), ProcessSet::from_indices([0, 1]));
+        assert!(a.intersects(b));
+        assert!(!a.is_disjoint(b));
+        assert!(ProcessSet::from_indices([2, 3]).is_subset_of(a));
+        assert!(a.is_superset_of(ProcessSet::from_indices([0])));
+    }
+
+    #[test]
+    fn complement_wrt_universe() {
+        let a = ProcessSet::from_indices([0, 2]);
+        assert_eq!(a.complement(4), ProcessSet::from_indices([1, 3]));
+        assert_eq!(a.complement(4).complement(4), a);
+    }
+
+    #[test]
+    fn iteration_order_ascending() {
+        let s = ProcessSet::from_indices([5, 1, 9]);
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.min(), Some(ProcessId(1)));
+        assert_eq!(ProcessSet::empty().min(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_numbering() {
+        let s = ProcessSet::from_indices([0, 2]);
+        assert_eq!(s.to_string(), "{s1,s3}");
+        assert_eq!(ProcessSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        // C(5, k) for k = 0..=5
+        let expect = [1usize, 5, 10, 10, 5, 1];
+        for (k, &e) in expect.iter().enumerate() {
+            let got = ProcessSet::subsets_of_size(5, k).count();
+            assert_eq!(got, e, "C(5,{k})");
+        }
+        for s in ProcessSet::subsets_of_size(6, 3) {
+            assert_eq!(s.len(), 3);
+            assert!(s.is_subset_of(ProcessSet::universe(6)));
+        }
+    }
+
+    #[test]
+    fn subsets_of_size_full_range() {
+        // no overflow at the top of the range
+        let got = ProcessSet::subsets_of_size(10, 10).count();
+        assert_eq!(got, 1);
+        let got = ProcessSet::subsets_of_size(1, 1).collect::<Vec<_>>();
+        assert_eq!(got, vec![ProcessSet::from_indices([0])]);
+    }
+
+    #[test]
+    fn all_subsets_of_base() {
+        let base = ProcessSet::from_indices([1, 4, 7]);
+        let subs: Vec<ProcessSet> = base.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&ProcessSet::empty()));
+        assert!(subs.contains(&base));
+        for s in &subs {
+            assert!(s.is_subset_of(base));
+        }
+        // all distinct
+        let mut sorted = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn from_iterators() {
+        let s: ProcessSet = [ProcessId(1), ProcessId(2)].into_iter().collect();
+        assert_eq!(s, ProcessSet::from_indices([1, 2]));
+        let s2: ProcessSet = [3usize, 4].into_iter().collect();
+        assert_eq!(s2, ProcessSet::from_indices([3, 4]));
+        let mut s3 = ProcessSet::empty();
+        s3.extend([ProcessId(0)]);
+        assert!(s3.contains(ProcessId(0)));
+    }
+
+    #[test]
+    fn into_iterator_for_loop() {
+        let s = ProcessSet::from_indices([2, 4]);
+        let mut total = 0;
+        for p in s {
+            total += p.index();
+        }
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! # Simulated digital signatures
+//!
+//! The consensus algorithm of *Refined Quorum Systems* authenticates
+//! messages on its view-change path (`⟨m⟩_σx`), while deliberately avoiding
+//! signatures in best-case executions. The only property the proofs use is
+//! **unforgeability**: if a Byzantine process sends `⟨m⟩_σp` for a benign
+//! `p`, then `p` already sent `⟨m⟩_σp`.
+//!
+//! This crate provides that property *inside the simulation* without a
+//! cryptography dependency (documented substitution in `DESIGN.md`): each
+//! signer holds a secret key, signatures are a keyed 64-bit FNV-1a MAC over
+//! the message bytes, and verifiers check via a [`KeyRegistry`] that knows
+//! every public verification key. Simulated Byzantine processes are simply
+//! never given other processes' secrets, so they cannot produce valid tags
+//! except by the (2⁻⁶⁴-ish) accident we ignore exactly as real systems
+//! ignore MAC forgeries.
+//!
+//! ```
+//! use rqs_crypto::{KeyRegistry, SignerId};
+//!
+//! let registry = KeyRegistry::new(3, 42);
+//! let keypair = registry.signer(SignerId(1));
+//! let sig = keypair.sign(b"update1:v=7,view=3");
+//! assert!(registry.verify(SignerId(1), b"update1:v=7,view=3", &sig));
+//! assert!(!registry.verify(SignerId(1), b"update1:v=8,view=3", &sig));
+//! assert!(!registry.verify(SignerId(2), b"update1:v=7,view=3", &sig));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Identity of a signer (conventionally the node id of an acceptor).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignerId(pub usize);
+
+impl fmt::Display for SignerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// A signature tag over a message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    tag: u64,
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig:{:016x}", self.tag)
+    }
+}
+
+/// A signing key held by one process.
+///
+/// Obtained from [`KeyRegistry::signer`]; a correct simulation hands each
+/// process only its own `Keypair`.
+#[derive(Clone, Copy, Debug)]
+pub struct Keypair {
+    id: SignerId,
+    secret: u64,
+}
+
+impl Keypair {
+    /// The signer's identity.
+    pub fn id(&self) -> SignerId {
+        self.id
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature {
+            tag: keyed_fnv(self.secret, message),
+        }
+    }
+}
+
+/// Trusted key directory shared by all verifiers.
+///
+/// Keys are derived deterministically from a seed, so the registry is
+/// cheap to clone into every node.
+#[derive(Clone, Debug)]
+pub struct KeyRegistry {
+    seed: u64,
+    signers: usize,
+}
+
+impl KeyRegistry {
+    /// Creates a registry for `signers` processes from a seed.
+    pub fn new(signers: usize, seed: u64) -> Self {
+        KeyRegistry { seed, signers }
+    }
+
+    /// Number of registered signers.
+    pub fn len(&self) -> usize {
+        self.signers
+    }
+
+    /// `true` iff the registry has no signers.
+    pub fn is_empty(&self) -> bool {
+        self.signers == 0
+    }
+
+    /// The keypair of `id` — only the process with identity `id` should be
+    /// handed this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not registered.
+    pub fn signer(&self, id: SignerId) -> Keypair {
+        assert!(id.0 < self.signers, "unknown signer {id}");
+        Keypair {
+            id,
+            secret: self.secret_of(id),
+        }
+    }
+
+    /// Verifies that `sig` is `id`'s signature over `message`.
+    ///
+    /// Returns `false` for unknown signers rather than panicking, since
+    /// Byzantine senders may claim arbitrary identities.
+    pub fn verify(&self, id: SignerId, message: &[u8], sig: &Signature) -> bool {
+        if id.0 >= self.signers {
+            return false;
+        }
+        keyed_fnv(self.secret_of(id), message) == sig.tag
+    }
+
+    fn secret_of(&self, id: SignerId) -> u64 {
+        // splitmix64 over (seed, id) — deterministic per-signer secret.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_add((id.0 as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Keyed 64-bit FNV-1a.
+fn keyed_fnv(key: u64, message: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325 ^ key;
+    for chunk in key.to_le_bytes().iter().chain(message.iter()) {
+        hash ^= u64::from(*chunk);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    // Finalize with the key again so prefix extension cannot preserve tags.
+    hash ^= key.rotate_left(32);
+    hash = hash.wrapping_mul(0x100000001b3);
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let reg = KeyRegistry::new(4, 7);
+        for i in 0..4 {
+            let kp = reg.signer(SignerId(i));
+            let sig = kp.sign(b"message");
+            assert!(reg.verify(SignerId(i), b"message", &sig));
+            assert_eq!(kp.id(), SignerId(i));
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let reg = KeyRegistry::new(2, 7);
+        let sig = reg.signer(SignerId(0)).sign(b"a");
+        assert!(!reg.verify(SignerId(0), b"b", &sig));
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let reg = KeyRegistry::new(2, 7);
+        let sig = reg.signer(SignerId(0)).sign(b"a");
+        assert!(!reg.verify(SignerId(1), b"a", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_rejected_without_panic() {
+        let reg = KeyRegistry::new(2, 7);
+        let sig = reg.signer(SignerId(0)).sign(b"a");
+        assert!(!reg.verify(SignerId(99), b"a", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown signer")]
+    fn signer_out_of_range_panics() {
+        let reg = KeyRegistry::new(2, 7);
+        let _ = reg.signer(SignerId(5));
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = KeyRegistry::new(1, 1).signer(SignerId(0)).sign(b"m");
+        let b = KeyRegistry::new(1, 2).signer(SignerId(0)).sign(b"m");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let reg = KeyRegistry::new(3, 9);
+        let reg2 = reg.clone();
+        let sig = reg.signer(SignerId(2)).sign(b"x");
+        assert!(reg2.verify(SignerId(2), b"x", &sig));
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let reg = KeyRegistry::new(1, 0);
+        let sig = reg.signer(SignerId(0)).sign(b"m");
+        assert!(sig.to_string().starts_with("sig:"));
+        assert_eq!(SignerId(3).to_string(), "σ3");
+    }
+}

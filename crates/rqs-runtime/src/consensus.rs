@@ -1,0 +1,110 @@
+//! Threaded deployment of the RQS consensus.
+
+use crate::runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
+use rqs_consensus::{
+    Acceptor, ConsensusConfig, ConsensusMsg, Learner, ProposalValue, Proposer,
+};
+use rqs_core::{ProcessId, Rqs};
+use rqs_crypto::{KeyRegistry, SignerId};
+use rqs_sim::NodeId;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A consensus deployment over real threads and channels.
+pub struct RtConsensus {
+    rt: Runtime<ConsensusMsg>,
+    cfg: ConsensusConfig,
+    op_timeout: Duration,
+}
+
+impl RtConsensus {
+    /// Deploys acceptors, proposers and learners with the default tick.
+    pub fn new(rqs: Rqs, proposers: usize, learners: usize) -> Self {
+        Self::with_tick(rqs, proposers, learners, DEFAULT_TICK)
+    }
+
+    /// Deploys with an explicit tick length.
+    pub fn with_tick(rqs: Rqs, proposers: usize, learners: usize, tick: Duration) -> Self {
+        let n = rqs.universe_size();
+        let rqs = Arc::new(rqs);
+        let registry = KeyRegistry::new(n, 0xFEED);
+        let cfg = ConsensusConfig {
+            rqs,
+            registry: registry.clone(),
+            acceptors: (0..n).map(NodeId).collect(),
+            proposers: (n..n + proposers).map(NodeId).collect(),
+            learners: (n + proposers..n + proposers + learners).map(NodeId).collect(),
+        };
+        let mut builder = RuntimeBuilder::new().tick(tick);
+        for i in 0..n {
+            builder = builder.node(Box::new(Acceptor::new(
+                cfg.clone(),
+                ProcessId(i),
+                registry.signer(SignerId(i)),
+            )));
+        }
+        for i in 0..proposers {
+            let me = cfg.proposers[i];
+            builder = builder.node(Box::new(Proposer::new(cfg.clone(), me)));
+        }
+        for _ in 0..learners {
+            builder = builder.node(Box::new(Learner::new(cfg.clone())));
+        }
+        RtConsensus {
+            rt: builder.start(),
+            cfg,
+            op_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Proposer `i` proposes `value`; returns the wall-clock latency until
+    /// **all** learners learned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if learning does not complete within 30 s.
+    pub fn propose_and_learn(&self, i: usize, value: ProposalValue) -> Duration {
+        let start = Instant::now();
+        self.rt
+            .invoke::<Proposer>(self.cfg.proposers[i], move |p, ctx| p.propose(value, ctx));
+        for &l in &self.cfg.learners {
+            let ok = self.rt.wait_for::<Learner>(
+                l,
+                |lr| lr.learned().is_some(),
+                self.op_timeout,
+            );
+            assert!(ok, "learner did not learn");
+        }
+        start.elapsed()
+    }
+
+    /// Learned value of learner `i`.
+    pub fn learned(&self, i: usize) -> Option<ProposalValue> {
+        self.rt
+            .inspect::<Learner, Option<ProposalValue>>(self.cfg.learners[i], |l| {
+                l.learned().map(|(v, _)| v)
+            })
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(&mut self) {
+        self.rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+
+    #[test]
+    fn threaded_consensus_learns() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut c = RtConsensus::new(rqs, 2, 2);
+        let wall = c.propose_and_learn(0, 42);
+        assert_eq!(c.learned(0), Some(42));
+        assert_eq!(c.learned(1), Some(42));
+        assert!(wall < Duration::from_secs(5));
+        c.shutdown();
+    }
+}

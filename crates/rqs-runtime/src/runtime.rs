@@ -1,0 +1,471 @@
+//! A threaded, real-time execution environment for the same automatons
+//! that run in the deterministic simulator.
+//!
+//! Every node runs on its own OS thread with a crossbeam channel inbox;
+//! messages travel between threads, and protocol timers (in simulated
+//! ticks) are mapped to wall-clock durations by a configurable tick
+//! length. This is the deployment used by the wall-clock benchmarks
+//! (experiment E11): same protocol code, real channels and real time.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default wall-clock length of one protocol tick (`Δ`).
+pub const DEFAULT_TICK: Duration = Duration::from_millis(2);
+
+enum Event<M> {
+    Msg {
+        from: NodeId,
+        msg: M,
+    },
+    Timer(TimerToken),
+    #[allow(clippy::type_complexity)]
+    Call(Box<dyn FnOnce(&mut dyn Automaton<M>, &mut Context<M>) + Send>),
+    Shutdown,
+}
+
+struct TimerReq {
+    due: Instant,
+    node: usize,
+    token: TimerToken,
+}
+
+impl PartialEq for TimerReq {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for TimerReq {}
+impl PartialOrd for TimerReq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerReq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: earliest due first in the max-heap.
+        other.due.cmp(&self.due)
+    }
+}
+
+struct TimerWheel {
+    heap: Mutex<BinaryHeap<TimerReq>>,
+    cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// A running threaded deployment.
+///
+/// Build with [`RuntimeBuilder`]; interact through [`Runtime::send`],
+/// [`Runtime::invoke`] and [`Runtime::inspect`]; shut down with
+/// [`Runtime::shutdown`] (also runs on drop).
+pub struct Runtime<M: Send + 'static> {
+    senders: Vec<Sender<Event<M>>>,
+    handles: Vec<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+    wheel: Arc<TimerWheel>,
+    started: Instant,
+    tick: Duration,
+}
+
+/// Builder collecting the node automatons.
+pub struct RuntimeBuilder<M: Send + 'static> {
+    nodes: Vec<Box<dyn Automaton<M> + Send>>,
+    tick: Duration,
+}
+
+impl<M: Send + Clone + 'static> Default for RuntimeBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
+    /// Empty builder with the default tick.
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            nodes: Vec::new(),
+            tick: DEFAULT_TICK,
+        }
+    }
+
+    /// Overrides the wall-clock duration of one protocol tick.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Adds a node; ids are assigned densely from 0 (matching the
+    /// simulator convention).
+    pub fn node(mut self, node: Box<dyn Automaton<M> + Send>) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Spawns all node threads and the timer wheel.
+    pub fn start(self) -> Runtime<M> {
+        let started = Instant::now();
+        let tick = self.tick;
+        let n = self.nodes.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Event<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let wheel = Arc::new(TimerWheel {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+
+        // Timer thread: fires due timers into node inboxes.
+        let timer_thread = {
+            let wheel = wheel.clone();
+            let senders = senders.clone();
+            std::thread::spawn(move || loop {
+                let mut fire: Vec<(usize, TimerToken)> = Vec::new();
+                {
+                    let mut heap = wheel.heap.lock();
+                    loop {
+                        if *wheel.shutdown.lock() {
+                            return;
+                        }
+                        let now = Instant::now();
+                        match heap.peek() {
+                            Some(req) if req.due <= now => {
+                                let req = heap.pop().expect("peeked");
+                                fire.push((req.node, req.token));
+                            }
+                            Some(req) => {
+                                let due = req.due;
+                                wheel.cv.wait_until(&mut heap, due);
+                            }
+                            None => {
+                                wheel.cv.wait_for(&mut heap, Duration::from_millis(50));
+                            }
+                        }
+                        if !fire.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                for (node, token) in fire {
+                    let _ = senders[node].send(Event::Timer(token));
+                }
+            })
+        };
+
+        // Node threads.
+        let mut handles = Vec::with_capacity(n);
+        for (i, (mut node, rx)) in self.nodes.into_iter().zip(receivers).enumerate() {
+            let senders = senders.clone();
+            let wheel = wheel.clone();
+            let handle = std::thread::spawn(move || {
+                let me = NodeId(i);
+                let mut timer_counter: u64 = (i as u64) << 32;
+                let mut cancelled: Vec<TimerToken> = Vec::new();
+                // Start hook, mirroring World::start.
+                {
+                    let mut ctx: Context<M> = Context::new(me, Time(0), timer_counter);
+                    node.on_start(&mut ctx);
+                    timer_counter = drain_context(
+                        ctx,
+                        me,
+                        &senders,
+                        &wheel,
+                        &mut cancelled,
+                        started,
+                        tick,
+                    );
+                }
+                for event in rx.iter() {
+                    let now_ticks = started_ticks(started, tick);
+                    let mut ctx: Context<M> = Context::new(me, Time(now_ticks), timer_counter);
+                    match event {
+                        Event::Shutdown => return,
+                        Event::Msg { from, msg } => node.on_message(from, msg, &mut ctx),
+                        Event::Timer(token) => {
+                            if let Some(pos) = cancelled.iter().position(|&t| t == token) {
+                                cancelled.swap_remove(pos);
+                            } else {
+                                node.on_timer(token, &mut ctx);
+                            }
+                        }
+                        Event::Call(f) => f(node.as_mut(), &mut ctx),
+                    }
+                    timer_counter = drain_context(
+                        ctx,
+                        me,
+                        &senders,
+                        &wheel,
+                        &mut cancelled,
+                        started,
+                        tick,
+                    );
+                }
+            });
+            handles.push(handle);
+        }
+
+        Runtime {
+            senders,
+            handles,
+            timer_thread: Some(timer_thread),
+            wheel,
+            started,
+            tick,
+        }
+    }
+}
+
+fn started_ticks(started: Instant, tick: Duration) -> u64 {
+    (started.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64
+}
+
+fn drain_context<M: Send + Clone + 'static>(
+    ctx: Context<M>,
+    me: NodeId,
+    senders: &[Sender<Event<M>>],
+    wheel: &TimerWheel,
+    cancelled: &mut Vec<TimerToken>,
+    _started: Instant,
+    tick: Duration,
+) -> u64 {
+    let counter = ctx.timer_counter_snapshot();
+    let (outbox, timers, newly_cancelled) = ctx.into_outputs();
+    for (to, msg) in outbox {
+        if let Some(tx) = senders.get(to.0) {
+            let _ = tx.send(Event::Msg { from: me, msg });
+        }
+    }
+    if !timers.is_empty() {
+        let mut heap = wheel.heap.lock();
+        for (delay, token) in timers {
+            heap.push(TimerReq {
+                due: Instant::now() + tick * (delay as u32),
+                node: me.0,
+                token,
+            });
+        }
+        wheel.cv.notify_one();
+    }
+    cancelled.extend(newly_cancelled);
+    counter
+}
+
+impl<M: Send + Clone + 'static> Runtime<M> {
+    /// Injects a message into `to`'s inbox, attributed to `from`.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        let _ = self.senders[to.0].send(Event::Msg { from, msg });
+    }
+
+    /// Runs a closure on the node's automaton (typed), on its own thread.
+    /// Does not wait for completion.
+    pub fn invoke<T: 'static>(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<M>) + Send + 'static,
+    ) {
+        let _ = self.senders[id.0].send(Event::Call(Box::new(move |node, ctx| {
+            let concrete = node
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(concrete, ctx);
+        })));
+    }
+
+    /// Runs a closure on the node's automaton and returns its result,
+    /// blocking until the node processes the request.
+    pub fn inspect<T: 'static, R: Send + 'static>(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&T) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let _ = self.senders[id.0].send(Event::Call(Box::new(move |node, _ctx| {
+            let concrete = node
+                .as_any()
+                .downcast_ref::<T>()
+                .expect("node type mismatch");
+            let _ = tx.send(f(concrete));
+        })));
+        rx.recv().expect("node thread alive")
+    }
+
+    /// Blocks until `pred` over the node holds (polling), or the timeout
+    /// elapses; returns whether it held.
+    pub fn wait_for<T: 'static>(
+        &self,
+        id: NodeId,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
+        timeout: Duration,
+    ) -> bool {
+        let pred = Arc::new(pred);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let p = pred.clone();
+            if self.inspect::<T, bool>(id, move |t| p(t)) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(self.tick / 4 + Duration::from_micros(100));
+        }
+    }
+
+    /// Elapsed wall-clock since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The tick length in use.
+    pub fn tick_len(&self) -> Duration {
+        self.tick
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(&mut self) {
+        *self.wheel.shutdown.lock() = true;
+        self.wheel.cv.notify_one();
+        for tx in &self.senders {
+            let _ = tx.send(Event::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for Runtime<M> {
+    fn drop(&mut self) {
+        *self.wheel.shutdown.lock() = true;
+        self.wheel.cv.notify_one();
+        for tx in &self.senders {
+            let _ = tx.send(Event::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Default)]
+    struct Echo {
+        got: Vec<u32>,
+    }
+
+    impl Automaton<u32> for Echo {
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.got.push(msg);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let mut rt = RuntimeBuilder::new()
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.send(NodeId(0), NodeId(1), 4);
+        let done = rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| e.got.iter().sum::<u32>() >= (4 + 2),
+            Duration::from_secs(5),
+        );
+        assert!(done, "ping-pong should converge");
+        let got0 = rt.inspect::<Echo, Vec<u32>>(NodeId(0), |e| e.got.clone());
+        assert_eq!(got0, vec![3, 1]);
+        rt.shutdown();
+    }
+
+    #[derive(Default)]
+    struct TimerUser {
+        fired: usize,
+    }
+
+    impl Automaton<u32> for TimerUser {
+        fn on_message(&mut self, _f: NodeId, _m: u32, ctx: &mut Context<u32>) {
+            ctx.set_timer(2);
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut Context<u32>) {
+            self.fired += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_real_time() {
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .node(Box::new(TimerUser::default()))
+            .start();
+        rt.send(NodeId(0), NodeId(0), 0);
+        let ok = rt.wait_for::<TimerUser>(
+            NodeId(0),
+            |t: &TimerUser| t.fired >= 1,
+            Duration::from_secs(5),
+        );
+        assert!(ok);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn invoke_runs_on_node_thread() {
+        let mut rt = RuntimeBuilder::new()
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.invoke::<Echo>(NodeId(0), |_e, ctx| ctx.send(NodeId(1), 0));
+        let ok = rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_secs(5),
+        );
+        assert!(ok);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut rt: Runtime<u32> = RuntimeBuilder::new()
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+}

@@ -1,0 +1,144 @@
+//! Threaded deployment of the RQS atomic storage.
+
+use crate::runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
+use rqs_core::Rqs;
+use rqs_sim::NodeId;
+use rqs_storage::reader::Reader;
+use rqs_storage::writer::Writer;
+use rqs_storage::{ReadOutcome, Server, StorageMsg, Value, WriteOutcome};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A storage deployment over real threads and channels.
+///
+/// Same automatons as the simulator harness, real wall-clock latency.
+pub struct RtStorage {
+    rt: Runtime<StorageMsg>,
+    writer: NodeId,
+    readers: Vec<NodeId>,
+    op_timeout: Duration,
+}
+
+impl RtStorage {
+    /// Deploys servers, one writer and `readers` reader clients over the
+    /// given refined quorum system, with the default tick.
+    pub fn new(rqs: Rqs, readers: usize) -> Self {
+        Self::with_tick(rqs, readers, DEFAULT_TICK)
+    }
+
+    /// Deploys with an explicit tick length.
+    pub fn with_tick(rqs: Rqs, readers: usize, tick: Duration) -> Self {
+        let rqs = Arc::new(rqs);
+        let n = rqs.universe_size();
+        let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut builder = RuntimeBuilder::new().tick(tick);
+        for _ in 0..n {
+            builder = builder.node(Box::new(Server::new()));
+        }
+        builder = builder.node(Box::new(Writer::new(rqs.clone(), server_ids.clone())));
+        for _ in 0..readers {
+            builder = builder.node(Box::new(Reader::new(rqs.clone(), server_ids.clone())));
+        }
+        let rt = builder.start();
+        RtStorage {
+            rt,
+            writer: NodeId(n),
+            readers: (n + 1..n + 1 + readers).map(NodeId).collect(),
+            op_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Performs a complete write and returns `(outcome, wall_latency)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write does not complete within 30 s.
+    pub fn write(&self, v: Value) -> (WriteOutcome, Duration) {
+        let before = self
+            .rt
+            .inspect::<Writer, usize>(self.writer, |w| w.outcomes().len());
+        let start = Instant::now();
+        self.rt
+            .invoke::<Writer>(self.writer, move |w, ctx| w.start_write(v, ctx));
+        let target = before + 1;
+        let ok = self.rt.wait_for::<Writer>(
+            self.writer,
+            move |w| w.outcomes().len() >= target,
+            self.op_timeout,
+        );
+        assert!(ok, "write did not complete");
+        let wall = start.elapsed();
+        let out =
+            self.rt
+                .inspect::<Writer, WriteOutcome>(self.writer, move |w| {
+                    w.outcomes()[target - 1].clone()
+                });
+        (out, wall)
+    }
+
+    /// Performs a complete read by reader `i`; returns
+    /// `(outcome, wall_latency)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read does not complete within 30 s.
+    pub fn read(&self, i: usize) -> (ReadOutcome, Duration) {
+        let node = self.readers[i];
+        let before = self
+            .rt
+            .inspect::<Reader, usize>(node, |r| r.outcomes().len());
+        let start = Instant::now();
+        self.rt.invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
+        let target = before + 1;
+        let ok = self.rt.wait_for::<Reader>(
+            node,
+            move |r| r.outcomes().len() >= target,
+            self.op_timeout,
+        );
+        assert!(ok, "read did not complete");
+        let wall = start.elapsed();
+        let out = self
+            .rt
+            .inspect::<Reader, ReadOutcome>(node, move |r| r.outcomes()[target - 1].clone());
+        (out, wall)
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(&mut self) {
+        self.rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+
+    #[test]
+    fn threaded_write_read_roundtrip() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut st = RtStorage::new(rqs, 1);
+        let (w, w_wall) = st.write(7u64.into());
+        assert_eq!(w.rounds, 1, "all servers alive: fast path");
+        let (r, r_wall) = st.read(0);
+        assert_eq!(r.returned.val, 7u64.into());
+        assert_eq!(r.rounds, 1);
+        assert!(w_wall < Duration::from_secs(5));
+        assert!(r_wall < Duration::from_secs(5));
+        st.shutdown();
+    }
+
+    #[test]
+    fn threaded_sequence_of_operations() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut st = RtStorage::new(rqs, 2);
+        for v in 1..=3u64 {
+            st.write(v.into());
+            let (r0, _) = st.read(0);
+            let (r1, _) = st.read(1);
+            assert_eq!(r0.returned.val, v.into());
+            assert_eq!(r1.returned.val, v.into());
+        }
+        st.shutdown();
+    }
+}

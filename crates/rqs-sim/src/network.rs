@@ -1,0 +1,346 @@
+//! Network modelling: delivery fates, scripted schedules, synchrony.
+//!
+//! The paper's executions are defined by *when* (and whether) each message
+//! is delivered. The simulator routes every sent message through a
+//! [`FatePolicy`], which decides its [`Fate`]:
+//!
+//! - `Deliver { delay }` — arrives after `delay` ticks (synchrony means
+//!   `delay ≤ Δ`);
+//! - `DeliverAt(t)` — arrives at an absolute time (used for "remains in
+//!   transit until after round K" constructions);
+//! - `Hold(tag)` — parked until the harness releases the tag (used for
+//!   "delayed until some condition" constructions);
+//! - `Drop` — never delivered (lossy channels of the consensus model, or
+//!   messages a crashing process never sent).
+//!
+//! [`NetworkScript`] is a declarative rule list covering the schedules of
+//! Figures 1, 4, 8 and 16; fully-custom policies can be provided as
+//! closures.
+
+use crate::node::NodeId;
+use crate::time::Time;
+
+/// A message in flight, as seen by fate policies.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+    /// Time the send substep executed.
+    pub sent_at: Time,
+}
+
+/// The routing decision for one message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fate {
+    /// Deliver after a relative delay (in ticks).
+    Deliver {
+        /// Ticks from the send time to the receive time; `0` is normalized
+        /// to `1` (a message cannot arrive in the sending step).
+        delay: u64,
+    },
+    /// Deliver at an absolute time (clamped to be after the send).
+    DeliverAt(Time),
+    /// Park until [`World::release`](crate::World::release) is called with
+    /// the same tag, then deliver with the default delay.
+    Hold(u32),
+    /// Never deliver.
+    Drop,
+}
+
+impl Fate {
+    /// Deliver with the default synchronous delay (`Δ = 1`).
+    pub const DEFAULT: Fate = Fate::Deliver { delay: 1 };
+}
+
+/// Decides the fate of every message. Implemented by [`NetworkScript`] and
+/// by arbitrary closures.
+pub trait FatePolicy<M> {
+    /// Routing decision for `env` sent at time `env.sent_at`.
+    fn fate(&mut self, env: &Envelope<M>) -> Fate;
+}
+
+impl<M, F> FatePolicy<M> for F
+where
+    F: FnMut(&Envelope<M>) -> Fate,
+{
+    fn fate(&mut self, env: &Envelope<M>) -> Fate {
+        self(env)
+    }
+}
+
+/// Matches a set of nodes in a [`Rule`].
+#[derive(Clone, Debug, Default)]
+pub enum Selector {
+    /// Matches every node.
+    #[default]
+    Any,
+    /// Matches exactly one node.
+    Is(NodeId),
+    /// Matches any node in the list.
+    In(Vec<NodeId>),
+    /// Matches any node *not* in the list.
+    NotIn(Vec<NodeId>),
+}
+
+impl Selector {
+    /// Does this selector match `node`?
+    pub fn matches(&self, node: NodeId) -> bool {
+        match self {
+            Selector::Any => true,
+            Selector::Is(n) => *n == node,
+            Selector::In(v) => v.contains(&node),
+            Selector::NotIn(v) => !v.contains(&node),
+        }
+    }
+}
+
+/// One scripted delivery rule: the first matching rule decides a message's
+/// fate.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Sender filter.
+    pub from: Selector,
+    /// Receiver filter.
+    pub to: Selector,
+    /// Send-time window `[start, end)`; `end = None` means forever.
+    pub window: (Time, Option<Time>),
+    /// Fate applied when the rule matches.
+    pub fate: Fate,
+}
+
+impl Rule {
+    /// A rule matching all messages forever with the given fate.
+    pub fn always(fate: Fate) -> Self {
+        Rule {
+            from: Selector::Any,
+            to: Selector::Any,
+            window: (Time::ZERO, None),
+            fate,
+        }
+    }
+
+    /// Restricts the sender.
+    pub fn from(mut self, sel: Selector) -> Self {
+        self.from = sel;
+        self
+    }
+
+    /// Restricts the receiver.
+    pub fn to(mut self, sel: Selector) -> Self {
+        self.to = sel;
+        self
+    }
+
+    /// Restricts the send-time window to `[start, end)`.
+    pub fn between(mut self, start: Time, end: Time) -> Self {
+        self.window = (start, Some(end));
+        self
+    }
+
+    /// Restricts the send-time window to `[start, ∞)`.
+    pub fn starting(mut self, start: Time) -> Self {
+        self.window = (start, None);
+        self
+    }
+
+    fn matches<M>(&self, env: &Envelope<M>) -> bool {
+        let (start, end) = self.window;
+        env.sent_at >= start
+            && end.is_none_or(|e| env.sent_at < e)
+            && self.from.matches(env.from)
+            && self.to.matches(env.to)
+    }
+}
+
+/// Ordered rule list with a default fate; the declarative fate policy used
+/// by the figure reproductions.
+///
+/// # Examples
+///
+/// Drop everything from node 0 to nodes 3 and 4 from time 10 on, deliver
+/// the rest synchronously:
+///
+/// ```
+/// use rqs_sim::{NetworkScript, Rule, Fate, Selector, NodeId, Time};
+/// let script = NetworkScript::synchronous()
+///     .rule(
+///         Rule::always(Fate::Drop)
+///             .from(Selector::Is(NodeId(0)))
+///             .to(Selector::In(vec![NodeId(3), NodeId(4)]))
+///             .starting(Time(10)),
+///     );
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkScript {
+    rules: Vec<Rule>,
+    default: Fate,
+}
+
+impl NetworkScript {
+    /// All messages delivered with delay 1 (a fully synchronous network
+    /// with `Δ = 1`).
+    pub fn synchronous() -> Self {
+        NetworkScript {
+            rules: Vec::new(),
+            default: Fate::DEFAULT,
+        }
+    }
+
+    /// All messages delivered with a fixed delay.
+    pub fn with_delay(delay: u64) -> Self {
+        NetworkScript {
+            rules: Vec::new(),
+            default: Fate::Deliver { delay },
+        }
+    }
+
+    /// Appends a rule (earlier rules win).
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Changes the default fate for unmatched messages.
+    pub fn default_fate(mut self, fate: Fate) -> Self {
+        self.default = fate;
+        self
+    }
+
+    /// Convenience: drop every message sent by `node` from time `t` on —
+    /// the observable effect of a crash at `t` (the node also stops
+    /// processing; pair with [`World::crash_at`](crate::World::crash_at)).
+    pub fn silence_from(self, node: NodeId, t: Time) -> Self {
+        self.rule(
+            Rule::always(Fate::Drop)
+                .from(Selector::Is(node))
+                .starting(t),
+        )
+    }
+
+    /// Convenience: partition `group_a` from `group_b` during
+    /// `[start, end)` (messages in both directions dropped).
+    pub fn partition(
+        self,
+        group_a: Vec<NodeId>,
+        group_b: Vec<NodeId>,
+        start: Time,
+        end: Option<Time>,
+    ) -> Self {
+        let mk = |from: Vec<NodeId>, to: Vec<NodeId>| {
+            let mut r = Rule::always(Fate::Drop)
+                .from(Selector::In(from))
+                .to(Selector::In(to));
+            r.window = (start, end);
+            r
+        };
+        self.rule(mk(group_a.clone(), group_b.clone()))
+            .rule(mk(group_b, group_a))
+    }
+}
+
+impl<M> FatePolicy<M> for NetworkScript {
+    fn fate(&mut self, env: &Envelope<M>) -> Fate {
+        for rule in &self.rules {
+            if rule.matches(env) {
+                return rule.fate;
+            }
+        }
+        self.default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: usize, to: usize, at: u64) -> Envelope<u8> {
+        Envelope {
+            from: NodeId(from),
+            to: NodeId(to),
+            msg: 0,
+            sent_at: Time(at),
+        }
+    }
+
+    #[test]
+    fn selector_matching() {
+        assert!(Selector::Any.matches(NodeId(3)));
+        assert!(Selector::Is(NodeId(3)).matches(NodeId(3)));
+        assert!(!Selector::Is(NodeId(3)).matches(NodeId(4)));
+        assert!(Selector::In(vec![NodeId(1), NodeId(2)]).matches(NodeId(2)));
+        assert!(!Selector::In(vec![NodeId(1)]).matches(NodeId(2)));
+        assert!(Selector::NotIn(vec![NodeId(1)]).matches(NodeId(2)));
+        assert!(!Selector::NotIn(vec![NodeId(2)]).matches(NodeId(2)));
+    }
+
+    #[test]
+    fn default_synchronous() {
+        let mut s = NetworkScript::synchronous();
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 0)), Fate::DEFAULT);
+    }
+
+    #[test]
+    fn first_rule_wins() {
+        let mut s = NetworkScript::synchronous()
+            .rule(Rule::always(Fate::Drop).from(Selector::Is(NodeId(0))))
+            .rule(Rule::always(Fate::Deliver { delay: 9 }));
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 0)), Fate::Drop);
+        assert_eq!(
+            FatePolicy::<u8>::fate(&mut s, &env(2, 1, 0)),
+            Fate::Deliver { delay: 9 }
+        );
+    }
+
+    #[test]
+    fn window_filtering() {
+        let mut s = NetworkScript::synchronous()
+            .rule(Rule::always(Fate::Drop).between(Time(5), Time(10)));
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 4)), Fate::DEFAULT);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 5)), Fate::Drop);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 9)), Fate::Drop);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 10)), Fate::DEFAULT);
+    }
+
+    #[test]
+    fn silence_from_helper() {
+        let mut s = NetworkScript::synchronous().silence_from(NodeId(2), Time(3));
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(2, 1, 2)), Fate::DEFAULT);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(2, 1, 3)), Fate::Drop);
+    }
+
+    #[test]
+    fn partition_helper() {
+        let mut s = NetworkScript::synchronous().partition(
+            vec![NodeId(0)],
+            vec![NodeId(1)],
+            Time(0),
+            Some(Time(5)),
+        );
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 1)), Fate::Drop);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(1, 0, 1)), Fate::Drop);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 6)), Fate::DEFAULT);
+        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 2, 1)), Fate::DEFAULT);
+    }
+
+    #[test]
+    fn closure_policy() {
+        let mut calls = 0;
+        {
+            let mut policy = |e: &Envelope<u8>| {
+                calls += 1;
+                if e.to == NodeId(9) {
+                    Fate::Hold(1)
+                } else {
+                    Fate::DEFAULT
+                }
+            };
+            assert_eq!(policy.fate(&env(0, 9, 0)), Fate::Hold(1));
+            assert_eq!(policy.fate(&env(0, 1, 0)), Fate::DEFAULT);
+        }
+        assert_eq!(calls, 2);
+    }
+}

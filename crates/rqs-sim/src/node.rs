@@ -1,0 +1,201 @@
+//! Node identities, the automaton trait, and the per-step context.
+//!
+//! Processes are deterministic I/O automata (paper §3.1): a step receives
+//! a set of messages, applies them to the current state, and emits output
+//! messages. We deliver one message (or timer) per step — a refinement of
+//! the paper's step that preserves all behaviours, since the paper permits
+//! `M` to be any subset of pending messages, including singletons.
+
+use crate::time::Time;
+use core::any::Any;
+use core::fmt;
+
+/// Identifier of a simulated node (server, client, proposer, acceptor,
+/// learner — any participant).
+///
+/// Protocol crates conventionally map the quorum universe `S` to node ids
+/// `0..n` (so `NodeId(i)` is `rqs_core::ProcessId(i)` for servers) and give
+/// clients ids `≥ n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Zero-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<rqs_core::ProcessId> for NodeId {
+    fn from(p: rqs_core::ProcessId) -> NodeId {
+        NodeId(p.0)
+    }
+}
+
+/// Handle for a pending timer, returned by [`Context::set_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(pub u64);
+
+/// A deterministic I/O automaton driven by the [`World`](crate::World).
+///
+/// `M` is the protocol's message type. Implementations must be
+/// deterministic: identical inputs in identical order produce identical
+/// outputs, which is what makes the scripted indistinguishability
+/// executions of the paper reproducible.
+pub trait Automaton<M>: Any {
+    /// Called once when the world starts (the paper's `Init` state is the
+    /// state before this call).
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Delivers one message from `from`.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<M>);
+
+    /// Fires a timer previously set through [`Context::set_timer`].
+    fn on_timer(&mut self, _timer: TimerToken, _ctx: &mut Context<M>) {}
+
+    /// Upcast for harness-side state inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for harness-side operation invocation.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Output collector handed to every automaton step.
+///
+/// Sends are buffered and routed by the world after the step completes,
+/// matching the paper's atomic receive/compute/send step structure.
+#[derive(Debug)]
+pub struct Context<M> {
+    node: NodeId,
+    now: Time,
+    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) timers: Vec<(u64, TimerToken)>,
+    pub(crate) cancelled: Vec<TimerToken>,
+    pub(crate) timer_counter: u64,
+}
+
+impl<M> Context<M> {
+    /// Creates a free-standing context. The [`World`](crate::World) calls
+    /// this internally; it is public so protocol crates can unit-test
+    /// automatons step-by-step without a world.
+    pub fn new(node: NodeId, now: Time, timer_counter: u64) -> Self {
+        Context {
+            node,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            cancelled: Vec::new(),
+            timer_counter,
+        }
+    }
+
+    /// Messages buffered by this step, in send order (test inspection).
+    pub fn sent(&self) -> &[(NodeId, M)] {
+        &self.outbox
+    }
+
+    /// Timers armed by this step as `(delay, token)` pairs (test
+    /// inspection).
+    pub fn armed_timers(&self) -> &[(u64, TimerToken)] {
+        &self.timers
+    }
+
+    /// Timers cancelled by this step (test inspection).
+    pub fn cancelled_timers(&self) -> &[TimerToken] {
+        &self.cancelled
+    }
+
+    /// The timer-token counter after this step (for external executors
+    /// that thread it through successive contexts, like the real-time
+    /// runtime).
+    pub fn timer_counter_snapshot(&self) -> u64 {
+        self.timer_counter
+    }
+
+    /// Decomposes the context into its buffered outputs:
+    /// `(messages, armed timers, cancelled timers)`. Used by external
+    /// executors; the simulator world consumes the fields directly.
+    #[allow(clippy::type_complexity)]
+    pub fn into_outputs(self) -> (Vec<(NodeId, M)>, Vec<(u64, TimerToken)>, Vec<TimerToken>) {
+        (self.outbox, self.timers, self.cancelled)
+    }
+
+    /// The id of the node taking this step.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time (the global clock — exposed for latency
+    /// accounting; protocol decisions must not branch on absolute time, per
+    /// the paper's inaccessible-clock assumption, only on timer expiry).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to` (buffered; routed after the step).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends a clone of `msg` to every node in `targets`.
+    pub fn broadcast<I>(&mut self, targets: I, msg: M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = NodeId>,
+    {
+        for to in targets {
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+
+    /// Arms a timer that fires after `delay` ticks; returns its token.
+    pub fn set_timer(&mut self, delay: u64) -> TimerToken {
+        let token = TimerToken(self.timer_counter);
+        self.timer_counter += 1;
+        self.timers.push((delay, token));
+        token
+    }
+
+    /// Cancels a pending timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.cancelled.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_outputs() {
+        let mut ctx: Context<&'static str> = Context::new(NodeId(7), Time(3), 0);
+        assert_eq!(ctx.me(), NodeId(7));
+        assert_eq!(ctx.now(), Time(3));
+        ctx.send(NodeId(1), "hello");
+        ctx.broadcast([NodeId(2), NodeId(3)], "all");
+        assert_eq!(ctx.outbox.len(), 3);
+        let t1 = ctx.set_timer(5);
+        let t2 = ctx.set_timer(5);
+        assert_ne!(t1, t2);
+        ctx.cancel_timer(t1);
+        assert_eq!(ctx.timers.len(), 2);
+        assert_eq!(ctx.cancelled, vec![t1]);
+    }
+
+    #[test]
+    fn node_id_from_process_id() {
+        let n: NodeId = rqs_core::ProcessId(4).into();
+        assert_eq!(n, NodeId(4));
+        assert_eq!(n.to_string(), "n4");
+        assert_eq!(n.index(), 4);
+    }
+}

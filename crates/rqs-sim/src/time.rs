@@ -1,0 +1,86 @@
+//! Simulated time.
+//!
+//! The paper assumes a global clock not accessible to processes; the
+//! simulator owns that clock. Time is discrete: one unit is one message
+//! delay under synchrony, so the synchrony bound is `Δ = 1` by default and
+//! the paper's `2Δ` timeouts are 2 units.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The start of every execution.
+    pub const ZERO: Time = Time(0);
+
+    /// A time later than any event horizon used in practice.
+    pub const FAR_FUTURE: Time = Time(u64::MAX / 2);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + 5;
+        assert_eq!(t.ticks(), 5);
+        assert_eq!(t - Time(2), 3);
+        assert_eq!(t.since(Time(10)), 0);
+        assert_eq!(Time(10).since(t), 5);
+        let mut u = t;
+        u += 1;
+        assert_eq!(u, Time(6));
+        assert_eq!(u.to_string(), "t6");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert!(Time::FAR_FUTURE > Time(1_000_000));
+    }
+}

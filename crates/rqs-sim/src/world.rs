@@ -1,0 +1,720 @@
+//! The deterministic event loop driving a set of automata.
+//!
+//! A [`World`] owns the nodes, the global clock and the event queue.
+//! Events (message deliveries, timer expirations, crashes) execute in
+//! `(time, sequence)` order, so executions are bit-for-bit reproducible —
+//! the property the paper's indistinguishability arguments rely on.
+
+use crate::network::{Envelope, Fate, FatePolicy};
+use crate::node::{Automaton, Context, NodeId, TimerToken};
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Events in the queue.
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, token: TimerToken },
+    Crash { node: NodeId },
+}
+
+struct Queued<M> {
+    at: Time,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One line of the execution trace (for debugging and figure rendering).
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When the event executed.
+    pub at: Time,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Statistics accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Messages handed to the fate policy.
+    pub messages_sent: usize,
+    /// Messages actually delivered to a live node.
+    pub messages_delivered: usize,
+    /// Messages dropped by policy.
+    pub messages_dropped: usize,
+    /// Timer events fired.
+    pub timers_fired: usize,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+/// The deterministic simulation world.
+///
+/// # Examples
+///
+/// ```
+/// use rqs_sim::{World, Automaton, Context, NodeId, NetworkScript, TimerToken};
+/// use std::any::Any;
+///
+/// struct Echo { got: Option<u32> }
+/// impl Automaton<u32> for Echo {
+///     fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+///         self.got = Some(msg);
+///         if msg < 3 { ctx.send(from, msg + 1); }
+///     }
+///     fn as_any(&self) -> &dyn Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+///
+/// let mut world = World::new(NetworkScript::synchronous());
+/// let a = world.add_node(Box::new(Echo { got: None }));
+/// let b = world.add_node(Box::new(Echo { got: None }));
+/// world.post(a, b, 0u32); // kick off: a → b
+/// world.run_to_quiescence();
+/// assert_eq!(world.node_as::<Echo>(b).got, Some(2));
+/// assert_eq!(world.node_as::<Echo>(a).got, Some(3));
+/// ```
+pub struct World<M> {
+    nodes: Vec<Option<Box<dyn Automaton<M>>>>,
+    crashed: Vec<bool>,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    held: Vec<(u32, Envelope<M>)>,
+    cancelled_timers: HashSet<(usize, u64)>,
+    now: Time,
+    seq: u64,
+    timer_counter: u64,
+    policy: Box<dyn FatePolicy<M>>,
+    default_delay: u64,
+    stats: WorldStats,
+    trace: Option<Vec<TraceEntry>>,
+    trace_fmt: Option<fn(&M) -> String>,
+}
+
+impl<M: Clone + 'static> World<M> {
+    /// Creates a world with the given fate policy.
+    pub fn new(policy: impl FatePolicy<M> + 'static) -> Self {
+        World {
+            nodes: Vec::new(),
+            crashed: Vec::new(),
+            queue: BinaryHeap::new(),
+            held: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            now: Time::ZERO,
+            seq: 0,
+            timer_counter: 0,
+            policy: Box::new(policy),
+            default_delay: 1,
+            stats: WorldStats::default(),
+            trace: None,
+            trace_fmt: None,
+        }
+    }
+
+    /// Replaces the fate policy mid-run (e.g. to end a synchronous period).
+    pub fn set_policy(&mut self, policy: impl FatePolicy<M> + 'static) {
+        self.policy = Box::new(policy);
+    }
+
+    /// Enables the execution trace; `fmt` renders message payloads.
+    pub fn enable_trace(&mut self, fmt: fn(&M) -> String) {
+        self.trace = Some(Vec::new());
+        self.trace_fmt = Some(fmt);
+    }
+
+    /// The trace collected so far (empty when tracing is disabled).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Registers a node; ids are assigned densely from 0.
+    pub fn add_node(&mut self, node: Box<dyn Automaton<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.crashed.push(false);
+        id
+    }
+
+    /// Replaces the automaton at `id` (Byzantine behaviour injection /
+    /// state forging). The new automaton's `on_start` is *not* called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn replace_node(&mut self, id: NodeId, node: Box<dyn Automaton<M>>) {
+        self.nodes[id.0] = Some(node);
+        self.log(format!("{id} replaced (byzantine substitution)"));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the node crashed (or was crashed by schedule).
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id.0]
+    }
+
+    /// Immutable, downcast access to a node's concrete state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the concrete type does not match.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_ref()
+            .expect("node is mid-step")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Calls the automaton's `on_start` hooks, in id order.
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            self.step_node(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Schedules a crash: from time `t` the node neither receives nor
+    /// sends. (A crash between sends within one step is expressed by a
+    /// [`NetworkScript`](crate::NetworkScript) dropping the tail of its
+    /// messages instead.)
+    pub fn crash_at(&mut self, node: NodeId, t: Time) {
+        self.push(t, Event::Crash { node });
+    }
+
+    /// Invokes an operation on a node immediately (at the current time):
+    /// the closure plays the role of an external invocation step (e.g.
+    /// `write(v)` arriving at a client). Outputs are routed as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the concrete type does not match.
+    pub fn invoke<T: 'static>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut Context<M>)) {
+        self.step_node(id, |node, ctx| {
+            let concrete = node
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(concrete, ctx);
+        });
+    }
+
+    /// Injects a message from `from` to `to` at the current time, subject
+    /// to the fate policy (useful to bootstrap an execution).
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.route(Envelope {
+            from,
+            to,
+            msg,
+            sent_at: self.now,
+        });
+    }
+
+    /// Releases all messages held under `tag`: they are re-routed with the
+    /// default delay from the current time.
+    pub fn release(&mut self, tag: u32) {
+        let mut released = Vec::new();
+        self.held.retain(|(t, env)| {
+            if *t == tag {
+                released.push(env.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for env in released {
+            let at = self.now + self.default_delay;
+            self.log(format!(
+                "release tag {tag}: {} → {} delivered at {at}",
+                env.from, env.to
+            ));
+            self.push(
+                at,
+                Event::Deliver {
+                    from: env.from,
+                    to: env.to,
+                    msg: env.msg,
+                },
+            );
+        }
+    }
+
+    /// Number of messages currently held (all tags).
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Executes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(q)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(q.at >= self.now, "time went backwards");
+        self.now = q.at;
+        self.stats.steps += 1;
+        match q.event {
+            Event::Crash { node } => {
+                self.crashed[node.0] = true;
+                self.log(format!("{node} crashed"));
+            }
+            Event::Deliver { from, to, msg } => {
+                if self.crashed[to.0] {
+                    self.log(format!("{from} → {to}: dropped (receiver crashed)"));
+                    return true;
+                }
+                self.stats.messages_delivered += 1;
+                if let Some(fmt) = self.trace_fmt {
+                    self.log(format!("{from} → {to}: {}", fmt(&msg)));
+                }
+                self.step_node(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            Event::Timer { node, token } => {
+                if self.crashed[node.0] || self.cancelled_timers.remove(&(node.0, token.0)) {
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                self.log(format!("{node}: timer {} fired", token.0));
+                self.step_node(node, |node, ctx| node.on_timer(token, ctx));
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or `max_steps` events executed;
+    /// returns the number of steps taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` is exhausted — quiescence was expected.
+    pub fn run_to_quiescence_bounded(&mut self, max_steps: usize) -> usize {
+        for taken in 0..max_steps {
+            if !self.step() {
+                return taken;
+            }
+        }
+        panic!("no quiescence after {max_steps} steps");
+    }
+
+    /// Runs until the queue is empty (bounded at 10 million steps).
+    pub fn run_to_quiescence(&mut self) -> usize {
+        self.run_to_quiescence_bounded(10_000_000)
+    }
+
+    /// Runs until `pred(self)` holds, checking after every step.
+    ///
+    /// Returns `true` if the predicate held, `false` if the queue drained
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 million steps.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&World<M>) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        for _ in 0..10_000_000usize {
+            if !self.step() {
+                return pred(self);
+            }
+            if pred(self) {
+                return true;
+            }
+        }
+        panic!("run_until: no progress after 10M steps");
+    }
+
+    /// Runs until `pred(self)` holds or `max_steps` events executed;
+    /// returns whether the predicate held. Unlike [`World::run_until`],
+    /// exhausting the budget is not an error — use this when the predicate
+    /// may be unreachable (e.g. waiting for termination that faults might
+    /// prevent).
+    pub fn run_until_bounded(
+        &mut self,
+        mut pred: impl FnMut(&World<M>) -> bool,
+        max_steps: usize,
+    ) -> bool {
+        if pred(self) {
+            return true;
+        }
+        for _ in 0..max_steps {
+            if !self.step() {
+                return pred(self);
+            }
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs all events scheduled strictly before `deadline`.
+    pub fn run_before(&mut self, deadline: Time) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(q)) if q.at < deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn push(&mut self, at: Time, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, event }));
+    }
+
+    fn log(&mut self, what: String) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { at: self.now, what });
+        }
+    }
+
+    fn step_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Automaton<M>, &mut Context<M>)) {
+        if self.crashed[id.0] {
+            return;
+        }
+        let mut node = self.nodes[id.0].take().expect("re-entrant step on node");
+        let mut ctx = Context::new(id, self.now, self.timer_counter);
+        f(node.as_mut(), &mut ctx);
+        self.timer_counter = ctx.timer_counter;
+        self.nodes[id.0] = Some(node);
+        // Route outputs.
+        for (to, msg) in ctx.outbox {
+            self.route(Envelope {
+                from: id,
+                to,
+                msg,
+                sent_at: self.now,
+            });
+        }
+        for (delay, token) in ctx.timers {
+            let at = self.now + delay.max(1);
+            self.push(at, Event::Timer { node: id, token });
+        }
+        for token in ctx.cancelled {
+            self.cancelled_timers.insert((id.0, token.0));
+        }
+    }
+
+    fn route(&mut self, env: Envelope<M>) {
+        self.stats.messages_sent += 1;
+        match self.policy.fate(&env) {
+            Fate::Deliver { delay } => {
+                let at = self.now + delay.max(1);
+                self.push(
+                    at,
+                    Event::Deliver {
+                        from: env.from,
+                        to: env.to,
+                        msg: env.msg,
+                    },
+                );
+            }
+            Fate::DeliverAt(t) => {
+                let at = if t <= self.now { self.now + 1 } else { t };
+                self.push(
+                    at,
+                    Event::Deliver {
+                        from: env.from,
+                        to: env.to,
+                        msg: env.msg,
+                    },
+                );
+            }
+            Fate::Hold(tag) => {
+                self.log(format!("{} → {}: held (tag {tag})", env.from, env.to));
+                self.held.push((tag, env));
+            }
+            Fate::Drop => {
+                self.stats.messages_dropped += 1;
+                self.log(format!("{} → {}: dropped by policy", env.from, env.to));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{NetworkScript, Rule, Selector};
+    use std::any::Any;
+
+    /// Test automaton: counts pings, pongs back until a limit.
+    struct PingPong {
+        limit: u32,
+        received: Vec<u32>,
+        timer_fired: bool,
+    }
+
+    impl PingPong {
+        fn new(limit: u32) -> Self {
+            PingPong {
+                limit,
+                received: Vec::new(),
+                timer_fired: false,
+            }
+        }
+    }
+
+    impl Automaton<u32> for PingPong {
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.received.push(msg);
+            if msg < self.limit {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut Context<u32>) {
+            self.timer_fired = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_world() -> (World<u32>, NodeId, NodeId) {
+        let mut w = World::new(NetworkScript::synchronous());
+        let a = w.add_node(Box::new(PingPong::new(4)));
+        let b = w.add_node(Box::new(PingPong::new(4)));
+        (w, a, b)
+    }
+
+    #[test]
+    fn ping_pong_runs_to_quiescence() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, 0);
+        let steps = w.run_to_quiescence();
+        assert!(steps > 0);
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0, 2, 4]);
+        assert_eq!(w.node_as::<PingPong>(a).received, vec![1, 3]);
+        // 5 deliveries at times 1..=5
+        assert_eq!(w.now(), Time(5));
+        assert_eq!(w.stats().messages_delivered, 5);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let (mut w, a, b) = two_node_world();
+            w.post(a, b, 0);
+            w.run_to_quiescence();
+            (
+                w.now(),
+                w.stats(),
+                w.node_as::<PingPong>(a).received.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_stops_processing() {
+        let (mut w, a, b) = two_node_world();
+        w.crash_at(b, Time(2));
+        w.post(a, b, 0);
+        w.run_to_quiescence();
+        // b receives at t1 (msg 0), replies; a receives at t2 (msg 1),
+        // replies; b crashed at t2 so the t3 delivery is dropped.
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0]);
+        assert_eq!(w.node_as::<PingPong>(a).received, vec![1]);
+        assert!(w.is_crashed(b));
+        assert!(!w.is_crashed(a));
+    }
+
+    #[test]
+    fn drop_rule() {
+        let mut w = World::new(
+            NetworkScript::synchronous()
+                .rule(Rule::always(Fate::Drop).to(Selector::Is(NodeId(0)))),
+        );
+        let a = w.add_node(Box::new(PingPong::new(9)));
+        let b = w.add_node(Box::new(PingPong::new(9)));
+        w.post(a, b, 0);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0]);
+        assert!(w.node_as::<PingPong>(a).received.is_empty());
+        assert_eq!(w.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn hold_and_release() {
+        let mut w = World::new(
+            NetworkScript::synchronous()
+                .rule(Rule::always(Fate::Hold(7)).between(Time(0), Time(1))),
+        );
+        let a = w.add_node(Box::new(PingPong::new(0)));
+        let b = w.add_node(Box::new(PingPong::new(0)));
+        w.post(a, b, 42);
+        w.run_to_quiescence();
+        assert!(w.node_as::<PingPong>(b).received.is_empty());
+        assert_eq!(w.held_count(), 1);
+        w.release(7);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![42]);
+        assert_eq!(w.held_count(), 0);
+    }
+
+    #[test]
+    fn deliver_at_absolute_time() {
+        let mut w: World<u32> =
+            World::new(|_e: &Envelope<u32>| Fate::DeliverAt(Time(50)));
+        let a = w.add_node(Box::new(PingPong::new(0)));
+        let b = w.add_node(Box::new(PingPong::new(0)));
+        w.post(a, b, 1);
+        w.run_to_quiescence();
+        assert_eq!(w.now(), Time(50));
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![1]);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Automaton<u32> for TimerNode {
+            fn on_message(&mut self, _f: NodeId, msg: u32, ctx: &mut Context<u32>) {
+                let keep = ctx.set_timer(5);
+                let drop_me = ctx.set_timer(5);
+                ctx.cancel_timer(drop_me);
+                if msg == 99 {
+                    ctx.cancel_timer(keep);
+                }
+            }
+            fn on_timer(&mut self, t: TimerToken, _ctx: &mut Context<u32>) {
+                self.fired.push(t.0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(NetworkScript::synchronous());
+        let a = w.add_node(Box::new(TimerNode { fired: vec![] }));
+        let ext = w.add_node(Box::new(PingPong::new(0)));
+        w.post(ext, a, 1);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<TimerNode>(a).fired.len(), 1);
+        assert_eq!(w.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn invoke_drives_operations() {
+        let (mut w, a, b) = two_node_world();
+        w.invoke::<PingPong>(a, |_node, ctx| {
+            ctx.send(NodeId(1), 3);
+        });
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![3]);
+        let _ = a;
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, 0);
+        let reached = w.run_until(|w| w.now() >= Time(3));
+        assert!(reached);
+        assert!(w.now() >= Time(3));
+        // Predicate never satisfied: drains queue, returns false.
+        let reached = w.run_until(|w| w.now() >= Time(1000));
+        assert!(!reached);
+    }
+
+    #[test]
+    fn run_before_advances_clock() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, 0);
+        w.run_before(Time(3));
+        assert_eq!(w.now(), Time(3));
+        // deliveries at t1, t2 done; t3+ pending
+        assert_eq!(w.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    fn replace_node_swaps_behaviour() {
+        let (mut w, a, b) = two_node_world();
+        w.replace_node(b, Box::new(PingPong::new(0))); // never replies
+        w.post(a, b, 0);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0]);
+        assert!(w.node_as::<PingPong>(a).received.is_empty());
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let (mut w, a, b) = two_node_world();
+        w.enable_trace(|m| format!("ping({m})"));
+        w.post(a, b, 0);
+        w.run_to_quiescence();
+        let trace = w.trace();
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|e| e.what.contains("ping(0)")));
+    }
+
+    #[test]
+    fn start_calls_on_start() {
+        struct Starter {
+            started: bool,
+        }
+        impl Automaton<u32> for Starter {
+            fn on_start(&mut self, _ctx: &mut Context<u32>) {
+                self.started = true;
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Context<u32>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(NetworkScript::synchronous());
+        let a = w.add_node(Box::new(Starter { started: false }));
+        w.start();
+        assert!(w.node_as::<Starter>(a).started);
+    }
+}

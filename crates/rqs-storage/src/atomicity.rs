@@ -1,0 +1,284 @@
+//! Atomicity (linearizability) checking for SWMR register histories.
+//!
+//! Because the writer attaches a unique, strictly increasing timestamp to
+//! every write, checking atomicity of a complete execution reduces to
+//! three timestamp conditions (the standard SWMR characterization):
+//!
+//! 1. **No fabrication** — every read returns `⟨0,⊥⟩` or the pair of a
+//!    write that was *invoked* before the read responded;
+//! 2. **Real-time order** — if operation `o1` responds before `o2` is
+//!    invoked, then `ts(o2) ≥ ts(o1)` (with `ts(write)` the written
+//!    timestamp and `ts(read)` the returned one); this covers both
+//!    read-after-write freshness and read-after-read (no read inversion);
+//! 3. **Unique associations** — no two writes share a timestamp, and a
+//!    read's returned value matches the write with that timestamp.
+
+use crate::value::{Timestamp, TsVal};
+use core::fmt;
+use rqs_sim::Time;
+
+/// Kind of a recorded operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// A write (by the single writer).
+    Write,
+    /// A read (any reader).
+    Read,
+}
+
+/// One completed operation of an execution.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Write or read.
+    pub kind: OpKind,
+    /// Identifies the invoking client (for error messages only).
+    pub client: usize,
+    /// The written pair (for writes) or returned pair (for reads).
+    pub pair: TsVal,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Response time.
+    pub completed_at: Time,
+}
+
+impl OpRecord {
+    fn ts(&self) -> Timestamp {
+        self.pair.ts
+    }
+
+    fn describe(&self) -> String {
+        let what = match self.kind {
+            OpKind::Write => "write",
+            OpKind::Read => "read",
+        };
+        format!(
+            "{}(client {}, {} @[{},{}])",
+            what, self.client, self.pair, self.invoked_at, self.completed_at
+        )
+    }
+}
+
+/// A detected atomicity violation.
+#[derive(Clone, Debug)]
+pub enum AtomicityViolation {
+    /// A read returned a pair no write produced (or a write from the
+    /// future).
+    Fabricated {
+        /// Description of the offending read.
+        read: String,
+    },
+    /// Two operations violate real-time timestamp order.
+    StaleRead {
+        /// Description of the earlier operation.
+        earlier: String,
+        /// Description of the later operation that went backwards.
+        later: String,
+    },
+    /// Two writes share a timestamp, or a read's value mismatches the
+    /// write with its timestamp.
+    Inconsistent {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AtomicityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicityViolation::Fabricated { read } => {
+                write!(f, "fabricated value: {read} returned a never-written pair")
+            }
+            AtomicityViolation::StaleRead { earlier, later } => {
+                write!(f, "stale result: {later} follows {earlier} but has a lower timestamp")
+            }
+            AtomicityViolation::Inconsistent { detail } => write!(f, "inconsistent: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AtomicityViolation {}
+
+/// Checks a complete execution history for SWMR atomicity.
+///
+/// # Errors
+///
+/// Returns the first violation found (fabrication, then consistency, then
+/// real-time order).
+pub fn check_atomicity(ops: &[OpRecord]) -> Result<(), AtomicityViolation> {
+    let writes: Vec<&OpRecord> = ops.iter().filter(|o| o.kind == OpKind::Write).collect();
+
+    // Unique timestamps across writes + value agreement.
+    for (i, w1) in writes.iter().enumerate() {
+        for w2 in &writes[i + 1..] {
+            if w1.ts() == w2.ts() {
+                return Err(AtomicityViolation::Inconsistent {
+                    detail: format!(
+                        "{} and {} share timestamp {}",
+                        w1.describe(),
+                        w2.describe(),
+                        w1.ts()
+                    ),
+                });
+            }
+        }
+    }
+
+    // Reads return existing pairs from non-future writes.
+    for read in ops.iter().filter(|o| o.kind == OpKind::Read) {
+        if read.pair.is_initial() {
+            continue;
+        }
+        let source = writes.iter().find(|w| w.ts() == read.ts());
+        match source {
+            None => {
+                return Err(AtomicityViolation::Fabricated {
+                    read: read.describe(),
+                });
+            }
+            Some(w) => {
+                if w.pair.val != read.pair.val {
+                    return Err(AtomicityViolation::Inconsistent {
+                        detail: format!(
+                            "{} returned {} but the write with that timestamp wrote {}",
+                            read.describe(),
+                            read.pair,
+                            w.pair
+                        ),
+                    });
+                }
+                if w.invoked_at > read.completed_at {
+                    return Err(AtomicityViolation::Fabricated {
+                        read: read.describe(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Real-time order: completed-before implies timestamp order.
+    for o1 in ops {
+        for o2 in ops {
+            if o1.completed_at < o2.invoked_at && o1.ts() > o2.ts() {
+                return Err(AtomicityViolation::StaleRead {
+                    earlier: o1.describe(),
+                    later: o2.describe(),
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn write(ts: Timestamp, v: u64, inv: u64, resp: u64) -> OpRecord {
+        OpRecord {
+            kind: OpKind::Write,
+            client: 0,
+            pair: TsVal::new(ts, Value::from(v)),
+            invoked_at: Time(inv),
+            completed_at: Time(resp),
+        }
+    }
+
+    fn read(client: usize, ts: Timestamp, v: u64, inv: u64, resp: u64) -> OpRecord {
+        let pair = if ts == 0 {
+            TsVal::initial()
+        } else {
+            TsVal::new(ts, Value::from(v))
+        };
+        OpRecord {
+            kind: OpKind::Read,
+            client,
+            pair,
+            invoked_at: Time(inv),
+            completed_at: Time(resp),
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_atomic() {
+        let ops = vec![
+            write(1, 10, 0, 5),
+            read(1, 1, 10, 6, 8),
+            write(2, 20, 9, 12),
+            read(2, 2, 20, 13, 15),
+        ];
+        assert!(check_atomicity(&ops).is_ok());
+    }
+
+    #[test]
+    fn initial_read_before_writes_ok() {
+        let ops = vec![read(1, 0, 0, 0, 2), write(1, 10, 3, 6)];
+        assert!(check_atomicity(&ops).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_or_new() {
+        // Read overlaps the write: either outcome is atomic.
+        let old = vec![write(1, 10, 5, 9), read(1, 0, 0, 4, 8)];
+        assert!(check_atomicity(&old).is_ok());
+        let new = vec![write(1, 10, 5, 9), read(1, 1, 10, 4, 8)];
+        assert!(check_atomicity(&new).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_detected() {
+        let ops = vec![write(1, 10, 0, 5), read(1, 0, 0, 6, 8)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::StaleRead { .. }), "{err}");
+    }
+
+    #[test]
+    fn read_inversion_detected() {
+        // rd1 returns ts2, then rd2 (after rd1) returns ts1: inversion.
+        let ops = vec![
+            write(1, 10, 0, 3),
+            write(2, 20, 4, 20),
+            read(1, 2, 20, 5, 7),
+            read(2, 1, 10, 8, 10),
+        ];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::StaleRead { .. }), "{err}");
+    }
+
+    #[test]
+    fn fabricated_value_detected() {
+        let ops = vec![write(1, 10, 0, 5), read(1, 7, 99, 6, 8)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::Fabricated { .. }), "{err}");
+    }
+
+    #[test]
+    fn read_from_future_write_detected() {
+        // Read completes before the write is even invoked.
+        let ops = vec![read(1, 1, 10, 0, 2), write(1, 10, 5, 9)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::Fabricated { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_value_for_timestamp_detected() {
+        let ops = vec![write(1, 10, 0, 5), read(1, 1, 11, 6, 8)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::Inconsistent { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_write_timestamps_detected() {
+        let ops = vec![write(1, 10, 0, 5), write(1, 11, 6, 9)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::Inconsistent { .. }), "{err}");
+    }
+
+    #[test]
+    fn violation_displays() {
+        let ops = vec![write(1, 10, 0, 5), read(9, 0, 0, 6, 8)];
+        let err = check_atomicity(&ops).unwrap_err();
+        assert!(err.to_string().contains("stale"));
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end harness: builds a world with servers, the writer and
+//! readers over a refined quorum system, drives whole operations, and
+//! collects [`OpRecord`]s for atomicity checking and latency reporting.
+
+use crate::atomicity::{check_atomicity, AtomicityViolation, OpKind, OpRecord};
+use crate::messages::StorageMsg;
+use crate::reader::{ReadOutcome, Reader};
+use crate::server::Server;
+use crate::value::Value;
+use crate::writer::{WriteOutcome, Writer};
+use rqs_core::{ProcessSet, Rqs};
+use rqs_sim::{Automaton, NetworkScript, NodeId, Time, World};
+use std::sync::Arc;
+
+/// A built storage deployment inside a simulation world.
+///
+/// # Examples
+///
+/// ```
+/// use rqs_core::threshold::ThresholdConfig;
+/// use rqs_storage::StorageHarness;
+///
+/// // The §1.2 system: 5 servers, t = 2 crash faults, fast path at 4.
+/// let rqs = ThresholdConfig::crash_fast(5, 1).build()?;
+/// let mut h = StorageHarness::new(rqs, 1);
+/// let w = h.write(7u64.into());
+/// assert_eq!(w.rounds, 1);
+/// let r = h.read(0);
+/// assert_eq!(r.returned.val, 7u64.into());
+/// assert_eq!(r.rounds, 1);
+/// h.check_atomicity()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct StorageHarness {
+    world: World<StorageMsg>,
+    rqs: Arc<Rqs>,
+    servers: Vec<NodeId>,
+    writer: NodeId,
+    readers: Vec<NodeId>,
+    ops: Vec<OpRecord>,
+}
+
+impl StorageHarness {
+    /// Builds a synchronous-network deployment with `readers` reader
+    /// clients.
+    pub fn new(rqs: Rqs, readers: usize) -> Self {
+        Self::with_script(rqs, readers, NetworkScript::synchronous())
+    }
+
+    /// Builds a deployment with a custom network script (asynchrony,
+    /// partitions, scripted schedules).
+    pub fn with_script(rqs: Rqs, readers: usize, script: NetworkScript) -> Self {
+        let rqs = Arc::new(rqs);
+        let mut world = World::new(script);
+        let servers: Vec<NodeId> = (0..rqs.universe_size())
+            .map(|_| world.add_node(Box::new(Server::new())))
+            .collect();
+        let writer = world.add_node(Box::new(Writer::new(rqs.clone(), servers.clone())));
+        let readers: Vec<NodeId> = (0..readers)
+            .map(|_| world.add_node(Box::new(Reader::new(rqs.clone(), servers.clone()))))
+            .collect();
+        StorageHarness {
+            world,
+            rqs,
+            servers,
+            writer,
+            readers,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The underlying world (for crash injection, Byzantine substitution,
+    /// message release, trace inspection).
+    pub fn world_mut(&mut self) -> &mut World<StorageMsg> {
+        &mut self.world
+    }
+
+    /// The refined quorum system in use.
+    pub fn rqs(&self) -> &Arc<Rqs> {
+        &self.rqs
+    }
+
+    /// Node ids of the servers (universe order).
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Node id of the writer.
+    pub fn writer_id(&self) -> NodeId {
+        self.writer
+    }
+
+    /// Node id of reader `i`.
+    pub fn reader_id(&self, i: usize) -> NodeId {
+        self.readers[i]
+    }
+
+    /// Crashes a set of servers (given as universe indices) immediately.
+    pub fn crash_servers(&mut self, faulty: ProcessSet) {
+        let now = self.world.now();
+        for p in faulty.iter() {
+            self.world.crash_at(self.servers[p.index()], now);
+        }
+        // Process the crash events before continuing.
+        self.world.run_before(now + 1);
+    }
+
+    /// Replaces a server with a Byzantine automaton.
+    pub fn make_byzantine(&mut self, server_idx: usize, node: Box<dyn Automaton<StorageMsg>>) {
+        self.world.replace_node(self.servers[server_idx], node);
+    }
+
+    /// Runs a complete `write(v)` to quiescence and returns its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write cannot complete (no correct quorum).
+    pub fn write(&mut self, v: Value) -> WriteOutcome {
+        let before = self
+            .world
+            .node_as::<Writer>(self.writer)
+            .outcomes()
+            .len();
+        self.world
+            .invoke::<Writer>(self.writer, |w, ctx| w.start_write(v, ctx));
+        let writer = self.writer;
+        let done = self
+            .world
+            .run_until(|w| w.node_as::<Writer>(writer).outcomes().len() > before);
+        assert!(done, "write did not complete (no correct quorum?)");
+        let out = self.world.node_as::<Writer>(self.writer).outcomes()[before].clone();
+        self.ops.push(OpRecord {
+            kind: OpKind::Write,
+            client: self.writer.index(),
+            pair: crate::value::TsVal::new(out.ts, out.val.clone()),
+            invoked_at: out.invoked_at,
+            completed_at: out.completed_at,
+        });
+        out
+    }
+
+    /// Runs a complete `read()` by reader `i` to quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read cannot complete.
+    pub fn read(&mut self, i: usize) -> ReadOutcome {
+        let node = self.readers[i];
+        let before = self.world.node_as::<Reader>(node).outcomes().len();
+        self.world
+            .invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
+        let done = self
+            .world
+            .run_until(|w| w.node_as::<Reader>(node).outcomes().len() > before);
+        assert!(done, "read did not complete (no correct quorum?)");
+        let out = self.world.node_as::<Reader>(node).outcomes()[before].clone();
+        self.ops.push(OpRecord {
+            kind: OpKind::Read,
+            client: node.index(),
+            pair: out.returned.clone(),
+            invoked_at: out.invoked_at,
+            completed_at: out.completed_at,
+        });
+        out
+    }
+
+    /// Starts a write without waiting for completion (for contention /
+    /// partial-write scenarios).
+    pub fn start_write(&mut self, v: Value) {
+        self.world
+            .invoke::<Writer>(self.writer, |w, ctx| w.start_write(v, ctx));
+    }
+
+    /// Starts a read without waiting for completion.
+    pub fn start_read(&mut self, i: usize) {
+        let node = self.readers[i];
+        self.world
+            .invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
+    }
+
+    /// Runs the world until quiescence and harvests any operations that
+    /// completed since the last harvest.
+    pub fn settle(&mut self) {
+        self.world.run_to_quiescence();
+        self.harvest();
+    }
+
+    /// Collects completed-but-unrecorded operations into the op log.
+    ///
+    /// An invoked-but-incomplete write is recorded with a far-future
+    /// response time: concurrent reads may legitimately return its value,
+    /// and the checker must know the value was genuinely written.
+    pub fn harvest(&mut self) {
+        if let Some((ts, val, invoked_at)) =
+            self.world.node_as::<Writer>(self.writer).in_progress()
+        {
+            let already = self
+                .ops
+                .iter()
+                .any(|o| o.kind == OpKind::Write && o.pair.ts == ts);
+            if !already {
+                self.ops.push(OpRecord {
+                    kind: OpKind::Write,
+                    client: self.writer.index(),
+                    pair: crate::value::TsVal::new(ts, val),
+                    invoked_at,
+                    completed_at: Time::FAR_FUTURE,
+                });
+            }
+        }
+        let writer_outs: Vec<WriteOutcome> = self
+            .world
+            .node_as::<Writer>(self.writer)
+            .outcomes()
+            .to_vec();
+        for out in writer_outs {
+            let already = self.ops.iter().any(|o| {
+                o.kind == OpKind::Write && o.pair.ts == out.ts
+            });
+            if !already {
+                self.ops.push(OpRecord {
+                    kind: OpKind::Write,
+                    client: self.writer.index(),
+                    pair: crate::value::TsVal::new(out.ts, out.val.clone()),
+                    invoked_at: out.invoked_at,
+                    completed_at: out.completed_at,
+                });
+            }
+        }
+        for &node in &self.readers.clone() {
+            let outs: Vec<ReadOutcome> =
+                self.world.node_as::<Reader>(node).outcomes().to_vec();
+            for out in outs {
+                let already = self.ops.iter().any(|o| {
+                    o.kind == OpKind::Read
+                        && o.client == node.index()
+                        && o.invoked_at == out.invoked_at
+                });
+                if !already {
+                    self.ops.push(OpRecord {
+                        kind: OpKind::Read,
+                        client: node.index(),
+                        pair: out.returned.clone(),
+                        invoked_at: out.invoked_at,
+                        completed_at: out.completed_at,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The operation log collected so far.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Checks the collected operation log (after harvesting completed and
+    /// pending operations) for atomicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AtomicityViolation`] found.
+    pub fn check_atomicity(&mut self) -> Result<(), AtomicityViolation> {
+        self.harvest();
+        check_atomicity(&self.ops)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+
+    fn five_server() -> StorageHarness {
+        StorageHarness::new(ThresholdConfig::crash_fast(5, 1).build().unwrap(), 2)
+    }
+
+    #[test]
+    fn sequential_workload_atomic() {
+        let mut h = five_server();
+        for v in 1..=5u64 {
+            let w = h.write(Value::from(v));
+            assert_eq!(w.rounds, 1);
+            let r = h.read(0);
+            assert_eq!(r.returned.val, Value::from(v));
+        }
+        h.check_atomicity().unwrap();
+        assert_eq!(h.ops().len(), 10);
+    }
+
+    #[test]
+    fn two_readers_no_inversion() {
+        let mut h = five_server();
+        h.write(Value::from(10u64));
+        let r1 = h.read(0);
+        let r2 = h.read(1);
+        assert_eq!(r1.returned, r2.returned);
+        h.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn graceful_degradation_with_crashes() {
+        let mut h = five_server();
+        h.write(Value::from(1u64));
+        // Crash two servers: every class-1 quorum (any 4 of 5) dies.
+        h.crash_servers(ProcessSet::from_indices([3, 4]));
+        let w = h.write(Value::from(2u64));
+        assert_eq!(w.rounds, 2, "class-2 path");
+        let r = h.read(0);
+        assert_eq!(r.returned.val, Value::from(2u64));
+        assert!(r.rounds <= 2);
+        h.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn byzantine_threshold_system_runs() {
+        // n = 3t+1 = 4, k = t = 1.
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut h = StorageHarness::new(rqs, 1);
+        let w = h.write(Value::from(77u64));
+        assert_eq!(w.rounds, 1, "all 4 servers correct: class-1 fast path");
+        let r = h.read(0);
+        assert_eq!(r.returned.val, Value::from(77u64));
+        h.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn harvest_picks_up_settled_ops() {
+        let mut h = five_server();
+        h.start_write(Value::from(5u64));
+        h.settle();
+        assert_eq!(h.ops().len(), 1);
+        // harvest is idempotent
+        h.harvest();
+        assert_eq!(h.ops().len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! The per-server history of the shared variable.
+//!
+//! Each benign server stores, for every timestamp and every round slot
+//! `rnd ∈ {1, 2, 3}`, the pair written in that slot plus the set of
+//! class-2 quorum ids attached to it (`history_i[ts, rnd] = ⟨pair, sets⟩`,
+//! Fig. 6). The paper deliberately keeps the whole history (§5 explains
+//! why bounding it requires orthogonal techniques); we reproduce that
+//! choice.
+
+use crate::value::{Timestamp, TsVal};
+use core::fmt;
+use rqs_core::QuorumId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Number of write-round slots per timestamp.
+pub const SLOTS: usize = 3;
+
+/// One history slot: a stored pair plus attached class-2 quorum ids.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Slot {
+    /// The stored pair; `⟨0, ⊥⟩` when nothing was stored.
+    pub pair: TsVal,
+    /// Class-2 quorum ids attached by writers/readers (`sets` in Fig. 6).
+    pub sets: BTreeSet<QuorumId>,
+}
+
+impl Slot {
+    /// `true` iff nothing has been stored in this slot.
+    pub fn is_empty(&self) -> bool {
+        self.pair.is_initial() && self.sets.is_empty()
+    }
+}
+
+/// The full history of one server (or a reader's copy of it).
+///
+/// Indexed by timestamp; slots are 1-based in the paper (`rnd ∈ {1,2,3}`)
+/// and 1-based here too for fidelity — [`History::slot`] panics on 0.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct History {
+    entries: BTreeMap<Timestamp, [Slot; SLOTS]>,
+}
+
+impl History {
+    /// An empty history (`history_i[*,*] = ⟨⟨0,⊥⟩, ∅⟩`).
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// The slot for `(ts, rnd)`; empty slots read as the initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rnd ∉ {1, 2, 3}`.
+    pub fn slot(&self, ts: Timestamp, rnd: usize) -> Slot {
+        assert!((1..=SLOTS).contains(&rnd), "round slot must be 1..=3");
+        self.entries
+            .get(&ts)
+            .map(|slots| slots[rnd - 1].clone())
+            .unwrap_or_default()
+    }
+
+    /// The stored pair for `(ts, rnd)` (initial pair when empty).
+    pub fn pair(&self, ts: Timestamp, rnd: usize) -> TsVal {
+        self.slot(ts, rnd).pair
+    }
+
+    /// `true` iff slot `(ts, rnd)` stores exactly `pair`.
+    pub fn stores(&self, pair: &TsVal, rnd: usize) -> bool {
+        assert!((1..=SLOTS).contains(&rnd), "round slot must be 1..=3");
+        self.entries
+            .get(&pair.ts)
+            .is_some_and(|slots| slots[rnd - 1].pair == *pair)
+    }
+
+    /// `true` iff slot `(ts, rnd)` stores `pair` with `q2` attached.
+    pub fn stores_with_quorum(&self, pair: &TsVal, rnd: usize, q2: QuorumId) -> bool {
+        assert!((1..=SLOTS).contains(&rnd), "round slot must be 1..=3");
+        self.entries.get(&pair.ts).is_some_and(|slots| {
+            let slot = &slots[rnd - 1];
+            slot.pair == *pair && slot.sets.contains(&q2)
+        })
+    }
+
+    /// Applies a `wr⟨ts, v, QC'2, rnd⟩` message per the server pseudocode
+    /// (Fig. 6, lines 3–6): for every `m ≤ rnd`, store the pair if the slot
+    /// is untouched or already holds the same pair; attach the quorum ids
+    /// at slot `rnd`.
+    ///
+    /// Returns `true` if any slot changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rnd ∉ {1, 2, 3}`.
+    pub fn apply_write(
+        &mut self,
+        pair: &TsVal,
+        sets: &BTreeSet<QuorumId>,
+        rnd: usize,
+    ) -> bool {
+        assert!((1..=SLOTS).contains(&rnd), "round slot must be 1..=3");
+        let slots = self.entries.entry(pair.ts).or_default();
+        let mut changed = false;
+        for m in 1..=rnd {
+            let slot = &mut slots[m - 1];
+            // Fig. 6 line 4: overwrite only the untouched slot or the same
+            // pair (a Byzantine client cannot make a benign server replace
+            // a stored pair for a timestamp).
+            if (slot.pair.is_initial() && slot.sets.is_empty()) || slot.pair == *pair {
+                if slot.pair != *pair {
+                    slot.pair = pair.clone();
+                    changed = true;
+                }
+                if m == rnd && !sets.is_empty() {
+                    let before = slot.sets.len();
+                    slot.sets.extend(sets.iter().copied());
+                    changed |= slot.sets.len() != before;
+                }
+            }
+        }
+        changed
+    }
+
+    /// All pairs appearing in slots 1 or 2 anywhere in the history — the
+    /// candidate domain of the reader's `read(c, i)` predicate.
+    pub fn reported_pairs(&self) -> Vec<TsVal> {
+        let mut out = Vec::new();
+        for slots in self.entries.values() {
+            for slot in &slots[..2] {
+                if !slot.pair.is_initial() && !out.contains(&slot.pair) {
+                    out.push(slot.pair.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Highest timestamp stored in slots 1 or 2 (0 when empty).
+    pub fn highest_ts(&self) -> Timestamp {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, slots)| slots[..2].iter().any(|s| !s.pair.is_initial()))
+            .map(|(&ts, _)| ts)
+            .unwrap_or(0)
+    }
+
+    /// Number of timestamps with any stored slot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing has ever been stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "history[")?;
+        for (i, (ts, slots)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "ts{ts}:")?;
+            for (m, slot) in slots.iter().enumerate() {
+                if !slot.is_empty() {
+                    write!(f, " r{}={}", m + 1, slot.pair)?;
+                    if !slot.sets.is_empty() {
+                        write!(f, "+{}ids", slot.sets.len())?;
+                    }
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn pair(ts: Timestamp, v: u64) -> TsVal {
+        TsVal::new(ts, Value::from(v))
+    }
+
+    #[test]
+    fn empty_history_reads_initial() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pair(5, 1), TsVal::initial());
+        assert_eq!(h.highest_ts(), 0);
+        assert!(h.reported_pairs().is_empty());
+    }
+
+    #[test]
+    fn apply_write_fills_prefix_slots() {
+        let mut h = History::new();
+        let c = pair(3, 42);
+        assert!(h.apply_write(&c, &BTreeSet::new(), 2));
+        // Rounds 1 and 2 both store the pair; round 3 untouched.
+        assert!(h.stores(&c, 1));
+        assert!(h.stores(&c, 2));
+        assert!(!h.stores(&c, 3));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn sets_attach_only_at_message_round() {
+        let mut h = History::new();
+        let c = pair(1, 9);
+        let mut sets = BTreeSet::new();
+        sets.insert(QuorumId(4));
+        h.apply_write(&c, &sets, 2);
+        assert!(h.slot(1, 1).sets.is_empty());
+        assert!(h.stores_with_quorum(&c, 2, QuorumId(4)));
+        assert!(!h.stores_with_quorum(&c, 2, QuorumId(5)));
+    }
+
+    #[test]
+    fn conflicting_pair_does_not_overwrite() {
+        let mut h = History::new();
+        let c = pair(1, 7);
+        let forged = pair(1, 8);
+        h.apply_write(&c, &BTreeSet::new(), 1);
+        let changed = h.apply_write(&forged, &BTreeSet::new(), 1);
+        assert!(!changed);
+        assert!(h.stores(&c, 1));
+        assert!(!h.stores(&forged, 1));
+    }
+
+    #[test]
+    fn same_pair_accumulates_sets() {
+        let mut h = History::new();
+        let c = pair(2, 5);
+        let mut s1 = BTreeSet::new();
+        s1.insert(QuorumId(0));
+        let mut s2 = BTreeSet::new();
+        s2.insert(QuorumId(1));
+        h.apply_write(&c, &s1, 1);
+        h.apply_write(&c, &s2, 1);
+        let slot = h.slot(2, 1);
+        assert_eq!(slot.sets.len(), 2);
+        // re-applying the same set is a no-op
+        assert!(!h.apply_write(&c, &s2, 1));
+    }
+
+    #[test]
+    fn reported_pairs_and_highest_ts() {
+        let mut h = History::new();
+        h.apply_write(&pair(1, 10), &BTreeSet::new(), 1);
+        h.apply_write(&pair(4, 40), &BTreeSet::new(), 2);
+        let pairs = h.reported_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(h.highest_ts(), 4);
+    }
+
+    #[test]
+    fn slot3_only_write_not_reported() {
+        // reported_pairs/highest_ts scan slots 1 and 2 only (the reader's
+        // read(c,i) predicate); but apply_write at rnd=3 fills 1 and 2 too,
+        // so craft a slot-3-only state via a forged server: not possible
+        // through apply_write — verify the prefix-fill makes it visible.
+        let mut h = History::new();
+        h.apply_write(&pair(2, 20), &BTreeSet::new(), 3);
+        assert!(h.stores(&pair(2, 20), 3));
+        assert_eq!(h.highest_ts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "round slot")]
+    fn slot_zero_panics() {
+        let h = History::new();
+        let _ = h.slot(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        let mut h = History::new();
+        h.apply_write(&pair(1, 10), &BTreeSet::new(), 1);
+        let s = h.to_string();
+        assert!(s.contains("ts1"), "{s}");
+    }
+}

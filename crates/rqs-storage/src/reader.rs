@@ -1,0 +1,517 @@
+//! The reader automaton (Fig. 7).
+//!
+//! A read has two parts:
+//!
+//! 1. **Regular part** (lines 20–35): repeat rounds of `rd` messages until
+//!    the candidate set `C` is non-empty; in round 1 additionally wait for
+//!    the `2Δ` timeout, fix `highest_ts`, and remember the class-2 quorums
+//!    that responded (`QC'2`).
+//! 2. **Write-back part** (lines 40–49), driven by the best-case detector
+//!    `BCD`:
+//!    - `BCD(csel,1,·)` holds → return immediately (1-round read);
+//!    - `BCD(csel,2,·)` non-empty for rounds 2/3 → one plain round-2
+//!      write-back (2-round read);
+//!    - `BCD(csel,2,1)` non-empty → a round-1 write-back carrying the
+//!      detected class-2 quorum ids, with a timer: if one of those quorums
+//!      acks in time the read finishes in 2 rounds, otherwise a round-2
+//!      write-back follows (3 rounds);
+//!    - otherwise → round-1 then round-2 write-backs.
+
+use crate::history::History;
+use crate::messages::StorageMsg;
+use crate::predicates::ReadView;
+use crate::value::TsVal;
+use crate::writer::CLIENT_TIMEOUT;
+use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Record of one completed read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The reader-local operation id.
+    pub read_no: u64,
+    /// The selected (returned) pair; `⟨0,⊥⟩` for the initial value.
+    pub returned: TsVal,
+    /// Total client round-trips used.
+    pub rounds: usize,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Response time.
+    pub completed_at: Time,
+}
+
+#[derive(Debug)]
+struct Phase1 {
+    invoked_at: Time,
+    read_rnd: usize,
+    acks_this_round: ProcessSet,
+    responded_all: ProcessSet,
+    histories: Vec<History>,
+    timer: Option<TimerToken>,
+    timer_expired: bool,
+    qc2_prime: Vec<QuorumId>,
+    highest_ts: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum WbKind {
+    /// Round-1 write-back carrying `BCD(csel,2,1)` ids, with timer
+    /// (lines 43–46): finish at `rounds_so_far + 1` if a listed quorum
+    /// acks, else fall through to a final round-2 write-back.
+    FastRound1 { x: Vec<QuorumId> },
+    /// Plain round-1 write-back (line 49 first half): no timer, always
+    /// followed by the final round-2 write-back.
+    PlainRound1,
+    /// Final round-2 write-back (lines 42/47/49): quorum ack completes the
+    /// read.
+    FinalRound2,
+}
+
+#[derive(Debug)]
+struct Writeback {
+    invoked_at: Time,
+    csel: TsVal,
+    kind: WbKind,
+    acks: ProcessSet,
+    timer: Option<TimerToken>,
+    timer_expired: bool,
+    rounds_so_far: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    Phase1(Phase1),
+    Writeback(Writeback),
+}
+
+/// A reader client (Fig. 7).
+///
+/// Drive with [`Reader::start_read`] via
+/// [`World::invoke`](rqs_sim::World::invoke); completed reads accumulate
+/// in [`Reader::outcomes`].
+#[derive(Debug)]
+pub struct Reader {
+    rqs: Arc<Rqs>,
+    servers: Vec<NodeId>,
+    read_no: u64,
+    state: State,
+    outcomes: Vec<ReadOutcome>,
+}
+
+impl Reader {
+    /// Creates a reader over `rqs` whose universe member `i` is node
+    /// `servers[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers.len()` differs from the RQS universe size.
+    pub fn new(rqs: Arc<Rqs>, servers: Vec<NodeId>) -> Self {
+        assert_eq!(
+            servers.len(),
+            rqs.universe_size(),
+            "server list must cover the RQS universe"
+        );
+        Reader {
+            rqs,
+            servers,
+            read_no: 0,
+            state: State::Idle,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Completed reads, in completion order.
+    pub fn outcomes(&self) -> &[ReadOutcome] {
+        &self.outcomes
+    }
+
+    /// `true` iff no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::Idle)
+    }
+
+    /// Invokes `read()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read is already in progress (well-formed clients).
+    pub fn start_read(&mut self, ctx: &mut Context<StorageMsg>) {
+        assert!(self.is_idle(), "read already in progress");
+        self.read_no += 1;
+        let n = self.rqs.universe_size();
+        let mut p1 = Phase1 {
+            invoked_at: ctx.now(),
+            read_rnd: 0,
+            acks_this_round: ProcessSet::empty(),
+            responded_all: ProcessSet::empty(),
+            histories: vec![History::new(); n],
+            timer: None,
+            timer_expired: false,
+            qc2_prime: Vec::new(),
+            highest_ts: 0,
+        };
+        Self::enter_phase1_round(&mut p1, self.read_no, &self.servers, ctx);
+        self.state = State::Phase1(p1);
+    }
+
+    fn enter_phase1_round(
+        p1: &mut Phase1,
+        read_no: u64,
+        servers: &[NodeId],
+        ctx: &mut Context<StorageMsg>,
+    ) {
+        p1.read_rnd += 1;
+        p1.acks_this_round = ProcessSet::empty();
+        if p1.read_rnd == 1 {
+            p1.timer = Some(ctx.set_timer(CLIENT_TIMEOUT));
+            p1.timer_expired = false;
+        } else {
+            p1.timer = None;
+            p1.timer_expired = true;
+        }
+        ctx.broadcast(
+            servers.iter().copied(),
+            StorageMsg::Rd {
+                read_no,
+                rnd: p1.read_rnd,
+            },
+        );
+    }
+
+    fn server_index(&self, node: NodeId) -> Option<ProcessId> {
+        self.servers
+            .iter()
+            .position(|&s| s == node)
+            .map(ProcessId)
+    }
+
+    fn try_finish_phase1_round(&mut self, ctx: &mut Context<StorageMsg>) {
+        let State::Phase1(p1) = &mut self.state else {
+            return;
+        };
+        if !p1.timer_expired || !self.rqs.any_quorum_within(p1.acks_this_round) {
+            return;
+        }
+        if p1.read_rnd == 1 {
+            // Lines 29–31: fix highest_ts and QC'2 at the end of round 1.
+            p1.highest_ts = p1
+                .histories
+                .iter()
+                .map(|h| h.highest_ts())
+                .max()
+                .unwrap_or(0);
+            p1.qc2_prime = self.rqs.class2_within(p1.acks_this_round);
+        }
+        let responded = self.rqs.quorums_within(p1.responded_all);
+        let view = ReadView {
+            rqs: &self.rqs,
+            histories: &p1.histories,
+            responded: &responded,
+            highest_ts: p1.highest_ts,
+            qc2_prime: &p1.qc2_prime,
+        };
+        let Some(csel) = view.select() else {
+            // C = ∅: another round of the regular part (line 34).
+            Self::enter_phase1_round(p1, self.read_no, &self.servers.clone(), ctx);
+            return;
+        };
+
+        // Write-back part (lines 40–49).
+        let read_rnd = p1.read_rnd;
+        let invoked_at = p1.invoked_at;
+        if read_rnd == 1 {
+            // Line 40: BCD(csel, 1, ·) → 1-round read, no write-back.
+            if (1..=3).any(|r| view.bcd1(&csel, r)) {
+                self.state = State::Idle;
+                self.outcomes.push(ReadOutcome {
+                    read_no: self.read_no,
+                    returned: csel,
+                    rounds: 1,
+                    invoked_at,
+                    completed_at: ctx.now(),
+                });
+                return;
+            }
+            // Line 41: BCD(csel, 2, ·) non-empty?
+            let x1 = view.bcd2(&csel, 1);
+            let x23: Vec<QuorumId> = {
+                let mut v = view.bcd2(&csel, 2);
+                for q in view.bcd2(&csel, 3) {
+                    if !v.contains(&q) {
+                        v.push(q);
+                    }
+                }
+                v
+            };
+            if !x23.is_empty() {
+                // Line 42: the writer already completed at some quorum —
+                // one plain round-2 write-back finishes the read.
+                self.start_writeback(csel, WbKind::FinalRound2, 1, invoked_at, ctx);
+                return;
+            }
+            if !x1.is_empty() {
+                // Lines 43–46: fast round-1 write-back carrying X.
+                self.start_writeback(csel, WbKind::FastRound1 { x: x1 }, 1, invoked_at, ctx);
+                return;
+            }
+        }
+        // Line 49: round-1 then round-2 write-backs.
+        self.start_writeback(csel, WbKind::PlainRound1, read_rnd, invoked_at, ctx);
+    }
+
+    fn start_writeback(
+        &mut self,
+        csel: TsVal,
+        kind: WbKind,
+        rounds_so_far: usize,
+        invoked_at: Time,
+        ctx: &mut Context<StorageMsg>,
+    ) {
+        let (rnd, sets, with_timer): (usize, BTreeSet<QuorumId>, bool) = match &kind {
+            WbKind::FastRound1 { x } => (1, x.iter().copied().collect(), true),
+            WbKind::PlainRound1 => (1, BTreeSet::new(), false),
+            WbKind::FinalRound2 => (2, BTreeSet::new(), false),
+        };
+        let timer = with_timer.then(|| ctx.set_timer(CLIENT_TIMEOUT));
+        ctx.broadcast(
+            self.servers.iter().copied(),
+            StorageMsg::Wr {
+                ts: csel.ts,
+                val: csel.val.clone(),
+                sets,
+                rnd,
+            },
+        );
+        self.state = State::Writeback(Writeback {
+            invoked_at,
+            csel,
+            kind,
+            acks: ProcessSet::empty(),
+            timer,
+            timer_expired: !with_timer,
+            rounds_so_far,
+        });
+    }
+
+    fn try_finish_writeback(&mut self, ctx: &mut Context<StorageMsg>) {
+        let State::Writeback(wb) = &mut self.state else {
+            return;
+        };
+        if !wb.timer_expired || !self.rqs.any_quorum_within(wb.acks) {
+            return;
+        }
+        let rounds = wb.rounds_so_far + 1;
+        let csel = wb.csel.clone();
+        let invoked_at = wb.invoked_at;
+        match &wb.kind {
+            WbKind::FastRound1 { x } => {
+                // Line 46: did one of the detected class-2 quorums ack?
+                let confirmed = x
+                    .iter()
+                    .any(|&q2| self.rqs.quorum(q2).is_subset_of(wb.acks));
+                if confirmed {
+                    self.complete(csel, rounds, invoked_at, ctx);
+                } else {
+                    // Line 47: final round-2 write-back.
+                    self.start_writeback(csel, WbKind::FinalRound2, rounds, invoked_at, ctx);
+                }
+            }
+            WbKind::PlainRound1 => {
+                self.start_writeback(csel, WbKind::FinalRound2, rounds, invoked_at, ctx);
+            }
+            WbKind::FinalRound2 => {
+                self.complete(csel, rounds, invoked_at, ctx);
+            }
+        }
+    }
+
+    fn complete(
+        &mut self,
+        returned: TsVal,
+        rounds: usize,
+        invoked_at: Time,
+        ctx: &mut Context<StorageMsg>,
+    ) {
+        if let State::Writeback(wb) = &self.state {
+            if let Some(t) = wb.timer {
+                ctx.cancel_timer(t);
+            }
+        }
+        self.outcomes.push(ReadOutcome {
+            read_no: self.read_no,
+            returned,
+            rounds,
+            invoked_at,
+            completed_at: ctx.now(),
+        });
+        self.state = State::Idle;
+    }
+}
+
+impl Automaton<StorageMsg> for Reader {
+    fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
+        let Some(sender) = self.server_index(from) else {
+            return;
+        };
+        match msg {
+            StorageMsg::RdAck { read_no, rnd, history } => {
+                if read_no != self.read_no {
+                    return; // ack for an older read
+                }
+                let State::Phase1(p1) = &mut self.state else {
+                    return; // late ack during write-back: no effect
+                };
+                // Lines 50–53: adopt the newest history, track responders.
+                p1.histories[sender.index()] = history;
+                p1.responded_all.insert(sender);
+                if rnd == p1.read_rnd {
+                    p1.acks_this_round.insert(sender);
+                }
+                self.try_finish_phase1_round(ctx);
+            }
+            StorageMsg::WrAck { ts, rnd } => {
+                let State::Writeback(wb) = &mut self.state else {
+                    return;
+                };
+                let expected_rnd = match &wb.kind {
+                    WbKind::FastRound1 { .. } | WbKind::PlainRound1 => 1,
+                    WbKind::FinalRound2 => 2,
+                };
+                if ts != wb.csel.ts || rnd != expected_rnd {
+                    return;
+                }
+                wb.acks.insert(sender);
+                self.try_finish_writeback(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<StorageMsg>) {
+        match &mut self.state {
+            State::Phase1(p1) if p1.timer == Some(timer) => {
+                p1.timer_expired = true;
+                self.try_finish_phase1_round(ctx);
+            }
+            State::Writeback(wb) if wb.timer == Some(timer) => {
+                wb.timer_expired = true;
+                self.try_finish_writeback(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::value::Value;
+    use crate::writer::Writer;
+    use rqs_core::threshold::ThresholdConfig;
+    use rqs_sim::{NetworkScript, World};
+
+    /// Builds a full world over the §1.2 system: 5 servers, 1 writer,
+    /// 1 reader; returns (world, server_ids, writer_id, reader_id).
+    fn build_world() -> (World<StorageMsg>, Vec<NodeId>, NodeId, NodeId) {
+        let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+        let mut world = World::new(NetworkScript::synchronous());
+        let servers: Vec<NodeId> = (0..5)
+            .map(|_| world.add_node(Box::new(Server::new())))
+            .collect();
+        let writer = world.add_node(Box::new(Writer::new(rqs.clone(), servers.clone())));
+        let reader = world.add_node(Box::new(Reader::new(rqs, servers.clone())));
+        (world, servers, writer, reader)
+    }
+
+    #[test]
+    fn read_of_unwritten_register_returns_bottom() {
+        let (mut world, _s, _w, reader) = build_world();
+        world.invoke::<Reader>(reader, |r, ctx| r.start_read(ctx));
+        world.run_to_quiescence();
+        let out = &world.node_as::<Reader>(reader).outcomes()[0];
+        assert!(out.returned.is_initial());
+        assert_eq!(out.rounds, 1, "uncontended synchronous read is fast");
+    }
+
+    #[test]
+    fn read_after_fast_write_is_one_round() {
+        let (mut world, _s, writer, reader) = build_world();
+        world.invoke::<Writer>(writer, |w, ctx| w.start_write(Value::from(7u64), ctx));
+        world.run_to_quiescence();
+        assert_eq!(world.node_as::<Writer>(writer).outcomes()[0].rounds, 1);
+        world.invoke::<Reader>(reader, |r, ctx| r.start_read(ctx));
+        world.run_to_quiescence();
+        let out = &world.node_as::<Reader>(reader).outcomes()[0];
+        assert_eq!(out.returned.val, Value::from(7u64));
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn read_sees_latest_of_multiple_writes() {
+        let (mut world, _s, writer, reader) = build_world();
+        for v in [1u64, 2, 3] {
+            world.invoke::<Writer>(writer, |w, ctx| w.start_write(Value::from(v), ctx));
+            world.run_to_quiescence();
+        }
+        world.invoke::<Reader>(reader, |r, ctx| r.start_read(ctx));
+        world.run_to_quiescence();
+        let out = &world.node_as::<Reader>(reader).outcomes()[0];
+        assert_eq!(out.returned, TsVal::new(3, Value::from(3u64)));
+    }
+
+    #[test]
+    fn two_crashes_degrade_but_stay_correct() {
+        use rqs_sim::Time;
+        let (mut world, servers, writer, reader) = build_world();
+        world.crash_at(servers[3], Time::ZERO);
+        world.crash_at(servers[4], Time::ZERO);
+        world.step(); // process crash events
+        world.step();
+        world.invoke::<Writer>(writer, |w, ctx| w.start_write(Value::from(9u64), ctx));
+        world.run_to_quiescence();
+        let wout = &world.node_as::<Writer>(writer).outcomes()[0];
+        assert!(wout.rounds >= 2, "no class-1 quorum available");
+        world.invoke::<Reader>(reader, |r, ctx| r.start_read(ctx));
+        world.run_to_quiescence();
+        let out = &world.node_as::<Reader>(reader).outcomes()[0];
+        assert_eq!(out.returned.val, Value::from(9u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "read already in progress")]
+    fn overlapping_reads_rejected() {
+        let (mut world, _s, _w, reader) = build_world();
+        world.invoke::<Reader>(reader, |r, ctx| {
+            r.start_read(ctx);
+            r.start_read(ctx);
+        });
+    }
+
+    #[test]
+    fn repeated_reads_increment_read_no() {
+        let (mut world, _s, _w, reader) = build_world();
+        for _ in 0..3 {
+            world.invoke::<Reader>(reader, |r, ctx| r.start_read(ctx));
+            world.run_to_quiescence();
+        }
+        let outs = world.node_as::<Reader>(reader).outcomes();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(
+            outs.iter().map(|o| o.read_no).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+}

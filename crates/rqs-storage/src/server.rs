@@ -1,0 +1,129 @@
+//! The benign storage server automaton (Fig. 6).
+
+use crate::history::History;
+use crate::messages::StorageMsg;
+use crate::value::TsVal;
+use rqs_sim::{Automaton, Context, NodeId};
+use std::any::Any;
+
+/// A benign storage server.
+///
+/// Servers are passive: they store writes into their [`History`] and
+/// answer reads with the entire history, replying to each client message
+/// before processing any other (the round-based restriction of §3.1 —
+/// guaranteed here because a step handles exactly one message).
+#[derive(Clone, Debug, Default)]
+pub struct Server {
+    history: History,
+}
+
+impl Server {
+    /// A fresh server with the empty history.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Read access to the stored history (for harness assertions).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+}
+
+impl Automaton<StorageMsg> for Server {
+    fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
+        match msg {
+            StorageMsg::Wr { ts, val, sets, rnd } => {
+                let pair = TsVal::new(ts, val);
+                self.history.apply_write(&pair, &sets, rnd);
+                ctx.send(from, StorageMsg::WrAck { ts, rnd });
+            }
+            StorageMsg::Rd { read_no, rnd } => {
+                ctx.send(
+                    from,
+                    StorageMsg::RdAck {
+                        read_no,
+                        rnd,
+                        history: self.history.clone(),
+                    },
+                );
+            }
+            // Servers never receive acks; ignore (Byzantine clients could
+            // send them).
+            StorageMsg::WrAck { .. } | StorageMsg::RdAck { .. } => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use rqs_sim::Time;
+    use std::collections::BTreeSet;
+
+    fn ctx() -> Context<StorageMsg> {
+        Context::new(NodeId(0), Time::ZERO, 0)
+    }
+
+    #[test]
+    fn write_then_ack() {
+        let mut s = Server::new();
+        let mut c = ctx();
+        s.on_message(
+            NodeId(9),
+            StorageMsg::Wr {
+                ts: 1,
+                val: Value::from(5u64),
+                sets: BTreeSet::new(),
+                rnd: 1,
+            },
+            &mut c,
+        );
+        assert!(s.history().stores(&TsVal::new(1, Value::from(5u64)), 1));
+        assert_eq!(c.sent().len(), 1);
+        assert_eq!(c.sent()[0].0, NodeId(9));
+        assert_eq!(c.sent()[0].1, StorageMsg::WrAck { ts: 1, rnd: 1 });
+    }
+
+    #[test]
+    fn read_returns_full_history() {
+        let mut s = Server::new();
+        let mut c = ctx();
+        s.on_message(
+            NodeId(9),
+            StorageMsg::Wr {
+                ts: 2,
+                val: Value::from(7u64),
+                sets: BTreeSet::new(),
+                rnd: 2,
+            },
+            &mut c,
+        );
+        let mut c2 = ctx();
+        s.on_message(NodeId(8), StorageMsg::Rd { read_no: 4, rnd: 1 }, &mut c2);
+        match &c2.sent()[0].1 {
+            StorageMsg::RdAck { read_no, rnd, history } => {
+                assert_eq!((*read_no, *rnd), (4, 1));
+                assert!(history.stores(&TsVal::new(2, Value::from(7u64)), 2));
+            }
+            other => panic!("expected RdAck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acks_ignored() {
+        let mut s = Server::new();
+        let mut c = ctx();
+        s.on_message(NodeId(9), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        assert!(c.sent().is_empty());
+        assert!(s.history().is_empty());
+    }
+}

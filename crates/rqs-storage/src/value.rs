@@ -1,0 +1,152 @@
+//! Storage values and timestamp/value pairs.
+
+use bytes::Bytes;
+use core::fmt;
+
+/// A value stored in the register.
+///
+/// The initial register content is [`Value::bottom`] (`⊥`), which is not in
+/// the domain `D` of valid write inputs — writers must write non-`⊥`
+/// values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// The initial register value `⊥`.
+    pub fn bottom() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// `true` iff this is `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw bytes of the value.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value(Bytes::copy_from_slice(v.as_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            return write!(f, "⊥");
+        }
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| c.is_ascii_graphic() || c == ' ') => write!(f, "{s:?}"),
+            _ => {
+                if self.0.len() == 8 {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&self.0);
+                    write!(f, "{}", u64::from_be_bytes(buf))
+                } else {
+                    write!(f, "0x{}", hex(&self.0))
+                }
+            }
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// A write timestamp; `0` is reserved for the initial pair `⟨0, ⊥⟩`.
+pub type Timestamp = u64;
+
+/// A timestamp/value pair `c = ⟨c.ts, c.val⟩` — the unit the protocol
+/// reasons about.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TsVal {
+    /// The timestamp the writer attached.
+    pub ts: Timestamp,
+    /// The value.
+    pub val: Value,
+}
+
+impl TsVal {
+    /// The initial pair `⟨0, ⊥⟩`.
+    pub fn initial() -> Self {
+        TsVal {
+            ts: 0,
+            val: Value::bottom(),
+        }
+    }
+
+    /// A fresh pair.
+    pub fn new(ts: Timestamp, val: Value) -> Self {
+        TsVal { ts, val }
+    }
+
+    /// `true` iff this is the initial pair.
+    pub fn is_initial(&self) -> bool {
+        self.ts == 0 && self.val.is_bottom()
+    }
+}
+
+impl Default for TsVal {
+    fn default() -> Self {
+        TsVal::initial()
+    }
+}
+
+impl fmt::Display for TsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.ts, self.val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_properties() {
+        assert!(Value::bottom().is_bottom());
+        assert!(!Value::from(7u64).is_bottom());
+        assert_eq!(Value::bottom().to_string(), "⊥");
+        assert_eq!(Value::default(), Value::bottom());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7u64).as_bytes(), 7u64.to_be_bytes());
+        assert_eq!(Value::from("abc").as_bytes(), b"abc");
+        assert_eq!(Value::from(vec![1, 2]).as_bytes(), &[1, 2]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::from(300u64).to_string(), "300");
+        assert_eq!(Value::from(vec![0xff, 0x00]).to_string(), "0xff00");
+    }
+
+    #[test]
+    fn tsval_initial() {
+        let init = TsVal::initial();
+        assert!(init.is_initial());
+        assert_eq!(init, TsVal::default());
+        assert!(!TsVal::new(1, Value::from(1u64)).is_initial());
+        assert_eq!(TsVal::new(2, Value::from("x")).to_string(), "⟨2,\"x\"⟩");
+    }
+}

@@ -1,0 +1,441 @@
+//! The single writer automaton (Fig. 5).
+//!
+//! A write proceeds in at most three rounds:
+//!
+//! 1. send `wr⟨ts, v, ∅, 1⟩` to all servers; wait for acks from some quorum
+//!    *and* the `2Δ` timeout. If a class-1 quorum acked → done (1 round).
+//!    Otherwise remember every class-2 quorum that acked (`QC'2`).
+//! 2. send `wr⟨ts, v, QC'2, 2⟩`; wait for quorum acks and the timeout. If
+//!    some quorum *from `QC'2`* acked → done (2 rounds).
+//! 3. send `wr⟨ts, v, ∅, 3⟩`; wait for acks from any quorum → done.
+//!
+//! Discretization note: the paper's timer is `2Δ`; with `Δ = 1` tick and
+//! deterministic same-tick ordering we arm it for `2Δ + 1` ticks so that
+//! every ack arriving *within* the synchrony bound is counted before the
+//! timer fires. Latency is measured in protocol rounds, not ticks, so this
+//! changes nothing observable.
+
+use crate::messages::StorageMsg;
+use crate::value::{Timestamp, Value};
+use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken, DELTA};
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Timeout used by clients: the paper's `2Δ`, plus one tick so that acks
+/// arriving exactly at the synchrony bound sort before the timer.
+pub const CLIENT_TIMEOUT: u64 = 2 * DELTA + 1;
+
+/// Record of one completed write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Timestamp the writer attached.
+    pub ts: Timestamp,
+    /// The written value.
+    pub val: Value,
+    /// Rounds the write took (1, 2 or 3).
+    pub rounds: usize,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Response time.
+    pub completed_at: Time,
+}
+
+#[derive(Debug)]
+struct WriteInProgress {
+    val: Value,
+    invoked_at: Time,
+    round: usize,
+    acks: ProcessSet,
+    timer_expired: bool,
+    timer: Option<TimerToken>,
+    qc2_prime: Vec<QuorumId>,
+}
+
+/// The SWMR writer (Fig. 5).
+///
+/// Drive it with [`Writer::start_write`] via
+/// [`World::invoke`](rqs_sim::World::invoke); completed operations
+/// accumulate in [`Writer::outcomes`].
+#[derive(Debug)]
+pub struct Writer {
+    rqs: Arc<Rqs>,
+    servers: Vec<NodeId>,
+    ts: Timestamp,
+    current: Option<WriteInProgress>,
+    outcomes: Vec<WriteOutcome>,
+}
+
+impl Writer {
+    /// Creates the writer for a refined quorum system whose universe
+    /// member `i` is the simulated node `servers[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers.len()` differs from the RQS universe size.
+    pub fn new(rqs: Arc<Rqs>, servers: Vec<NodeId>) -> Self {
+        assert_eq!(
+            servers.len(),
+            rqs.universe_size(),
+            "server list must cover the RQS universe"
+        );
+        Writer {
+            rqs,
+            servers,
+            ts: 0,
+            current: None,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Completed writes, in completion order.
+    pub fn outcomes(&self) -> &[WriteOutcome] {
+        &self.outcomes
+    }
+
+    /// `true` iff no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none()
+    }
+
+    /// The timestamp of the most recent write (0 before the first).
+    pub fn last_ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The invoked-but-incomplete write, if any: `(ts, value, invoked_at)`.
+    ///
+    /// Atomicity checking needs this: a concurrent read may legitimately
+    /// return a value whose write never completes (the writer crashed or
+    /// was cut off).
+    pub fn in_progress(&self) -> Option<(Timestamp, Value, Time)> {
+        self.current
+            .as_ref()
+            .map(|w| (self.ts, w.val.clone(), w.invoked_at))
+    }
+
+    /// Invokes `write(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write is already in progress (clients are
+    /// well-formed: one operation at a time, §3.1) or if `v` is `⊥`.
+    pub fn start_write(&mut self, v: Value, ctx: &mut Context<StorageMsg>) {
+        assert!(self.current.is_none(), "write already in progress");
+        assert!(!v.is_bottom(), "⊥ is not a writable value");
+        self.ts += 1;
+        self.current = Some(WriteInProgress {
+            val: v,
+            invoked_at: ctx.now(),
+            round: 0,
+            acks: ProcessSet::empty(),
+            timer_expired: false,
+            timer: None,
+            qc2_prime: Vec::new(),
+        });
+        self.enter_round(1, ctx);
+    }
+
+    fn enter_round(&mut self, round: usize, ctx: &mut Context<StorageMsg>) {
+        let ts = self.ts;
+        let w = self.current.as_mut().expect("write in progress");
+        w.round = round;
+        w.acks = ProcessSet::empty();
+        w.timer_expired = round == 3; // no timer in round 3 (Fig. 5 line 11)
+        let sets: BTreeSet<QuorumId> = if round == 2 {
+            w.qc2_prime.iter().copied().collect()
+        } else {
+            BTreeSet::new()
+        };
+        if round < 3 {
+            w.timer = Some(ctx.set_timer(CLIENT_TIMEOUT));
+        } else {
+            w.timer = None;
+        }
+        let val = w.val.clone();
+        let targets: Vec<NodeId> = self.servers.clone();
+        ctx.broadcast(
+            targets,
+            StorageMsg::Wr {
+                ts,
+                val,
+                sets,
+                rnd: round,
+            },
+        );
+    }
+
+    fn try_finish_round(&mut self, ctx: &mut Context<StorageMsg>) {
+        let Some(w) = self.current.as_ref() else {
+            return;
+        };
+        // Fig. 5 line 12: wait for quorum acks AND timer expiration.
+        if !w.timer_expired || !self.rqs.any_quorum_within(w.acks) {
+            return;
+        }
+        let round = w.round;
+        match round {
+            1 => {
+                if self.rqs.class1_within(w.acks).is_some() {
+                    self.complete(1, ctx);
+                } else {
+                    let qc2 = self.rqs.class2_within(w.acks);
+                    self.current.as_mut().expect("in progress").qc2_prime = qc2;
+                    self.enter_round(2, ctx);
+                }
+            }
+            2 => {
+                let acked_from_qc2_prime = w
+                    .qc2_prime
+                    .iter()
+                    .any(|&q2| self.rqs.quorum(q2).is_subset_of(w.acks));
+                if acked_from_qc2_prime {
+                    self.complete(2, ctx);
+                } else {
+                    self.current.as_mut().expect("in progress").qc2_prime.clear();
+                    self.enter_round(3, ctx);
+                }
+            }
+            3 => self.complete(3, ctx),
+            other => unreachable!("write round {other}"),
+        }
+    }
+
+    fn complete(&mut self, rounds: usize, ctx: &mut Context<StorageMsg>) {
+        let w = self.current.take().expect("write in progress");
+        if let Some(timer) = w.timer {
+            ctx.cancel_timer(timer);
+        }
+        self.outcomes.push(WriteOutcome {
+            ts: self.ts,
+            val: w.val,
+            rounds,
+            invoked_at: w.invoked_at,
+            completed_at: ctx.now(),
+        });
+    }
+
+    fn server_index(&self, node: NodeId) -> Option<ProcessId> {
+        self.servers
+            .iter()
+            .position(|&s| s == node)
+            .map(ProcessId)
+    }
+}
+
+impl Automaton<StorageMsg> for Writer {
+    fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
+        let StorageMsg::WrAck { ts, rnd } = msg else {
+            return; // writers ignore everything but write acks
+        };
+        let Some(sender) = self.server_index(from) else {
+            return; // not a server — ignore
+        };
+        let Some(w) = self.current.as_mut() else {
+            return; // stale ack after completion
+        };
+        if ts != self.ts || rnd != w.round {
+            return; // ack for an earlier round/operation
+        }
+        w.acks.insert(sender);
+        self.try_finish_round(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<StorageMsg>) {
+        let Some(w) = self.current.as_mut() else {
+            return;
+        };
+        if w.timer == Some(timer) {
+            w.timer_expired = true;
+            self.try_finish_round(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+    use rqs_sim::Time;
+
+    fn rqs_5() -> Arc<Rqs> {
+        // §1.2: n=5, t=2, k=0, class-1 at 4 servers, all quorums class 2.
+        Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap())
+    }
+
+    fn servers() -> Vec<NodeId> {
+        (0..5).map(NodeId).collect()
+    }
+
+    fn new_ctx(at: u64) -> Context<StorageMsg> {
+        Context::new(NodeId(5), Time(at), 0)
+    }
+
+    #[test]
+    fn write_broadcasts_round1() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        assert_eq!(ctx.sent().len(), 5);
+        assert_eq!(w.last_ts(), 1);
+        assert!(!w.is_idle());
+        match &ctx.sent()[0].1 {
+            StorageMsg::Wr { ts, rnd, sets, .. } => {
+                assert_eq!((*ts, *rnd), (1, 1));
+                assert!(sets.is_empty());
+            }
+            other => panic!("expected Wr, got {other:?}"),
+        }
+        // a timer was armed
+        assert_eq!(ctx.armed_timers().len(), 1);
+        assert_eq!(ctx.armed_timers()[0].0, CLIENT_TIMEOUT);
+    }
+
+    #[test]
+    fn class1_acks_complete_in_one_round() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        let timer = ctx.armed_timers()[0].1;
+        // 4 acks (a class-1 quorum) arrive…
+        for i in 0..4 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+            assert!(!w.is_idle(), "must await the timer");
+        }
+        // …then the timer fires: complete in 1 round.
+        let mut c = new_ctx(3);
+        w.on_timer(timer, &mut c);
+        assert!(w.is_idle());
+        let out = &w.outcomes()[0];
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.ts, 1);
+        assert_eq!(out.completed_at, Time(3));
+    }
+
+    #[test]
+    fn three_acks_go_to_round_two_and_complete() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        let timer = ctx.armed_timers()[0].1;
+        for i in 0..3 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        }
+        let mut c = new_ctx(3);
+        w.on_timer(timer, &mut c);
+        // round 2 broadcast with QC'2 = the class-2 quorum {0,1,2}
+        assert!(!w.is_idle());
+        assert_eq!(c.sent().len(), 5);
+        let round2_timer = c.armed_timers()[0].1;
+        match &c.sent()[0].1 {
+            StorageMsg::Wr { rnd, sets, .. } => {
+                assert_eq!(*rnd, 2);
+                assert!(!sets.is_empty(), "QC'2 must carry the acked class-2 quorum");
+            }
+            other => panic!("{other:?}"),
+        }
+        // same 3 servers ack round 2; then timer.
+        for i in 0..3 {
+            let mut c = new_ctx(5);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 2 }, &mut c);
+        }
+        let mut c = new_ctx(6);
+        w.on_timer(round2_timer, &mut c);
+        assert!(w.is_idle());
+        assert_eq!(w.outcomes()[0].rounds, 2);
+    }
+
+    #[test]
+    fn different_quorum_in_round_two_forces_round_three() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        let timer = ctx.armed_timers()[0].1;
+        // Round 1: servers {0,1,2} ack → QC'2 = {{0,1,2}}.
+        for i in 0..3 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        }
+        let mut c = new_ctx(3);
+        w.on_timer(timer, &mut c);
+        let round2_timer = c.armed_timers()[0].1;
+        // Round 2: a DIFFERENT quorum {2,3,4} acks — not in QC'2.
+        for i in 2..5 {
+            let mut c = new_ctx(5);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 2 }, &mut c);
+        }
+        let mut c = new_ctx(6);
+        w.on_timer(round2_timer, &mut c);
+        assert!(!w.is_idle(), "must proceed to round 3");
+        // Round 3: any quorum completes, no timer needed.
+        for i in 2..5 {
+            let mut c = new_ctx(8);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 3 }, &mut c);
+        }
+        assert!(w.is_idle());
+        assert_eq!(w.outcomes()[0].rounds, 3);
+    }
+
+    #[test]
+    fn stale_acks_ignored() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        // wrong ts
+        let mut c = new_ctx(1);
+        w.on_message(NodeId(0), StorageMsg::WrAck { ts: 9, rnd: 1 }, &mut c);
+        // wrong round
+        w.on_message(NodeId(0), StorageMsg::WrAck { ts: 1, rnd: 2 }, &mut c);
+        // non-server sender
+        w.on_message(NodeId(77), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        let cur = w.current.as_ref().unwrap();
+        assert!(cur.acks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "write already in progress")]
+    fn concurrent_write_rejected() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(1u64), &mut ctx);
+        w.start_write(Value::from(2u64), &mut ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥ is not a writable value")]
+    fn bottom_write_rejected() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::bottom(), &mut ctx);
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let mut w = Writer::new(rqs_5(), servers());
+        for expect_ts in 1..=3u64 {
+            let mut ctx = new_ctx(0);
+            w.start_write(Value::from(expect_ts), &mut ctx);
+            assert_eq!(w.last_ts(), expect_ts);
+            let timer = ctx.armed_timers()[0].1;
+            for i in 0..4 {
+                let mut c = new_ctx(2);
+                w.on_message(NodeId(i), StorageMsg::WrAck { ts: expect_ts, rnd: 1 }, &mut c);
+            }
+            let mut c = new_ctx(3);
+            w.on_timer(timer, &mut c);
+            assert!(w.is_idle());
+        }
+        assert_eq!(w.outcomes().len(), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: the facade API, the threaded runtime, and a
+//! combined consensus-then-storage scenario.
+
+use rqs::consensus::ConsensusHarness;
+use rqs::runtime::{RtConsensus, RtStorage};
+use rqs::storage::{StorageHarness, Value};
+use rqs::{Adversary, ProcessSet, QuorumClass, ThresholdConfig};
+use std::time::Duration;
+
+#[test]
+fn facade_reexports_are_usable() {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    assert_eq!(rqs.universe_size(), 4);
+    assert_eq!(
+        rqs.best_available_class(ProcessSet::empty()),
+        Some(QuorumClass::Class1)
+    );
+    let adv = Adversary::threshold(4, 1);
+    assert!(adv.is_basic(ProcessSet::from_indices([0, 1])));
+}
+
+#[test]
+fn agree_on_config_then_store() {
+    // A control plane agrees (via consensus) which replication factor to
+    // use, then the data plane runs storage over the agreed system — the
+    // "state machine replication + storage" shape of the paper's intro.
+    let control = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut consensus = ConsensusHarness::new(control, 2, 2);
+    consensus.propose(0, 7); // propose: use 7 servers
+    assert!(consensus.run_until_learned(200_000));
+    let n = consensus.agreed_value().unwrap() as usize;
+
+    let data = ThresholdConfig::new(n, 2, 1)
+        .with_class1(0)
+        .with_class2(1)
+        .build()
+        .unwrap();
+    let mut storage = StorageHarness::new(data, 1);
+    storage.write(Value::from(123u64));
+    let r = storage.read(0);
+    assert_eq!(r.returned.val, Value::from(123u64));
+    storage.check_atomicity().unwrap();
+}
+
+#[test]
+fn threaded_storage_many_ops() {
+    let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+    let mut st = RtStorage::with_tick(rqs, 2, Duration::from_micros(500));
+    for v in 1..=5u64 {
+        let (w, _) = st.write(Value::from(v));
+        assert_eq!(w.rounds, 1);
+        let (r0, _) = st.read(0);
+        let (r1, _) = st.read(1);
+        assert_eq!(r0.returned.val, Value::from(v));
+        assert_eq!(r1.returned.val, Value::from(v));
+    }
+    st.shutdown();
+}
+
+#[test]
+fn threaded_consensus_agrees() {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut cons = RtConsensus::with_tick(rqs, 2, 2, Duration::from_micros(500));
+    let wall = cons.propose_and_learn(0, 42);
+    assert_eq!(cons.learned(0), Some(42));
+    assert_eq!(cons.learned(1), Some(42));
+    assert!(wall < Duration::from_secs(10));
+    cons.shutdown();
+}
+
+#[test]
+fn simulator_and_runtime_agree_on_rounds() {
+    // The same protocol over the same RQS must report the same round
+    // counts in both execution environments.
+    let mk = || ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut sim = StorageHarness::new(mk(), 1);
+    let sim_w = sim.write(Value::from(9u64)).rounds;
+    let sim_r = sim.read(0).rounds;
+
+    let mut rt = RtStorage::with_tick(mk(), 1, Duration::from_micros(500));
+    let (rt_w, _) = rt.write(Value::from(9u64));
+    let (rt_r, _) = rt.read(0);
+    rt.shutdown();
+
+    assert_eq!((sim_w, sim_r), (rt_w.rounds, rt_r.rounds));
+}
