@@ -1,0 +1,91 @@
+//! Offline stand-in for `crossbeam-channel`, implemented over
+//! `std::sync::mpsc`.
+//!
+//! Covers the subset the runtime uses: [`unbounded`] / [`bounded`]
+//! construction, clonable [`Sender`]s, and blocking [`Receiver`] iteration.
+//! `bounded` does not enforce a capacity (the runtime only uses it for
+//! one-shot rendezvous channels where backpressure is irrelevant).
+
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc;
+
+/// Sending half of a channel; clonable.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// Receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the unsent message.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails only if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocking iterator over incoming messages; ends when all senders
+    /// are dropped.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+/// A "bounded" channel; capacity is not enforced by this stand-in.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41u32).unwrap());
+        tx.send(1).unwrap();
+        let sum: u32 = [rx.recv().unwrap(), rx.recv().unwrap()].iter().sum();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn iter_ends_when_senders_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(7u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![7]);
+    }
+}

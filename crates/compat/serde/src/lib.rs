@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing actually serializes yet, and the
+//! build environment has no registry access. These derives therefore
+//! expand to nothing; swapping in real serde later requires only a
+//! manifest change, no source edits.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize` in derive position.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize` in derive position.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

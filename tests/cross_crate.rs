@@ -8,6 +8,45 @@ use rqs::{Adversary, ProcessSet, QuorumClass, ThresholdConfig};
 use std::time::Duration;
 
 #[test]
+fn all_six_facade_modules_resolve() {
+    // One item from each re-exported workspace member, referenced through
+    // its facade path — this is the workspace-wiring smoke test: if a
+    // member drops out of the facade, this fails to compile.
+    let _core: rqs::core::ProcessSet = rqs::core::ProcessSet::from_indices([0, 1]);
+    let _sim: rqs::sim::Time = rqs::sim::Time(0);
+    let crypto = rqs::crypto::KeyRegistry::new(4, 7);
+    assert_eq!(crypto.len(), 4);
+    let _storage: rqs::storage::Value = rqs::storage::Value::bottom();
+    let _consensus = rqs::consensus::ConsensusHarness::new(
+        rqs::ThresholdConfig::byzantine_fast(1).build().unwrap(),
+        1,
+        1,
+    );
+    assert!(rqs::runtime::DEFAULT_TICK > Duration::ZERO);
+}
+
+#[test]
+fn byzantine_fast_roundtrips_through_storage_and_consensus() {
+    // The flagship n = 3t+1 system must round-trip through both
+    // protocol harnesses: a 1-round write/read pair that is atomic, and
+    // a proposal every learner learns in the 2-delay fast path.
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+
+    let mut storage = StorageHarness::new(rqs.clone(), 1);
+    let w = storage.write(Value::from("rqs"));
+    assert_eq!(w.rounds, 1);
+    let r = storage.read(0);
+    assert_eq!(r.returned.val, Value::from("rqs"));
+    storage.check_atomicity().unwrap();
+
+    let mut consensus = ConsensusHarness::new(rqs, 2, 2);
+    consensus.propose(0, 42);
+    assert!(consensus.run_until_learned(100_000));
+    assert_eq!(consensus.agreed_value(), Some(42));
+    assert!(consensus.learner_delays().iter().all(|d| *d == Some(2)));
+}
+
+#[test]
 fn facade_reexports_are_usable() {
     let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
     assert_eq!(rqs.universe_size(), 4);
