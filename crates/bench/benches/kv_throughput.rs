@@ -1,0 +1,53 @@
+//! E15 criterion bench: KV service throughput on the deterministic
+//! simulator across batch sizes, plus one threaded-runtime sample.
+//!
+//! The shape to check: larger per-client batches complete the same
+//! workload with fewer envelopes, so simulated-workload wall time drops
+//! (less queue churn) and the threaded deployment keeps up with the
+//! single-register baseline despite multiplexing 16 objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqs_core::threshold::ThresholdConfig;
+use rqs_kv::{workload, KvSim, RtKv, WorkloadConfig};
+use std::time::Duration;
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_throughput");
+    group.sample_size(10);
+
+    let cfg = WorkloadConfig::mixed(16, 4, 160, 42);
+    let ops = workload::generate(&cfg);
+
+    for batch in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sim_mixed_160ops", format!("batch={batch}")),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+                    let mut sim = KvSim::new(rqs, 16, 4);
+                    let stats = sim.run_workload(&ops, batch);
+                    assert_eq!(stats.ops, 160);
+                    stats.envelopes
+                });
+            },
+        );
+    }
+
+    group.bench_function("threaded_mixed_24ops_batch4", |b| {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        let small = WorkloadConfig::mixed(8, 2, 24, 42);
+        let small_ops = workload::generate(&small);
+        b.iter(|| {
+            let stats = kv.run_workload(&small_ops, 4);
+            assert_eq!(stats.ops, 24);
+            stats.duration_units
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,6 +1,5 @@
-//! Prints every experiment table (E1–E10).
+//! Prints every experiment table (E1–E15).
 fn main() {
-    for report in bench::all_reports() {
-        println!("{report}");
-    }
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&bench::all_reports_seeded(args.seed, args.quick));
 }

@@ -1,4 +1,5 @@
 //! E6: consensus message-delay table.
 fn main() {
-    println!("{}", bench::exp_latency::consensus_report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_latency::consensus_report()]);
 }

@@ -1,4 +1,6 @@
 //! E8: threshold feasibility sweep (Examples 5-6).
 fn main() {
-    println!("{}", bench::exp_sweep::report(8));
+    let args = bench::cli::ExpArgs::parse();
+    let max_n = if args.quick { 6 } else { 8 };
+    args.emit(&[bench::exp_sweep::report(max_n)]);
 }

@@ -1,4 +1,5 @@
 //! E7b: the full-system, live Byzantine Theorem 6 attack.
 fn main() {
-    println!("{}", bench::exp_fig16_full::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig16_full::report()]);
 }

@@ -1,4 +1,5 @@
 //! E7: the Theorem 6 counterexample (Figure 16) at the choose() level.
 fn main() {
-    println!("{}", bench::exp_fig16::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig16::report()]);
 }

@@ -1,4 +1,5 @@
 //! E1: the Figure 1 atomicity violation and its RQS fix.
 fn main() {
-    println!("{}", bench::exp_fig1::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig1::report()]);
 }

@@ -1,4 +1,5 @@
 //! E2: the Figure 3 refined quorum system.
 fn main() {
-    println!("{}", bench::exp_fig3::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig3::report()]);
 }

@@ -1,4 +1,5 @@
 //! E3: the Figure 4 / Example 7 executions.
 fn main() {
-    println!("{}", bench::exp_fig4::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig4::report()]);
 }

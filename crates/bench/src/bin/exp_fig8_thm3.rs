@@ -1,4 +1,5 @@
 //! E5: the Theorem 3 counterexample executions (Figure 8).
 fn main() {
-    println!("{}", bench::exp_fig8::report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_fig8::report()]);
 }

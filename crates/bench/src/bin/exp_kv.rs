@@ -1,0 +1,9 @@
+//! E15: the sharded, batched multi-object KV service — batching effect
+//! and sim-vs-threaded substrate comparison.
+fn main() {
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[
+        bench::exp_kv::batching_report(args.seed, args.quick),
+        bench::exp_kv::substrate_report(args.seed, args.quick),
+    ]);
+}

@@ -1,5 +1,8 @@
 //! E10: load, availability and class-assignment counting.
 fn main() {
-    println!("{}", bench::exp_analysis::load_availability_report());
-    println!("{}", bench::exp_analysis::counting_report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[
+        bench::exp_analysis::load_availability_report(),
+        bench::exp_analysis::counting_report(),
+    ]);
 }

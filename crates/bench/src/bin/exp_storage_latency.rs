@@ -1,4 +1,5 @@
 //! E4: storage (m, QCm)-fast latency table.
 fn main() {
-    println!("{}", bench::exp_latency::storage_report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_latency::storage_report()]);
 }

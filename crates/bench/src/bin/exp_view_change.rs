@@ -1,4 +1,5 @@
 //! E9: election module under leader failure.
 fn main() {
-    println!("{}", bench::exp_latency::view_change_report());
+    let args = bench::cli::ExpArgs::parse();
+    args.emit(&[bench::exp_latency::view_change_report()]);
 }

@@ -1,0 +1,136 @@
+//! Command-line argument handling shared by every `exp_*` binary.
+//!
+//! Every experiment binary accepts:
+//!
+//! - `--seed N` — RNG seed for experiments with a stochastic component
+//!   (workload generation in `exp_kv`); purely deterministic experiments
+//!   accept and ignore it. Defaults to [`DEFAULT_SEED`], so a bare run
+//!   reproduces the numbers recorded in `EXPERIMENTS.md`.
+//! - `--json` — emit the report(s) as a JSON array (see
+//!   [`Report::to_json`](crate::Report::to_json)) instead of tables, for
+//!   mechanical capture of benchmark trajectories.
+//! - `--quick` — shrink workload parameters for CI smoke runs.
+
+use crate::report::Report;
+
+/// The seed used when `--seed` is not given (the historical fixed seed).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Parsed experiment-binary arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Workload/RNG seed (`--seed N`, default [`DEFAULT_SEED`]).
+    pub seed: u64,
+    /// Emit JSON instead of tables (`--json`).
+    pub json: bool,
+    /// Use small smoke-run parameters (`--quick`).
+    pub quick: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            seed: DEFAULT_SEED,
+            json: false,
+            quick: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// Prints usage and exits with status 2 on malformed or unknown
+    /// arguments.
+    pub fn parse() -> Self {
+        match Self::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!("usage: exp_* [--seed N] [--json] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`Self::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed or unknown
+    /// argument.
+    pub fn try_from_iter<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            let seed_val = if arg == "--seed" {
+                Some(it.next().ok_or("--seed requires a value")?)
+            } else {
+                arg.strip_prefix("--seed=").map(str::to_owned)
+            };
+            if let Some(val) = seed_val {
+                out.seed = val
+                    .parse()
+                    .map_err(|_| format!("--seed: not a u64: {val:?}"))?;
+            } else if arg == "--json" {
+                out.json = true;
+            } else if arg == "--quick" {
+                out.quick = true;
+            } else {
+                return Err(format!("unknown argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Prints the reports in the selected format: a JSON array with
+    /// `--json`, the usual tables otherwise.
+    pub fn emit(&self, reports: &[Report]) {
+        if self.json {
+            let items: Vec<String> = reports.iter().map(Report::to_json).collect();
+            println!("[{}]", items.join(","));
+        } else {
+            for report in reports {
+                println!("{report}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let args = ExpArgs::try_from_iter(Vec::<String>::new()).unwrap();
+        assert_eq!(args, ExpArgs::default());
+        assert_eq!(args.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn seed_both_spellings() {
+        let a = ExpArgs::try_from_iter(["--seed", "7"]).unwrap();
+        assert_eq!(a.seed, 7);
+        let b = ExpArgs::try_from_iter(["--seed=9"]).unwrap();
+        assert_eq!(b.seed, 9);
+    }
+
+    #[test]
+    fn flags() {
+        let a = ExpArgs::try_from_iter(["--json", "--quick"]).unwrap();
+        assert!(a.json);
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ExpArgs::try_from_iter(["--seed"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--seed", "x"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--frobnicate"]).is_err());
+    }
+}

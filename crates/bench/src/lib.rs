@@ -21,7 +21,15 @@
 //! | E12 | §6 regular-semantics extension | [`exp_regular`] |
 //! | E13 | Example 4 dissemination/masking systems | [`exp_classic`] |
 //! | E14 | §5 best-case message complexity | [`exp_scale`] |
+//! | E15 | multi-object KV service (batching + substrates) | [`exp_kv`] |
+//!
+//! Every binary accepts `--seed N`, `--json` and `--quick`
+//! (see [`cli::ExpArgs`]).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
 pub mod exp_analysis;
 pub mod exp_classic;
 pub mod exp_fig1;
@@ -30,6 +38,7 @@ pub mod exp_fig16_full;
 pub mod exp_fig3;
 pub mod exp_fig4;
 pub mod exp_fig8;
+pub mod exp_kv;
 pub mod exp_latency;
 pub mod exp_regular;
 pub mod exp_scale;
@@ -39,9 +48,19 @@ pub mod report;
 pub use report::Report;
 
 /// Every experiment report, in order (the `exp_all` binary and
-/// `EXPERIMENTS.md` regeneration).
+/// `EXPERIMENTS.md` regeneration), with the default seed and quick KV
+/// parameters.
 pub fn all_reports() -> Vec<Report> {
-    vec![
+    all_reports_seeded(cli::DEFAULT_SEED, true)
+}
+
+/// Every experiment report; `seed` and `quick` parameterize the
+/// stochastic E15 runs (the other experiments are deterministic). The
+/// E15b substrate table is the sim-only variant here, so the whole
+/// report set stays deterministic and thread-free; the `exp_kv` binary
+/// adds the threaded-runtime row.
+pub fn all_reports_seeded(seed: u64, quick: bool) -> Vec<Report> {
+    let mut reports = vec![
         exp_fig1::report(),
         exp_fig3::report(),
         exp_fig4::report(),
@@ -57,5 +76,8 @@ pub fn all_reports() -> Vec<Report> {
         exp_regular::report(),
         exp_classic::report(),
         exp_scale::report(),
-    ]
+    ];
+    reports.push(exp_kv::batching_report(seed, quick));
+    reports.push(exp_kv::substrate_report_sim(seed, quick));
+    reports
 }

@@ -60,6 +60,44 @@ impl Report {
             .and_then(|r| r.get(idx))
             .map(String::as_str)
     }
+
+    /// Serializes the report as one JSON object
+    /// (`{"title", "commentary", "headers", "rows"}`), for mechanical
+    /// capture of experiment trajectories (`exp_* --json`).
+    pub fn to_json(&self) -> String {
+        let arr = |items: &[String]| -> String {
+            let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":{},\"commentary\":{},\"headers\":{},\"rows\":[{}]}}",
+            json_string(&self.title),
+            arr(&self.commentary),
+            arr(&self.headers),
+            rows.join(",")
+        )
+    }
+}
+
+/// Escapes a string per the JSON grammar (quotes, backslashes, control
+/// characters; everything else passes through as UTF-8).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {
@@ -120,5 +158,26 @@ mod tests {
         assert_eq!(r.cell("v", |row| row[0] == "y"), Some("2"));
         assert_eq!(r.cell("v", |row| row[0] == "z"), None);
         assert_eq!(r.cell("nope", |_| true), None);
+    }
+
+    #[test]
+    fn json_emission() {
+        let mut r = Report::new("E0 \"quoted\"");
+        r.note("line\none")
+            .headers(["a", "b"])
+            .row(["1", "x\\y"]);
+        assert_eq!(
+            r.to_json(),
+            "{\"title\":\"E0 \\\"quoted\\\"\",\
+             \"commentary\":[\"line\\none\"],\
+             \"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x\\\\y\"]]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("t\tn\n"), "\"t\\tn\\n\"");
     }
 }

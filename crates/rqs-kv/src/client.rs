@@ -1,0 +1,445 @@
+//! The multi-object client automaton.
+//!
+//! A [`KvClient`] owns a disjoint set of objects (it is the single writer
+//! for each of them) and can read any object. Internally it multiplexes
+//! one unmodified [`Writer`] per owned object and one unmodified
+//! [`Reader`] per object it has read, so the per-object protocol is
+//! *exactly* the paper's algorithm — the KV layer adds only routing,
+//! timer bookkeeping and batching:
+//!
+//! - every inner send is tagged with its object and lane and buffered;
+//!   at the end of the step the buffer is flushed as one [`KvBatch`] per
+//!   destination (the batching that makes `B` concurrent operations cost
+//!   far fewer than `B×` envelopes);
+//! - inner timers are re-armed on the outer context and a token map
+//!   routes expirations back to the automaton that armed them;
+//! - completed inner operations are harvested into a flat outcome log
+//!   with object tags, rounds and invocation/response times.
+
+use crate::messages::{KvBatch, KvItem, Lane};
+use crate::object::ObjectId;
+use rqs_core::Rqs;
+use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use rqs_storage::reader::Reader;
+use rqs_storage::writer::Writer;
+use rqs_storage::{OpKind, StorageMsg, TsVal, Value};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One operation a client can be asked to perform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Write `value` to `object` (the client must own the object).
+    Write {
+        /// Target object.
+        object: ObjectId,
+        /// Value to write (must not be `⊥`).
+        value: Value,
+    },
+    /// Read `object` (any client may read any object).
+    Read {
+        /// Target object.
+        object: ObjectId,
+    },
+}
+
+impl KvOp {
+    /// The object the operation touches.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            KvOp::Write { object, .. } | KvOp::Read { object } => *object,
+        }
+    }
+
+    /// Write or read.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            KvOp::Write { .. } => OpKind::Write,
+            KvOp::Read { .. } => OpKind::Read,
+        }
+    }
+}
+
+/// Record of one completed KV operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvOutcome {
+    /// The object operated on.
+    pub object: ObjectId,
+    /// Write or read.
+    pub kind: OpKind,
+    /// The written pair (writes) or returned pair (reads).
+    pub pair: TsVal,
+    /// Protocol rounds the operation took.
+    pub rounds: usize,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Response time.
+    pub completed_at: Time,
+}
+
+#[derive(Debug)]
+struct TimerRoute {
+    object: ObjectId,
+    lane: Lane,
+    inner: TimerToken,
+}
+
+/// The multi-object KV client automaton.
+#[derive(Debug)]
+pub struct KvClient {
+    rqs: Arc<Rqs>,
+    servers: Vec<NodeId>,
+    owned: BTreeSet<ObjectId>,
+    writers: BTreeMap<ObjectId, Writer>,
+    readers: BTreeMap<ObjectId, Reader>,
+    /// Per-destination outgoing buffer, flushed once per step.
+    pending: BTreeMap<NodeId, Vec<KvItem>>,
+    /// Monotone counter seeding inner contexts: inner tokens are unique
+    /// across all inner automata of this client.
+    inner_counter: u64,
+    /// Outer timer token → the inner automaton and token it stands for.
+    timer_routes: BTreeMap<u64, TimerRoute>,
+    /// Inner token → the outer token armed for it (for cancellation).
+    timer_back: BTreeMap<u64, u64>,
+    /// Harvested writer outcomes per object (consumption cursor).
+    taken_w: BTreeMap<ObjectId, usize>,
+    /// Harvested reader outcomes per object.
+    taken_r: BTreeMap<ObjectId, usize>,
+    outcomes: Vec<KvOutcome>,
+    in_flight: usize,
+}
+
+impl KvClient {
+    /// A client over `rqs` whose universe member `i` is node `servers[i]`,
+    /// owning (solely allowed to write) the objects in `owned`.
+    pub fn new(rqs: Arc<Rqs>, servers: Vec<NodeId>, owned: impl IntoIterator<Item = ObjectId>) -> Self {
+        KvClient {
+            rqs,
+            servers,
+            owned: owned.into_iter().collect(),
+            writers: BTreeMap::new(),
+            readers: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            inner_counter: 0,
+            timer_routes: BTreeMap::new(),
+            timer_back: BTreeMap::new(),
+            taken_w: BTreeMap::new(),
+            taken_r: BTreeMap::new(),
+            outcomes: Vec::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// Objects this client owns.
+    pub fn owned(&self) -> &BTreeSet<ObjectId> {
+        &self.owned
+    }
+
+    /// Operations invoked but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Completed operations, in completion order.
+    pub fn outcomes(&self) -> &[KvOutcome] {
+        &self.outcomes
+    }
+
+    /// Starts a batch of operations in one step: all their round-1
+    /// messages leave in one [`KvBatch`] per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation targets an object with one already in
+    /// flight on the same lane (well-formed clients), or if a write
+    /// targets an object this client does not own (SWMR violation).
+    pub fn start_ops(&mut self, ops: Vec<KvOp>, ctx: &mut Context<KvBatch>) {
+        for op in ops {
+            match op {
+                KvOp::Write { object, value } => {
+                    assert!(
+                        self.owned.contains(&object),
+                        "client is not the owner of {object}: SWMR violation"
+                    );
+                    let (rqs, servers) = (&self.rqs, &self.servers);
+                    let writer = self
+                        .writers
+                        .entry(object)
+                        .or_insert_with(|| Writer::new(rqs.clone(), servers.clone()));
+                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                    writer.start_write(value, &mut inner);
+                    self.in_flight += 1;
+                    self.absorb(object, Lane::Writer, inner, ctx);
+                }
+                KvOp::Read { object } => {
+                    let (rqs, servers) = (&self.rqs, &self.servers);
+                    let reader = self
+                        .readers
+                        .entry(object)
+                        .or_insert_with(|| Reader::new(rqs.clone(), servers.clone()));
+                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                    reader.start_read(&mut inner);
+                    self.in_flight += 1;
+                    self.absorb(object, Lane::Reader, inner, ctx);
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    /// Folds one inner step's outputs into the client state: buffers
+    /// sends, re-arms timers on the outer context, forwards cancellations
+    /// and harvests newly completed operations.
+    fn absorb(
+        &mut self,
+        object: ObjectId,
+        lane: Lane,
+        inner: Context<StorageMsg>,
+        ctx: &mut Context<KvBatch>,
+    ) {
+        self.inner_counter = inner.timer_counter_snapshot();
+        let (outbox, timers, cancelled) = inner.into_outputs();
+        for (to, msg) in outbox {
+            self.pending
+                .entry(to)
+                .or_default()
+                .push(KvItem { object, lane, msg });
+        }
+        for (delay, inner_token) in timers {
+            let outer = ctx.set_timer(delay);
+            self.timer_routes.insert(
+                outer.0,
+                TimerRoute {
+                    object,
+                    lane,
+                    inner: inner_token,
+                },
+            );
+            self.timer_back.insert(inner_token.0, outer.0);
+        }
+        for inner_token in cancelled {
+            if let Some(outer) = self.timer_back.remove(&inner_token.0) {
+                self.timer_routes.remove(&outer);
+                ctx.cancel_timer(TimerToken(outer));
+            }
+        }
+        self.harvest(object, lane);
+    }
+
+    /// Pulls newly completed outcomes from the inner automaton on
+    /// `(object, lane)` into the flat outcome log.
+    fn harvest(&mut self, object: ObjectId, lane: Lane) {
+        match lane {
+            Lane::Writer => {
+                let Some(w) = self.writers.get(&object) else {
+                    return;
+                };
+                let cursor = self.taken_w.entry(object).or_insert(0);
+                for out in &w.outcomes()[*cursor..] {
+                    self.outcomes.push(KvOutcome {
+                        object,
+                        kind: OpKind::Write,
+                        pair: TsVal::new(out.ts, out.val.clone()),
+                        rounds: out.rounds,
+                        invoked_at: out.invoked_at,
+                        completed_at: out.completed_at,
+                    });
+                    self.in_flight -= 1;
+                    *cursor += 1;
+                }
+            }
+            Lane::Reader => {
+                let Some(r) = self.readers.get(&object) else {
+                    return;
+                };
+                let cursor = self.taken_r.entry(object).or_insert(0);
+                for out in &r.outcomes()[*cursor..] {
+                    self.outcomes.push(KvOutcome {
+                        object,
+                        kind: OpKind::Read,
+                        pair: out.returned.clone(),
+                        rounds: out.rounds,
+                        invoked_at: out.invoked_at,
+                        completed_at: out.completed_at,
+                    });
+                    self.in_flight -= 1;
+                    *cursor += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends every buffered item as one batch per destination.
+    fn flush(&mut self, ctx: &mut Context<KvBatch>) {
+        let pending = std::mem::take(&mut self.pending);
+        for (to, items) in pending {
+            ctx.send(to, KvBatch(items));
+        }
+    }
+
+    /// Routes one incoming item to the inner automaton it addresses.
+    fn dispatch(
+        &mut self,
+        from: NodeId,
+        item: KvItem,
+        ctx: &mut Context<KvBatch>,
+    ) {
+        let KvItem { object, lane, msg } = item;
+        match lane {
+            Lane::Writer => {
+                let Some(writer) = self.writers.get_mut(&object) else {
+                    return; // stale reply for an automaton never created
+                };
+                let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                writer.on_message(from, msg, &mut inner);
+                self.absorb(object, Lane::Writer, inner, ctx);
+            }
+            Lane::Reader => {
+                let Some(reader) = self.readers.get_mut(&object) else {
+                    return;
+                };
+                let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                reader.on_message(from, msg, &mut inner);
+                self.absorb(object, Lane::Reader, inner, ctx);
+            }
+        }
+    }
+}
+
+impl Automaton<KvBatch> for KvClient {
+    fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
+        for item in batch.0 {
+            self.dispatch(from, item, ctx);
+        }
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<KvBatch>) {
+        let Some(route) = self.timer_routes.remove(&timer.0) else {
+            return; // cancelled or unknown
+        };
+        self.timer_back.remove(&route.inner.0);
+        match route.lane {
+            Lane::Writer => {
+                if let Some(writer) = self.writers.get_mut(&route.object) {
+                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                    writer.on_timer(route.inner, &mut inner);
+                    self.absorb(route.object, Lane::Writer, inner, ctx);
+                }
+            }
+            Lane::Reader => {
+                if let Some(reader) = self.readers.get_mut(&route.object) {
+                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                    reader.on_timer(route.inner, &mut inner);
+                    self.absorb(route.object, Lane::Reader, inner, ctx);
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs_core::threshold::ThresholdConfig;
+
+    fn client() -> KvClient {
+        let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+        let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+        KvClient::new(rqs, servers, [ObjectId(0), ObjectId(2)])
+    }
+
+    fn ctx() -> Context<KvBatch> {
+        Context::new(NodeId(5), Time::ZERO, 0)
+    }
+
+    #[test]
+    fn batched_writes_coalesce_per_server() {
+        let mut c = client();
+        let mut cx = ctx();
+        c.start_ops(
+            vec![
+                KvOp::Write {
+                    object: ObjectId(0),
+                    value: Value::from(1u64),
+                },
+                KvOp::Write {
+                    object: ObjectId(2),
+                    value: Value::from(2u64),
+                },
+            ],
+            &mut cx,
+        );
+        assert_eq!(c.in_flight(), 2);
+        // 5 servers → 5 envelopes, each carrying BOTH round-1 writes.
+        assert_eq!(cx.sent().len(), 5);
+        for (_, batch) in cx.sent() {
+            assert_eq!(batch.len(), 2);
+        }
+        // 2 inner round timers re-armed on the outer context.
+        assert_eq!(cx.armed_timers().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWMR violation")]
+    fn writing_unowned_object_rejected() {
+        let mut c = client();
+        let mut cx = ctx();
+        c.start_ops(
+            vec![KvOp::Write {
+                object: ObjectId(1),
+                value: Value::from(1u64),
+            }],
+            &mut cx,
+        );
+    }
+
+    #[test]
+    fn reads_allowed_on_any_object() {
+        let mut c = client();
+        let mut cx = ctx();
+        c.start_ops(vec![KvOp::Read { object: ObjectId(1) }], &mut cx);
+        assert_eq!(c.in_flight(), 1);
+        assert_eq!(cx.sent().len(), 5);
+    }
+
+    #[test]
+    fn stale_reply_for_unknown_object_ignored() {
+        let mut c = client();
+        let mut cx = ctx();
+        c.on_message(
+            NodeId(0),
+            KvBatch(vec![KvItem {
+                object: ObjectId(9),
+                lane: Lane::Writer,
+                msg: StorageMsg::WrAck { ts: 1, rnd: 1 },
+            }]),
+            &mut cx,
+        );
+        assert!(cx.sent().is_empty());
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn op_accessors() {
+        let w = KvOp::Write {
+            object: ObjectId(3),
+            value: Value::from(1u64),
+        };
+        assert_eq!(w.object(), ObjectId(3));
+        assert_eq!(w.kind(), OpKind::Write);
+        let r = KvOp::Read { object: ObjectId(4) };
+        assert_eq!(r.object(), ObjectId(4));
+        assert_eq!(r.kind(), OpKind::Read);
+    }
+}

@@ -1,0 +1,102 @@
+//! The multi-object wire format: batched, object-tagged storage messages.
+//!
+//! Every envelope on the network is a [`KvBatch`] — all the per-object
+//! [`StorageMsg`]s one node produced for one destination in one step. With
+//! `B` operations in flight at a client, one tick's worth of protocol
+//! traffic to a server coalesces into a single batch instead of `B`
+//! separate envelopes, which is where the messages-per-operation savings
+//! of the KV layer come from.
+
+use crate::object::ObjectId;
+use core::fmt;
+use rqs_storage::StorageMsg;
+
+/// Which client-side automaton a message belongs to.
+///
+/// A single KV client multiplexes a [`Writer`](rqs_storage::Writer) (for
+/// objects it owns) and a [`Reader`](rqs_storage::Reader) per object over
+/// one node id. In the single-object system those are distinct processes
+/// with distinct addresses; the lane tag preserves that addressing so a
+/// server's `wr_ack` reaches the automaton whose `wr` it answers (a read's
+/// write-back and the owner's write may otherwise be indistinguishable).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Lane {
+    /// The owning client's writer automaton.
+    Writer,
+    /// A reader automaton.
+    Reader,
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lane::Writer => write!(f, "w"),
+            Lane::Reader => write!(f, "r"),
+        }
+    }
+}
+
+/// One object-tagged protocol message inside a batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KvItem {
+    /// The object (register) this message is about.
+    pub object: ObjectId,
+    /// The client-side lane the exchange belongs to (echoed by servers).
+    pub lane: Lane,
+    /// The underlying single-object protocol message.
+    pub msg: StorageMsg,
+}
+
+/// A batch of object-tagged messages: the network message type of the KV
+/// service. One batch per destination per sender step.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KvBatch(pub Vec<KvItem>);
+
+impl KvBatch {
+    /// Number of protocol messages inside the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for KvBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch[{}]{{", self.0.len())?;
+        for (i, item) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}:{}", item.object, item.lane, item.msg)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_display_is_compact() {
+        let b = KvBatch(vec![KvItem {
+            object: ObjectId(2),
+            lane: Lane::Writer,
+            msg: StorageMsg::WrAck { ts: 1, rnd: 1 },
+        }]);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_string(), "batch[1]{o2/w:wr_ack⟨1,1⟩}");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = KvBatch::default();
+        assert!(b.is_empty());
+        assert_eq!(b.to_string(), "batch[0]{}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Run metrics: throughput, round histograms, fast-path ratio, message
+//! accounting.
+
+use crate::client::KvOutcome;
+use std::collections::BTreeMap;
+
+/// Histogram of protocol rounds per operation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundHistogram {
+    counts: BTreeMap<usize, usize>,
+}
+
+impl RoundHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        RoundHistogram::default()
+    }
+
+    /// Records one operation that took `rounds` rounds.
+    pub fn record(&mut self, rounds: usize) {
+        *self.counts.entry(rounds).or_insert(0) += 1;
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Operations that completed at class-1 speed (one round).
+    pub fn fast(&self) -> usize {
+        self.counts.get(&1).copied().unwrap_or(0)
+    }
+
+    /// Fraction of operations completing at class-1 speed (`NaN`-free:
+    /// 0 when empty).
+    pub fn fast_path_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast() as f64 / total as f64
+        }
+    }
+
+    /// `(rounds, count)` pairs in ascending round order.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Compact rendering like `1r:37 2r:3`.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(r, c)| format!("{r}r:{c}"))
+            .collect();
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Metrics of one KV run (either substrate).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KvRunStats {
+    /// Operations completed.
+    pub ops: usize,
+    /// Round histogram over all operations.
+    pub rounds: RoundHistogram,
+    /// Duration of the run: simulated ticks (sim) or wall-clock
+    /// microseconds (threaded runtime).
+    pub duration_units: u64,
+    /// Network envelopes sent (simulator only; 0 on the runtime, which
+    /// has no global message counter).
+    pub envelopes: usize,
+    /// Protocol messages carried inside those envelopes (simulator only).
+    pub items: usize,
+}
+
+impl KvRunStats {
+    /// Operations per duration unit (per tick / per microsecond).
+    pub fn throughput(&self) -> f64 {
+        if self.duration_units == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.duration_units as f64
+        }
+    }
+
+    /// Envelopes per operation — the number batching drives down.
+    pub fn envelopes_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.envelopes as f64 / self.ops as f64
+        }
+    }
+
+    /// Mean protocol messages per envelope (the batching factor).
+    pub fn batching_factor(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.envelopes as f64
+        }
+    }
+
+    /// Folds a completed operation into the stats.
+    pub fn record_outcome(&mut self, out: &KvOutcome) {
+        self.ops += 1;
+        self.rounds.record(out.rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_ratio() {
+        let mut h = RoundHistogram::new();
+        assert_eq!(h.fast_path_ratio(), 0.0);
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.fast(), 2);
+        assert!((h.fast_path_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(h.render(), "1r:2 2r:1 3r:1");
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn stats_derived_quantities() {
+        let stats = KvRunStats {
+            ops: 10,
+            rounds: RoundHistogram::new(),
+            duration_units: 50,
+            envelopes: 40,
+            items: 120,
+        };
+        assert!((stats.throughput() - 0.2).abs() < 1e-12);
+        assert!((stats.envelopes_per_op() - 4.0).abs() < 1e-12);
+        assert!((stats.batching_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let stats = KvRunStats::default();
+        assert_eq!(stats.throughput(), 0.0);
+        assert_eq!(stats.envelopes_per_op(), 0.0);
+        assert_eq!(stats.batching_factor(), 0.0);
+        assert_eq!(RoundHistogram::new().render(), "-");
+    }
+}

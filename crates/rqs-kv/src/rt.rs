@@ -1,0 +1,159 @@
+//! Threaded deployment of the KV service.
+//!
+//! The exact same [`KvServer`]/[`KvClient`] automata as the simulator,
+//! running node-per-thread over crossbeam channels via [`rqs_runtime`]:
+//! real concurrency, real wall-clock latency, same batching discipline.
+
+use crate::client::{KvClient, KvOp, KvOutcome};
+use crate::messages::KvBatch;
+use crate::metrics::KvRunStats;
+use crate::object::ShardMap;
+use crate::server::KvServer;
+use crate::workload::{per_client, take_wave, WorkloadOp};
+use rqs_core::Rqs;
+use rqs_runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
+use rqs_sim::NodeId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A KV deployment over real threads and channels.
+pub struct RtKv {
+    rt: Runtime<KvBatch>,
+    shard: ShardMap,
+    clients: Vec<NodeId>,
+    op_timeout: Duration,
+}
+
+impl RtKv {
+    /// Deploys one server thread per universe member and `clients` client
+    /// threads owning `objects` objects round-robin, with the default
+    /// tick.
+    pub fn new(rqs: Rqs, objects: usize, clients: usize) -> Self {
+        Self::with_tick(rqs, objects, clients, DEFAULT_TICK)
+    }
+
+    /// Deploys with an explicit wall-clock tick length.
+    pub fn with_tick(rqs: Rqs, objects: usize, clients: usize, tick: Duration) -> Self {
+        let rqs = Arc::new(rqs);
+        let shard = ShardMap::new(objects, clients);
+        let n = rqs.universe_size();
+        let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut builder = RuntimeBuilder::new().tick(tick);
+        for _ in 0..n {
+            builder = builder.node(Box::new(KvServer::new()));
+        }
+        for c in 0..clients {
+            builder = builder.node(Box::new(KvClient::new(
+                rqs.clone(),
+                server_ids.clone(),
+                shard.owned_by(c),
+            )));
+        }
+        RtKv {
+            rt: builder.start(),
+            shard,
+            clients: (n..n + clients).map(NodeId).collect(),
+            op_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// The shard map in use.
+    pub fn shard(&self) -> &ShardMap {
+        &self.shard
+    }
+
+    /// Drives a workload to completion in waves of at most `batch`
+    /// operations per client (same wave discipline as the simulator) and
+    /// returns run metrics; `duration_units` is wall-clock microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wave does not complete within the operation timeout or
+    /// if `batch == 0`.
+    pub fn run_workload(&self, ops: &[WorkloadOp], batch: usize) -> KvRunStats {
+        assert!(batch > 0, "batch size must be positive");
+        let mut queues: Vec<VecDeque<KvOp>> = per_client(self.clients.len(), ops)
+            .into_iter()
+            .map(VecDeque::from)
+            .collect();
+        let before_counts: Vec<usize> = self
+            .clients
+            .iter()
+            .map(|&c| self.rt.inspect::<KvClient, usize>(c, |k| k.outcomes().len()))
+            .collect();
+        let started = Instant::now();
+
+        loop {
+            let mut launched = false;
+            for (ci, queue) in queues.iter_mut().enumerate() {
+                let wave = take_wave(queue, batch);
+                if !wave.is_empty() {
+                    launched = true;
+                    self.rt
+                        .invoke::<KvClient>(self.clients[ci], move |c, ctx| c.start_ops(wave, ctx));
+                }
+            }
+            if !launched {
+                break;
+            }
+            for &c in &self.clients {
+                let ok = self.rt.wait_for::<KvClient>(
+                    c,
+                    |k: &KvClient| k.in_flight() == 0,
+                    self.op_timeout,
+                );
+                assert!(ok, "KV wave did not complete on the threaded runtime");
+            }
+        }
+
+        let wall = started.elapsed();
+        let mut stats = KvRunStats::default();
+        for (ci, &node) in self.clients.iter().enumerate() {
+            let skip = before_counts[ci];
+            let outs = self
+                .rt
+                .inspect::<KvClient, Vec<KvOutcome>>(node, move |k| {
+                    k.outcomes()[skip..].to_vec()
+                });
+            for out in &outs {
+                stats.record_outcome(out);
+            }
+        }
+        stats.duration_units = (wall.as_micros() as u64).max(1);
+        stats
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(&mut self) {
+        self.rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+    use rqs_core::threshold::ThresholdConfig;
+
+    #[test]
+    fn threaded_kv_roundtrip() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        let cfg = WorkloadConfig::mixed(8, 2, 24, 17);
+        let stats = kv.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 24);
+        assert!(stats.throughput() > 0.0);
+        kv.shutdown();
+    }
+
+    #[test]
+    fn threaded_kv_byzantine_universe() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 4, 2, Duration::from_millis(1));
+        let cfg = WorkloadConfig::mixed(4, 2, 12, 23);
+        let stats = kv.run_workload(&generate(&cfg), 2);
+        assert_eq!(stats.ops, 12);
+        kv.shutdown();
+    }
+}

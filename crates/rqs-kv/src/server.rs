@@ -1,0 +1,236 @@
+//! The multi-object server automaton and its Byzantine variants.
+//!
+//! A [`KvServer`] is a bank of per-object benign [`Server`] automata
+//! behind one node id: each incoming [`KvBatch`] is unpacked, every item
+//! is routed to the state of its object (created on first touch), and all
+//! replies produced by the step are re-batched per destination — so a
+//! batch of `B` writes costs one request envelope and one reply envelope
+//! instead of `2B`.
+
+use crate::messages::{KvBatch, KvItem};
+use crate::object::ObjectId;
+use rqs_sim::{Automaton, Context, NodeId};
+use rqs_storage::history::History;
+use rqs_storage::{Server, StorageMsg};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// A benign multi-object storage server.
+#[derive(Clone, Debug, Default)]
+pub struct KvServer {
+    objects: BTreeMap<ObjectId, Server>,
+}
+
+impl KvServer {
+    /// A fresh server with no object state.
+    pub fn new() -> Self {
+        KvServer::default()
+    }
+
+    /// Number of objects this server has state for.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The history stored for `obj` (empty if never touched).
+    pub fn history(&self, obj: ObjectId) -> History {
+        self.objects
+            .get(&obj)
+            .map(|s| s.history().clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Automaton<KvBatch> for KvServer {
+    fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
+        // Per-destination reply buffer: everything this step produces for
+        // one destination leaves as a single batch.
+        let mut replies: BTreeMap<NodeId, Vec<KvItem>> = BTreeMap::new();
+        for item in batch.0 {
+            let server = self.objects.entry(item.object).or_default();
+            let mut inner: Context<StorageMsg> = Context::new(ctx.me(), ctx.now(), 0);
+            server.on_message(from, item.msg, &mut inner);
+            let (outbox, timers, _cancelled) = inner.into_outputs();
+            debug_assert!(timers.is_empty(), "benign servers never arm timers");
+            for (to, msg) in outbox {
+                replies.entry(to).or_default().push(KvItem {
+                    object: item.object,
+                    lane: item.lane,
+                    msg,
+                });
+            }
+        }
+        for (to, items) in replies {
+            ctx.send(to, KvBatch(items));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Byzantine behaviour of a [`KvByzantineServer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ByzantineMode {
+    /// Never replies (crash-faulty from the clients' viewpoint).
+    Mute,
+    /// Acknowledges every write without storing it and reports the empty
+    /// history to every read — the multi-object analogue of
+    /// [`ForgedServer::initial_state`](rqs_storage::byzantine::ForgedServer).
+    Forge,
+}
+
+/// A Byzantine multi-object server (for fault injection on both
+/// substrates; unlike the scripted single-object forgers it is `Send`).
+#[derive(Clone, Debug)]
+pub struct KvByzantineServer {
+    mode: ByzantineMode,
+}
+
+impl KvByzantineServer {
+    /// A server behaving per `mode` on every object.
+    pub fn new(mode: ByzantineMode) -> Self {
+        KvByzantineServer { mode }
+    }
+}
+
+impl Automaton<KvBatch> for KvByzantineServer {
+    fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
+        if self.mode == ByzantineMode::Mute {
+            return;
+        }
+        let mut items = Vec::new();
+        for item in batch.0 {
+            match item.msg {
+                StorageMsg::Wr { ts, rnd, .. } => {
+                    // Ack without storing: the write is forgotten.
+                    items.push(KvItem {
+                        object: item.object,
+                        lane: item.lane,
+                        msg: StorageMsg::WrAck { ts, rnd },
+                    });
+                }
+                StorageMsg::Rd { read_no, rnd } => {
+                    // Forge the initial (empty) history for every object.
+                    items.push(KvItem {
+                        object: item.object,
+                        lane: item.lane,
+                        msg: StorageMsg::RdAck {
+                            read_no,
+                            rnd,
+                            history: History::new(),
+                        },
+                    });
+                }
+                StorageMsg::WrAck { .. } | StorageMsg::RdAck { .. } => {}
+            }
+        }
+        if !items.is_empty() {
+            ctx.send(from, KvBatch(items));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Lane;
+    use rqs_sim::Time;
+    use rqs_storage::{TsVal, Value};
+    use std::collections::BTreeSet;
+
+    fn test_ctx() -> Context<KvBatch> {
+        Context::new(NodeId(0), Time::ZERO, 0)
+    }
+
+    fn wr(object: u64, lane: Lane, ts: u64, v: u64) -> KvItem {
+        KvItem {
+            object: ObjectId(object),
+            lane,
+            msg: StorageMsg::Wr {
+                ts,
+                val: Value::from(v),
+                sets: BTreeSet::new(),
+                rnd: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn batch_of_writes_acked_in_one_envelope() {
+        let mut s = KvServer::new();
+        let mut c = test_ctx();
+        let batch = KvBatch(vec![
+            wr(0, Lane::Writer, 1, 10),
+            wr(1, Lane::Writer, 1, 11),
+            wr(2, Lane::Writer, 1, 12),
+        ]);
+        s.on_message(NodeId(9), batch, &mut c);
+        assert_eq!(s.object_count(), 3);
+        assert_eq!(c.sent().len(), 1, "replies coalesce per destination");
+        let (to, reply) = &c.sent()[0];
+        assert_eq!(*to, NodeId(9));
+        assert_eq!(reply.len(), 3);
+        assert!(s.history(ObjectId(1)).stores(&TsVal::new(1, Value::from(11u64)), 1));
+        assert!(s.history(ObjectId(7)).is_empty());
+    }
+
+    #[test]
+    fn per_object_state_is_isolated() {
+        let mut s = KvServer::new();
+        let mut c = test_ctx();
+        s.on_message(NodeId(3), KvBatch(vec![wr(4, Lane::Writer, 5, 50)]), &mut c);
+        assert!(s.history(ObjectId(4)).stores(&TsVal::new(5, Value::from(50u64)), 1));
+        assert!(s.history(ObjectId(5)).is_empty());
+    }
+
+    #[test]
+    fn lane_is_echoed_in_replies() {
+        let mut s = KvServer::new();
+        let mut c = test_ctx();
+        s.on_message(NodeId(2), KvBatch(vec![wr(0, Lane::Reader, 1, 1)]), &mut c);
+        assert_eq!(c.sent()[0].1 .0[0].lane, Lane::Reader);
+    }
+
+    #[test]
+    fn mute_byzantine_says_nothing() {
+        let mut s = KvByzantineServer::new(ByzantineMode::Mute);
+        let mut c = test_ctx();
+        s.on_message(NodeId(1), KvBatch(vec![wr(0, Lane::Writer, 1, 1)]), &mut c);
+        assert!(c.sent().is_empty());
+    }
+
+    #[test]
+    fn forging_byzantine_acks_without_storing() {
+        let mut s = KvByzantineServer::new(ByzantineMode::Forge);
+        let mut c = test_ctx();
+        let batch = KvBatch(vec![
+            wr(0, Lane::Writer, 1, 1),
+            KvItem {
+                object: ObjectId(0),
+                lane: Lane::Reader,
+                msg: StorageMsg::Rd { read_no: 1, rnd: 1 },
+            },
+        ]);
+        s.on_message(NodeId(1), batch, &mut c);
+        let reply = &c.sent()[0].1;
+        assert_eq!(reply.len(), 2);
+        match &reply.0[1].msg {
+            StorageMsg::RdAck { history, .. } => assert!(history.is_empty()),
+            other => panic!("expected RdAck, got {other:?}"),
+        }
+    }
+}

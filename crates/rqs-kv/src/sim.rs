@@ -1,0 +1,351 @@
+//! Deterministic simulated deployment of the KV service.
+//!
+//! [`KvSim`] builds a [`World`] with one [`KvServer`] per universe member
+//! and `clients` [`KvClient`]s owning disjoint object ranges, drives a
+//! generated workload in batched waves, and checks *every per-object
+//! history* against the single-register atomicity checker — atomicity is
+//! a local (per-object) property, so the multi-object service is correct
+//! iff each object's history is.
+
+use crate::client::{KvClient, KvOp, KvOutcome};
+use crate::messages::KvBatch;
+use crate::metrics::KvRunStats;
+use crate::object::{ObjectId, ShardMap};
+use crate::server::{ByzantineMode, KvByzantineServer, KvServer};
+use crate::workload::{per_client, take_wave, WorkloadOp};
+use rqs_core::Rqs;
+use rqs_sim::{Envelope, FatePolicy, NetworkScript, NodeId, World};
+use rqs_storage::atomicity::{check_atomicity, AtomicityViolation, OpRecord};
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// An atomicity violation on one object of the KV service.
+#[derive(Clone, Debug)]
+pub struct KvAtomicityViolation {
+    /// The object whose history is not linearizable.
+    pub object: ObjectId,
+    /// The underlying single-register violation.
+    pub violation: AtomicityViolation,
+}
+
+impl core::fmt::Display for KvAtomicityViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "object {}: {}", self.object, self.violation)
+    }
+}
+
+impl std::error::Error for KvAtomicityViolation {}
+
+/// A simulated KV deployment.
+pub struct KvSim {
+    world: World<KvBatch>,
+    shard: ShardMap,
+    servers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    /// Protocol messages carried inside envelopes (shared with the fate
+    /// policy closure that counts them).
+    items_sent: Rc<Cell<usize>>,
+    /// `(client index, outcome)` pairs harvested after each run.
+    completed: Vec<(usize, KvOutcome)>,
+}
+
+impl KvSim {
+    /// Builds a synchronous-network deployment: one multi-object server
+    /// per universe member, `clients` clients owning `objects` objects
+    /// round-robin.
+    pub fn new(rqs: Rqs, objects: usize, clients: usize) -> Self {
+        Self::with_script(rqs, objects, clients, NetworkScript::synchronous())
+    }
+
+    /// Builds a deployment with a custom network script.
+    pub fn with_script(
+        rqs: Rqs,
+        objects: usize,
+        clients: usize,
+        script: NetworkScript,
+    ) -> Self {
+        let rqs = Arc::new(rqs);
+        let shard = ShardMap::new(objects, clients);
+        let items_sent = Rc::new(Cell::new(0usize));
+        let counter = items_sent.clone();
+        let mut script = script;
+        let policy = move |env: &Envelope<KvBatch>| {
+            counter.set(counter.get() + env.msg.len());
+            script.fate(env)
+        };
+        let mut world = World::new(policy);
+        let servers: Vec<NodeId> = (0..rqs.universe_size())
+            .map(|_| world.add_node(Box::new(KvServer::new())))
+            .collect();
+        let client_ids: Vec<NodeId> = (0..clients)
+            .map(|c| {
+                world.add_node(Box::new(KvClient::new(
+                    rqs.clone(),
+                    servers.clone(),
+                    shard.owned_by(c),
+                )))
+            })
+            .collect();
+        KvSim {
+            world,
+            shard,
+            servers,
+            clients: client_ids,
+            items_sent,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The shard map in use.
+    pub fn shard(&self) -> &ShardMap {
+        &self.shard
+    }
+
+    /// Node ids of the servers (universe order).
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// The underlying world (crash injection, tracing, inspection).
+    pub fn world_mut(&mut self) -> &mut World<KvBatch> {
+        &mut self.world
+    }
+
+    /// Replaces server `idx` with a Byzantine automaton behaving per
+    /// `mode` on every object.
+    pub fn make_byzantine(&mut self, idx: usize, mode: ByzantineMode) {
+        self.world
+            .replace_node(self.servers[idx], Box::new(KvByzantineServer::new(mode)));
+    }
+
+    /// Drives a workload to completion in waves of at most `batch`
+    /// operations per client, returning run metrics.
+    ///
+    /// Within a wave each client launches its next `batch` operations in
+    /// a single step (so their round-1 messages share envelopes), with at
+    /// most one in-flight operation per `(object, lane)` — the
+    /// well-formedness the single-object automata require. Cross-client
+    /// contention (reads racing the owner's writes) is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload cannot complete (no correct quorum) or if
+    /// `batch == 0`.
+    pub fn run_workload(&mut self, ops: &[WorkloadOp], batch: usize) -> KvRunStats {
+        assert!(batch > 0, "batch size must be positive");
+        let mut queues: Vec<VecDeque<KvOp>> = per_client(self.clients.len(), ops)
+            .into_iter()
+            .map(VecDeque::from)
+            .collect();
+        let start_tick = self.world.now();
+        let envelopes_before = self.world.stats().messages_sent;
+        let items_before = self.items_sent.get();
+        let before_counts: Vec<usize> = self
+            .clients
+            .iter()
+            .map(|&c| self.world.node_as::<KvClient>(c).outcomes().len())
+            .collect();
+
+        loop {
+            let mut launched = false;
+            for (ci, queue) in queues.iter_mut().enumerate() {
+                let wave = take_wave(queue, batch);
+                if !wave.is_empty() {
+                    launched = true;
+                    self.world
+                        .invoke::<KvClient>(self.clients[ci], |c, ctx| c.start_ops(wave, ctx));
+                }
+            }
+            if !launched {
+                break;
+            }
+            let ids = self.clients.clone();
+            let done = self
+                .world
+                .run_until(|w| ids.iter().all(|&c| w.node_as::<KvClient>(c).in_flight() == 0));
+            assert!(done, "workload wave did not complete (no correct quorum?)");
+        }
+
+        // Harvest the new outcomes.
+        let mut stats = KvRunStats::default();
+        for (ci, &node) in self.clients.iter().enumerate() {
+            let outs = self.world.node_as::<KvClient>(node).outcomes();
+            for out in &outs[before_counts[ci]..] {
+                stats.record_outcome(out);
+                self.completed.push((ci, out.clone()));
+            }
+        }
+        stats.duration_units = (self.world.now() - start_tick).max(1);
+        stats.envelopes = self.world.stats().messages_sent - envelopes_before;
+        stats.items = self.items_sent.get() - items_before;
+        stats
+    }
+
+    /// All completed operations so far, as `(client, outcome)` pairs.
+    pub fn completed(&self) -> &[(usize, KvOutcome)] {
+        &self.completed
+    }
+
+    /// The per-object operation logs (for checking or inspection).
+    pub fn per_object_records(&self) -> BTreeMap<ObjectId, Vec<OpRecord>> {
+        let mut map: BTreeMap<ObjectId, Vec<OpRecord>> = BTreeMap::new();
+        for (ci, out) in &self.completed {
+            map.entry(out.object).or_default().push(OpRecord {
+                kind: out.kind,
+                client: *ci,
+                pair: out.pair.clone(),
+                invoked_at: out.invoked_at,
+                completed_at: out.completed_at,
+            });
+        }
+        map
+    }
+
+    /// Checks every object's history for atomicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating object.
+    pub fn check_atomicity(&self) -> Result<(), KvAtomicityViolation> {
+        for (object, records) in self.per_object_records() {
+            check_atomicity(&records)
+                .map_err(|violation| KvAtomicityViolation { object, violation })?;
+        }
+        Ok(())
+    }
+
+    /// A canonical, human-readable operation trace: one line per
+    /// completed operation in completion order per client. Two runs with
+    /// the same seed must produce byte-identical traces.
+    pub fn op_trace(&self) -> Vec<String> {
+        self.completed
+            .iter()
+            .map(|(ci, o)| {
+                format!(
+                    "c{} {} {} {} rounds={} [{},{}]",
+                    ci,
+                    match o.kind {
+                        rqs_storage::OpKind::Write => "W",
+                        rqs_storage::OpKind::Read => "R",
+                    },
+                    o.object,
+                    o.pair,
+                    o.rounds,
+                    o.invoked_at,
+                    o.completed_at,
+                )
+            })
+            .collect()
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now_ticks(&self) -> u64 {
+        self.world.now().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+    use rqs_core::threshold::ThresholdConfig;
+    use rqs_storage::OpKind;
+
+    fn small_sim() -> KvSim {
+        KvSim::new(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+        )
+    }
+
+    #[test]
+    fn mixed_workload_completes_and_is_atomic() {
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 11);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 60);
+        assert!(stats.rounds.fast_path_ratio() > 0.5, "sync fast path");
+        sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn batching_reduces_envelopes_per_op() {
+        let cfg = WorkloadConfig::mixed(8, 2, 64, 3);
+        let ops = generate(&cfg);
+        let run = |batch: usize| {
+            let mut sim = small_sim();
+            let stats = sim.run_workload(&ops, batch);
+            sim.check_atomicity().unwrap();
+            stats.envelopes_per_op()
+        };
+        let unbatched = run(1);
+        let batched = run(8);
+        assert!(
+            batched < unbatched,
+            "batch=8 ({batched:.2}) must beat batch=1 ({unbatched:.2})"
+        );
+    }
+
+    #[test]
+    fn reads_see_written_values() {
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig {
+            read_percent: 40,
+            ..WorkloadConfig::mixed(8, 2, 80, 5)
+        };
+        sim.run_workload(&generate(&cfg), 4);
+        sim.check_atomicity().unwrap();
+        // Every non-initial read pair matches some write of that object.
+        let per_object = sim.per_object_records();
+        for records in per_object.values() {
+            for r in records.iter().filter(|r| r.kind == OpKind::Read) {
+                if !r.pair.is_initial() {
+                    assert!(records
+                        .iter()
+                        .any(|w| w.kind == OpKind::Write && w.pair == r.pair));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_server_tolerated() {
+        let mut sim = KvSim::new(
+            ThresholdConfig::byzantine_fast(1).build().unwrap(),
+            16,
+            4,
+        );
+        sim.make_byzantine(0, ByzantineMode::Forge);
+        let cfg = WorkloadConfig::mixed(16, 4, 96, 9);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 96);
+        sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn mute_byzantine_server_tolerated() {
+        let mut sim = KvSim::new(
+            ThresholdConfig::byzantine_fast(1).build().unwrap(),
+            8,
+            2,
+        );
+        sim.make_byzantine(3, ByzantineMode::Mute);
+        let cfg = WorkloadConfig::mixed(8, 2, 40, 13);
+        let stats = sim.run_workload(&generate(&cfg), 2);
+        assert_eq!(stats.ops, 40);
+        sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn trace_is_nonempty_and_tagged() {
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig::mixed(8, 2, 10, 1);
+        sim.run_workload(&generate(&cfg), 2);
+        let trace = sim.op_trace();
+        assert_eq!(trace.len(), 10);
+        assert!(trace.iter().all(|l| l.starts_with('c')));
+    }
+}

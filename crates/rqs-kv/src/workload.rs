@@ -1,0 +1,253 @@
+//! Seeded, deterministic workload generation.
+//!
+//! A workload is a flat list of operations, each pre-assigned to a client:
+//! writes go to the object's owner (preserving SWMR), reads to a uniformly
+//! random client. Object choice follows a configurable hot-set skew. The
+//! whole list is a pure function of the seed, which is what makes
+//! experiment runs reproducible from the command line.
+
+use crate::client::KvOp;
+use crate::object::{ObjectId, ShardMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rqs_storage::{OpKind, Value};
+
+/// Parameters of a generated workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of objects (registers) in the key space.
+    pub objects: usize,
+    /// Number of clients; each owns `objects / clients` (±1) objects.
+    pub clients: usize,
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Percentage of operations that are reads (0–100).
+    pub read_percent: u8,
+    /// Probability that an operation targets the hot set (the first
+    /// ~10 % of objects). `0.0` is uniform; `0.9` is heavily skewed.
+    pub skew: f64,
+    /// RNG seed; identical seeds generate identical workloads.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A small mixed workload (50 % reads, mild skew) for `objects`
+    /// objects, `clients` clients and `ops` operations.
+    pub fn mixed(objects: usize, clients: usize, ops: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            objects,
+            clients,
+            ops,
+            read_percent: 50,
+            skew: 0.3,
+            seed,
+        }
+    }
+
+    /// The shard map this workload runs over.
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.objects, self.clients)
+    }
+}
+
+/// One generated operation: which client performs what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadOp {
+    /// The client that performs the operation.
+    pub client: usize,
+    /// The operation itself.
+    pub op: KvOp,
+}
+
+/// Generates the operation list for `cfg` (a pure function of `cfg`).
+///
+/// Written values encode `(object, sequence)` so every write is unique
+/// per object, which the per-object atomicity checker relies on.
+///
+/// # Panics
+///
+/// Panics if `read_percent > 100` or `skew ∉ [0, 1]`.
+pub fn generate(cfg: &WorkloadConfig) -> Vec<WorkloadOp> {
+    assert!(cfg.read_percent <= 100, "read_percent is a percentage");
+    assert!(
+        (0.0..=1.0).contains(&cfg.skew),
+        "skew must be a probability"
+    );
+    let map = cfg.shard_map();
+    let hot = cfg.objects.div_ceil(10).max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut next_seq: Vec<u64> = vec![0; cfg.objects];
+    let mut ops = Vec::with_capacity(cfg.ops);
+    for _ in 0..cfg.ops {
+        let object = if cfg.skew > 0.0 && rng.gen_bool(cfg.skew) {
+            ObjectId(rng.gen_range(0..hot) as u64)
+        } else {
+            ObjectId(rng.gen_range(0..cfg.objects) as u64)
+        };
+        let is_read = rng.gen_range(0u8..100) < cfg.read_percent;
+        if is_read {
+            ops.push(WorkloadOp {
+                client: rng.gen_range(0..cfg.clients),
+                op: KvOp::Read { object },
+            });
+        } else {
+            let seq = next_seq[object.index()];
+            next_seq[object.index()] += 1;
+            // Unique per object: high half the object id, low half the
+            // per-object write sequence number.
+            let encoded = (object.0 << 32) | (seq & 0xFFFF_FFFF);
+            ops.push(WorkloadOp {
+                client: map.owner(object),
+                op: KvOp::Write {
+                    object,
+                    value: Value::from(encoded | 0x8000_0000_0000_0000),
+                },
+            });
+        }
+    }
+    ops
+}
+
+/// Splits a generated workload into per-client queues (index = client).
+///
+/// # Panics
+///
+/// Panics if an operation names a client `≥ clients`.
+pub fn per_client(clients: usize, ops: &[WorkloadOp]) -> Vec<Vec<KvOp>> {
+    let mut queues: Vec<Vec<KvOp>> = vec![Vec::new(); clients];
+    for wop in ops {
+        assert!(
+            wop.client < clients,
+            "workload op for client {} but the deployment has {clients} clients",
+            wop.client
+        );
+        queues[wop.client].push(wop.op.clone());
+    }
+    queues
+}
+
+/// Pops one client's next wave off its queue: up to `batch` operations
+/// with at most one per `(object, kind)` — the well-formedness the
+/// single-object automata require (one in-flight operation per lane).
+///
+/// Both deployment drivers ([`KvSim`](crate::KvSim) and
+/// [`RtKv`](crate::RtKv)) build their waves through this function, so
+/// the invariant cannot drift between substrates.
+pub fn take_wave(queue: &mut std::collections::VecDeque<KvOp>, batch: usize) -> Vec<KvOp> {
+    let mut wave: Vec<KvOp> = Vec::new();
+    let mut used: std::collections::BTreeSet<(crate::ObjectId, OpKind)> =
+        std::collections::BTreeSet::new();
+    while wave.len() < batch {
+        let Some(front) = queue.front() else { break };
+        let key = (front.object(), front.kind());
+        if used.contains(&key) {
+            break; // same (object, lane) twice: defer to the next wave
+        }
+        used.insert(key);
+        wave.push(queue.pop_front().expect("front exists"));
+    }
+    wave
+}
+
+/// Counts reads/writes in a workload (reporting helper).
+pub fn mix(ops: &[WorkloadOp]) -> (usize, usize) {
+    let reads = ops.iter().filter(|o| o.op.kind() == OpKind::Read).count();
+    (reads, ops.len() - reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let cfg = WorkloadConfig::mixed(16, 4, 100, 7);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seed_different_workload() {
+        let a = WorkloadConfig::mixed(16, 4, 100, 7);
+        let b = WorkloadConfig { seed: 8, ..a };
+        assert_ne!(generate(&a), generate(&b));
+    }
+
+    #[test]
+    fn writes_go_to_owners() {
+        let cfg = WorkloadConfig::mixed(16, 4, 200, 3);
+        let map = cfg.shard_map();
+        for wop in generate(&cfg) {
+            if let KvOp::Write { object, .. } = wop.op {
+                assert_eq!(wop.client, map.owner(object));
+            }
+        }
+    }
+
+    #[test]
+    fn read_percent_respected_roughly() {
+        let cfg = WorkloadConfig {
+            read_percent: 100,
+            ..WorkloadConfig::mixed(8, 2, 50, 1)
+        };
+        let (reads, writes) = mix(&generate(&cfg));
+        assert_eq!((reads, writes), (50, 0));
+        let cfg = WorkloadConfig {
+            read_percent: 0,
+            ..cfg
+        };
+        let (reads, writes) = mix(&generate(&cfg));
+        assert_eq!((reads, writes), (0, 50));
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_set() {
+        let cfg = WorkloadConfig {
+            skew: 0.9,
+            ..WorkloadConfig::mixed(100, 4, 1000, 5)
+        };
+        let ops = generate(&cfg);
+        let hot_hits = ops
+            .iter()
+            .filter(|o| o.op.object().index() < 10)
+            .count();
+        assert!(hot_hits > 700, "expected hot-set concentration, got {hot_hits}");
+    }
+
+    #[test]
+    fn per_client_partitions_everything() {
+        let cfg = WorkloadConfig::mixed(16, 4, 120, 2);
+        let ops = generate(&cfg);
+        let queues = per_client(cfg.clients, &ops);
+        assert_eq!(queues.iter().map(Vec::len).sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn take_wave_defers_duplicate_object_lanes() {
+        use crate::ObjectId;
+        use std::collections::VecDeque;
+        let mut q: VecDeque<KvOp> = VecDeque::from(vec![
+            KvOp::Read { object: ObjectId(0) },
+            KvOp::Write { object: ObjectId(0), value: Value::from(1u64) },
+            KvOp::Read { object: ObjectId(0) }, // same (object, lane) as #1
+            KvOp::Read { object: ObjectId(1) },
+        ]);
+        let wave = take_wave(&mut q, 8);
+        // Read o0 + write o0 are distinct lanes; the second read of o0
+        // blocks the wave (queue order is preserved).
+        assert_eq!(wave.len(), 2);
+        assert_eq!(q.len(), 2);
+        let wave2 = take_wave(&mut q, 8);
+        assert_eq!(wave2.len(), 2);
+        assert!(take_wave(&mut q, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "but the deployment has")]
+    fn per_client_rejects_out_of_range_client() {
+        let ops = vec![WorkloadOp {
+            client: 5,
+            op: KvOp::Read { object: ObjectId(0) },
+        }];
+        per_client(2, &ops);
+    }
+}

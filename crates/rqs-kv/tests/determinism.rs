@@ -1,0 +1,49 @@
+//! Two KV sim runs with the same seed must produce byte-identical
+//! operation traces — the property every experiment and every replayed
+//! failure depends on.
+
+use rqs_core::threshold::ThresholdConfig;
+use rqs_kv::{workload, ByzantineMode, KvSim, WorkloadConfig};
+
+fn run_trace(seed: u64, batch: usize, byzantine: bool) -> Vec<String> {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut sim = KvSim::new(rqs, 16, 4);
+    if byzantine {
+        sim.make_byzantine(1, ByzantineMode::Forge);
+    }
+    let cfg = WorkloadConfig::mixed(16, 4, 120, seed);
+    sim.run_workload(&workload::generate(&cfg), batch);
+    sim.check_atomicity().unwrap();
+    sim.op_trace()
+}
+
+#[test]
+fn same_seed_byte_identical_traces() {
+    let a = run_trace(42, 4, false);
+    let b = run_trace(42, 4, false);
+    assert!(!a.is_empty());
+    assert_eq!(a.join("\n"), b.join("\n"), "traces must match byte-for-byte");
+}
+
+#[test]
+fn same_seed_byte_identical_traces_with_byzantine_server() {
+    let a = run_trace(7, 4, true);
+    let b = run_trace(7, 4, true);
+    assert_eq!(a.join("\n"), b.join("\n"));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_trace(1, 4, false);
+    let b = run_trace(2, 4, false);
+    assert_ne!(a.join("\n"), b.join("\n"));
+}
+
+#[test]
+fn batch_size_changes_schedule_but_not_results() {
+    // Different batch sizes reorder the waves, but both runs must stay
+    // atomic and complete the same operation multiset.
+    let a = run_trace(5, 1, false);
+    let b = run_trace(5, 8, false);
+    assert_eq!(a.len(), b.len());
+}

@@ -1,0 +1,76 @@
+//! Property tests: randomized multi-object workloads — across
+//! configurations, mixes, skews, batch sizes and Byzantine injection —
+//! always pass the per-object atomicity checker.
+
+use proptest::prelude::*;
+use rqs_core::threshold::ThresholdConfig;
+use rqs_kv::{workload, ByzantineMode, KvSim, WorkloadConfig};
+
+fn run(objects: usize, clients: usize, cfg: WorkloadConfig, batch: usize, byz: Option<usize>) {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut sim = KvSim::new(rqs, objects, clients);
+    if let Some(idx) = byz {
+        sim.make_byzantine(idx, ByzantineMode::Forge);
+    }
+    let ops = workload::generate(&cfg);
+    let stats = sim.run_workload(&ops, batch);
+    assert_eq!(stats.ops, cfg.ops, "every operation must complete");
+    sim.check_atomicity()
+        .unwrap_or_else(|v| panic!("atomicity violated: {v}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn randomized_histories_per_object_atomic(
+        seed in 0u64..10_000,
+        read_percent in 0u8..=100,
+        batch in 1usize..=8,
+    ) {
+        let cfg = WorkloadConfig {
+            objects: 8,
+            clients: 2,
+            ops: 48,
+            read_percent,
+            skew: 0.3,
+            seed,
+        };
+        run(8, 2, cfg, batch, None);
+    }
+
+    #[test]
+    fn randomized_histories_atomic_under_byzantine_server(
+        seed in 0u64..10_000,
+        byz_idx in 0usize..4,
+        batch in 1usize..=6,
+    ) {
+        let cfg = WorkloadConfig {
+            objects: 16,
+            clients: 4,
+            ops: 64,
+            read_percent: 50,
+            skew: 0.5,
+            seed,
+        };
+        run(16, 4, cfg, batch, Some(byz_idx));
+    }
+
+    #[test]
+    fn heavy_skew_contention_stays_atomic(
+        seed in 0u64..10_000,
+        skew in 0u8..=9,
+    ) {
+        // High skew concentrates reads and writes on few objects,
+        // maximizing read/write races across clients.
+        let cfg = WorkloadConfig {
+            objects: 8,
+            clients: 4,
+            ops: 48,
+            read_percent: 60,
+            skew: f64::from(skew) / 10.0,
+            seed,
+        };
+        run(8, 4, cfg, 4, None);
+    }
+}

@@ -18,7 +18,7 @@ use core::fmt;
 use rqs_sim::Time;
 
 /// Kind of a recorded operation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum OpKind {
     /// A write (by the single writer).
     Write,

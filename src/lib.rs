@@ -19,7 +19,11 @@
 //! - [`consensus`] ([`rqs_consensus`]) — the consensus algorithm
 //!   (Figs. 9–15) with its `choose()` safety core and election module;
 //! - [`runtime`] ([`rqs_runtime`]) — node-per-thread deployment over
-//!   crossbeam channels.
+//!   crossbeam channels;
+//! - [`kv`] ([`rqs_kv`]) — the sharded, batched multi-object KV service:
+//!   many SWMR registers multiplexed over one server set, with
+//!   per-object atomicity checking, a seeded workload generator, and
+//!   deployments on both the simulator and the threaded runtime.
 //!
 //! ## Two results in two dozen lines
 //!
@@ -53,6 +57,7 @@
 pub use rqs_consensus as consensus;
 pub use rqs_core as core;
 pub use rqs_crypto as crypto;
+pub use rqs_kv as kv;
 pub use rqs_runtime as runtime;
 pub use rqs_sim as sim;
 pub use rqs_storage as storage;

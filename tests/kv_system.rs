@@ -1,0 +1,63 @@
+//! Cross-crate KV system test, driven through the facade: the ISSUE-3
+//! acceptance scenario — a sim deployment with ≥ 16 objects, ≥ 4 clients
+//! and one Byzantine server completes a seeded mixed workload with every
+//! per-object history atomic, and batching observably reduces envelopes
+//! per operation.
+
+use rqs::core::threshold::ThresholdConfig;
+use rqs::kv::{workload, ByzantineMode, KvSim, RtKv, WorkloadConfig};
+use std::time::Duration;
+
+#[test]
+fn sixteen_objects_four_clients_one_byzantine_atomic() {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut kv = KvSim::new(rqs, 16, 4);
+    kv.make_byzantine(2, ByzantineMode::Forge);
+    let cfg = WorkloadConfig {
+        objects: 16,
+        clients: 4,
+        ops: 192,
+        read_percent: 50,
+        skew: 0.3,
+        seed: 1234,
+    };
+    let stats = kv.run_workload(&workload::generate(&cfg), 4);
+    assert_eq!(stats.ops, 192, "every operation completes");
+    assert!(stats.rounds.fast_path_ratio() > 0.0);
+    kv.check_atomicity()
+        .unwrap_or_else(|v| panic!("atomicity violated: {v}"));
+    // All 16 objects were actually exercised.
+    assert_eq!(kv.per_object_records().len(), 16);
+}
+
+#[test]
+fn batching_reduces_messages_per_operation() {
+    let cfg = WorkloadConfig::mixed(16, 4, 128, 99);
+    let ops = workload::generate(&cfg);
+    let run = |batch: usize| {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut kv = KvSim::new(rqs, 16, 4);
+        let stats = kv.run_workload(&ops, batch);
+        kv.check_atomicity().unwrap();
+        stats
+    };
+    let b1 = run(1);
+    let b8 = run(8);
+    assert!(
+        b8.envelopes_per_op() < b1.envelopes_per_op() / 2.0,
+        "batch=8 ({:.2} env/op) must at least halve batch=1 ({:.2} env/op)",
+        b8.envelopes_per_op(),
+        b1.envelopes_per_op()
+    );
+    assert!(b8.batching_factor() > 1.5, "envelopes must actually coalesce");
+}
+
+#[test]
+fn threaded_substrate_runs_the_same_workload() {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let kv = RtKv::with_tick(rqs, 16, 4, Duration::from_millis(1));
+    let cfg = WorkloadConfig::mixed(16, 4, 48, 7);
+    let stats = kv.run_workload(&workload::generate(&cfg), 4);
+    assert_eq!(stats.ops, 48);
+    assert!(stats.throughput() > 0.0, "wall-clock throughput reported");
+}
