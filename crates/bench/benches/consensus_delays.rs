@@ -34,12 +34,7 @@ fn bench_consensus(c: &mut Criterion) {
                     }
                     h.propose(0, 7);
                     assert!(h.run_until_learned(400_000));
-                    let max = h
-                        .learner_delays()
-                        .into_iter()
-                        .flatten()
-                        .max()
-                        .unwrap();
+                    let max = h.learner_delays().into_iter().flatten().max().unwrap();
                     assert_eq!(max, expect_delays);
                     max
                 });

@@ -31,8 +31,8 @@ fn bench_core(c: &mut Criterion) {
     for n in [7usize, 10, 12] {
         group.bench_with_input(BenchmarkId::new("quorums_within", n), &n, |b, &n| {
             let rqs = graded(n, 3.min(n / 3), 1);
-            let responded = ProcessSet::universe(n)
-                .difference(ProcessSet::singleton(rqs_core::ProcessId(0)));
+            let responded =
+                ProcessSet::universe(n).difference(ProcessSet::singleton(rqs_core::ProcessId(0)));
             b.iter(|| rqs.quorums_within(responded).len());
         });
         group.bench_with_input(BenchmarkId::new("best_available_class", n), &n, |b, &n| {

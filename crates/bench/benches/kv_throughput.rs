@@ -36,7 +36,7 @@ fn bench_kv(c: &mut Criterion) {
 
     group.bench_function("threaded_mixed_24ops_batch4", |b| {
         let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
-        let kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        let mut kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
         let small = WorkloadConfig::mixed(8, 2, 24, 42);
         let small_ops = workload::generate(&small);
         b.iter(|| {

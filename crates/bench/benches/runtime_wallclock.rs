@@ -23,7 +23,7 @@ fn bench_runtime(c: &mut Criterion) {
             &n_t,
             |b, &t| {
                 let rqs = ThresholdConfig::byzantine_fast(t).build().unwrap();
-                let st = RtStorage::with_tick(rqs, 1, TICK);
+                let mut st = RtStorage::with_tick(rqs, 1, TICK);
                 let mut v = 0u64;
                 b.iter(|| {
                     v += 1;

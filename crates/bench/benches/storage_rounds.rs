@@ -17,9 +17,11 @@ fn graded() -> Rqs {
 
 fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage_rounds");
-    for (label, crashes, expect_write_rounds) in
-        [("class1", 0usize, 1usize), ("class2", 1, 2), ("class3", 2, 3)]
-    {
+    for (label, crashes, expect_write_rounds) in [
+        ("class1", 0usize, 1usize),
+        ("class2", 1, 2),
+        ("class3", 2, 3),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("write_read_n7", label),
             &crashes,

@@ -1,0 +1,11 @@
+//! E16: the scenario engine — partition+heal, flaky (lossy+duplicating)
+//! links and crash+restart, each run on both the deterministic simulator
+//! and the threaded runtime, for storage and the KV service.
+
+use bench::cli::ExpArgs;
+use bench::exp_scenarios;
+
+fn main() {
+    let args = ExpArgs::parse();
+    args.emit(&[exp_scenarios::report(args.seed, args.quick)]);
+}

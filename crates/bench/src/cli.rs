@@ -10,6 +10,7 @@
 //!   [`Report::to_json`](crate::Report::to_json)) instead of tables, for
 //!   mechanical capture of benchmark trajectories.
 //! - `--quick` — shrink workload parameters for CI smoke runs.
+//! - `--help` / `-h` — print usage and the available flags, then exit.
 
 use crate::report::Report;
 
@@ -25,6 +26,8 @@ pub struct ExpArgs {
     pub json: bool,
     /// Use small smoke-run parameters (`--quick`).
     pub quick: bool,
+    /// Usage was requested (`--help` / `-h`).
+    pub help: bool,
 }
 
 impl Default for ExpArgs {
@@ -33,21 +36,42 @@ impl Default for ExpArgs {
             seed: DEFAULT_SEED,
             json: false,
             quick: false,
+            help: false,
         }
     }
 }
 
 impl ExpArgs {
+    /// The usage text shared by every `exp_*` binary: one line per
+    /// available flag.
+    pub fn usage() -> String {
+        [
+            "usage: exp_* [--seed N] [--json] [--quick] [--help]",
+            "",
+            "options:",
+            "  --seed N, --seed=N  workload/RNG seed (default 42); purely",
+            "                      deterministic experiments accept and ignore it",
+            "  --json              emit the report(s) as a JSON array instead of tables",
+            "  --quick             shrink workload parameters for CI smoke runs",
+            "  -h, --help          print this help and exit",
+        ]
+        .join("\n")
+    }
+
     /// Parses `std::env::args()`.
     ///
-    /// Prints usage and exits with status 2 on malformed or unknown
-    /// arguments.
+    /// Prints usage and exits with status 0 on `--help`/`-h`, or with
+    /// status 2 on malformed or unknown arguments.
     pub fn parse() -> Self {
         match Self::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) if args.help => {
+                println!("{}", Self::usage());
+                std::process::exit(0);
+            }
             Ok(args) => args,
             Err(err) => {
                 eprintln!("error: {err}");
-                eprintln!("usage: exp_* [--seed N] [--json] [--quick]");
+                eprintln!("{}", Self::usage());
                 std::process::exit(2);
             }
         }
@@ -80,6 +104,8 @@ impl ExpArgs {
                 out.json = true;
             } else if arg == "--quick" {
                 out.quick = true;
+            } else if arg == "--help" || arg == "-h" {
+                out.help = true;
             } else {
                 return Err(format!("unknown argument {arg:?}"));
             }
@@ -132,5 +158,20 @@ mod tests {
         assert!(ExpArgs::try_from_iter(["--seed"]).is_err());
         assert!(ExpArgs::try_from_iter(["--seed", "x"]).is_err());
         assert!(ExpArgs::try_from_iter(["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_is_recognized_both_spellings() {
+        assert!(ExpArgs::try_from_iter(["--help"]).unwrap().help);
+        assert!(ExpArgs::try_from_iter(["-h"]).unwrap().help);
+        assert!(!ExpArgs::try_from_iter(["--quick"]).unwrap().help);
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let usage = ExpArgs::usage();
+        for flag in ["--seed", "--json", "--quick", "--help"] {
+            assert!(usage.contains(flag), "usage must document {flag}");
+        }
     }
 }

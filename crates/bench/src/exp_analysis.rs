@@ -13,7 +13,13 @@ pub fn load_availability_report() -> Report {
     r.note("Load = minimax access probability (lower is better); availability");
     r.note("= P[some fully-correct quorum of the class] at per-process failure");
     r.note("probability p = 0.1. Fast classes trade availability for latency.");
-    r.headers(["system", "load", "avail class1", "avail class2", "avail class3"]);
+    r.headers([
+        "system",
+        "load",
+        "avail class1",
+        "avail class2",
+        "avail class3",
+    ]);
     let systems: Vec<(String, rqs_core::Rqs)> = vec![
         (
             "majorities n=5".into(),
@@ -60,7 +66,12 @@ pub fn counting_report() -> Report {
     r.note("For each family, the number of (QC1, QC2) assignments that");
     r.note("satisfy Properties 1-3 — the paper's 'how many RQS' question");
     r.note("restricted to a family.");
-    r.headers(["family", "assignments", "with class-1", "fully refined (∅≠QC1≠QC2)"]);
+    r.headers([
+        "family",
+        "assignments",
+        "with class-1",
+        "fully refined (∅≠QC1≠QC2)",
+    ]);
 
     // The Figure 3 family.
     let fig3_adversary = Adversary::threshold(8, 1);

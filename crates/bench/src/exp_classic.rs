@@ -38,7 +38,10 @@ pub fn report() -> Report {
     // A general (correlated) adversary: racks {0,1} and {2,3} over 6.
     let racks = Adversary::general(
         6,
-        [ProcessSet::from_indices([0, 1]), ProcessSet::from_indices([2, 3])],
+        [
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([2, 3]),
+        ],
     )
     .unwrap();
     r.row([
@@ -89,11 +92,23 @@ mod tests {
     fn thresholds_match_malkhi_reiter_bounds() {
         let r = report();
         // n = 3k boundary: B_1 over 3 has no dissemination system.
-        assert_eq!(r.cell("dissemination", |row| row[0] == "B_1 over n=3"), Some("none"));
-        assert_ne!(r.cell("dissemination", |row| row[0] == "B_1 over n=4"), Some("none"));
+        assert_eq!(
+            r.cell("dissemination", |row| row[0] == "B_1 over n=3"),
+            Some("none")
+        );
+        assert_ne!(
+            r.cell("dissemination", |row| row[0] == "B_1 over n=4"),
+            Some("none")
+        );
         // n = 4k boundary: B_1 over 4 has no masking system.
-        assert_eq!(r.cell("masking", |row| row[0] == "B_1 over n=4"), Some("none"));
-        assert_ne!(r.cell("masking", |row| row[0] == "B_1 over n=5"), Some("none"));
+        assert_eq!(
+            r.cell("masking", |row| row[0] == "B_1 over n=4"),
+            Some("none")
+        );
+        assert_ne!(
+            r.cell("masking", |row| row[0] == "B_1 over n=5"),
+            Some("none")
+        );
     }
 
     #[test]

@@ -52,11 +52,13 @@ pub fn run_naive() -> Fig1Outcome {
     world.run_to_quiescence();
 
     // rd1 accesses {s3, s4, s5} (replies from s1, s2 lost).
-    world.set_policy(NetworkScript::synchronous().rule(
-        Rule::always(Fate::Drop)
-            .from(Selector::In(vec![servers[0], servers[1]]))
-            .to(Selector::Is(r1)),
-    ));
+    world.set_policy(
+        NetworkScript::synchronous().rule(
+            Rule::always(Fate::Drop)
+                .from(Selector::In(vec![servers[0], servers[1]]))
+                .to(Selector::Is(r1)),
+        ),
+    );
     world.invoke::<NaiveClient>(r1, |c, ctx| c.start_read(ctx));
     world.run_to_quiescence();
     let rd1 = world.node_as::<NaiveClient>(r1).outcomes()[0].clone();
@@ -83,7 +85,9 @@ pub fn run_naive() -> Fig1Outcome {
 /// Runs the same adversarial schedule against the RQS-based algorithm
 /// over the §1.2 system (fast at 4 servers).
 pub fn run_rqs() -> Fig1Outcome {
-    let rqs = ThresholdConfig::crash_fast(5, 1).build().expect("§1.2 system");
+    let rqs = ThresholdConfig::crash_fast(5, 1)
+        .build()
+        .expect("§1.2 system");
     let mut h = StorageHarness::new(rqs, 2);
     let (writer, s2) = (h.writer_id(), h.servers()[2]);
 
@@ -102,11 +106,13 @@ pub fn run_rqs() -> Fig1Outcome {
 
     // rd1 sees only {s3, s4, s5}.
     let (s0, s1, r1_node) = (h.servers()[0], h.servers()[1], h.reader_id(0));
-    h.world_mut().set_policy(NetworkScript::synchronous().rule(
-        Rule::always(Fate::Drop)
-            .from(Selector::In(vec![s0, s1]))
-            .to(Selector::Is(r1_node)),
-    ));
+    h.world_mut().set_policy(
+        NetworkScript::synchronous().rule(
+            Rule::always(Fate::Drop)
+                .from(Selector::In(vec![s0, s1]))
+                .to(Selector::Is(r1_node)),
+        ),
+    );
     let rd1 = h.read(0);
 
     // ex4: s3 and s5 crash; rd2 reads from the survivors.
@@ -135,14 +141,25 @@ pub fn report() -> Report {
     r.note("because Q1 ∩ Q2 ∩ Q3 = ∅; expediting only at 4 servers is safe (Fig. 2b).");
     r.note("Schedule: incomplete write reaches s3 only; rd1 reads {s3,s4,s5};");
     r.note("s3,s5 crash; rd2 reads {s1,s2,s4}.");
-    r.headers(["algorithm", "rd1 returns", "rd1 rounds", "rd2 returns", "rd2 rounds", "atomicity"]);
+    r.headers([
+        "algorithm",
+        "rd1 returns",
+        "rd1 rounds",
+        "rd2 returns",
+        "rd2 rounds",
+        "atomicity",
+    ]);
     r.row([
         "naive (fast at 3)".to_string(),
         naive.rd1,
         naive.rd1_rounds.to_string(),
         naive.rd2,
         naive.rd2_rounds.to_string(),
-        if naive.violated { "VIOLATED".into() } else { "ok".to_string() },
+        if naive.violated {
+            "VIOLATED".into()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r.row([
         "RQS (fast at 4)".to_string(),
@@ -150,7 +167,11 @@ pub fn report() -> Report {
         rqs.rd1_rounds.to_string(),
         rqs.rd2,
         rqs.rd2_rounds.to_string(),
-        if rqs.violated { "VIOLATED".into() } else { "ok".to_string() },
+        if rqs.violated {
+            "VIOLATED".into()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r
 }
@@ -175,7 +196,13 @@ mod tests {
     fn report_renders() {
         let r = report();
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.cell("atomicity", |row| row[0].starts_with("naive")), Some("VIOLATED"));
-        assert_eq!(r.cell("atomicity", |row| row[0].starts_with("RQS")), Some("ok"));
+        assert_eq!(
+            r.cell("atomicity", |row| row[0].starts_with("naive")),
+            Some("VIOLATED")
+        );
+        assert_eq!(
+            r.cell("atomicity", |row| row[0].starts_with("RQS")),
+            Some("ok")
+        );
     }
 }

@@ -91,7 +91,10 @@ pub fn run_attack(
     let mut signed: Vec<SignedNewViewAck> = Vec::new();
     for p in handover_quorum.iter() {
         let i = p.index();
-        let mut body = NewViewAckBody { view: 1, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 1,
+            ..Default::default()
+        };
         if byz.contains(&i) {
             body.prep = Some(1);
             body.prep_view.insert(0);
@@ -106,7 +109,9 @@ pub fn run_attack(
             body.prep = Some(0);
             body.prep_view.insert(0);
         }
-        let sig = registry.signer(SignerId(i)).sign(&encode_new_view_ack(&body));
+        let sig = registry
+            .signer(SignerId(i))
+            .sign(&encode_new_view_ack(&body));
         signed.push(SignedNewViewAck {
             acceptor: p,
             body: body.clone(),
@@ -116,8 +121,14 @@ pub fn run_attack(
     }
     let acks_validated = signed.iter().all(|a| validate_ack(&rqs, &registry, a));
 
-    let q = rqs.id_of(handover_quorum).expect("handover quorum is a quorum");
-    let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+    let q = rqs
+        .id_of(handover_quorum)
+        .expect("handover quorum is a quorum");
+    let input = ChooseInput {
+        rqs: &rqs,
+        q,
+        acks: &acks,
+    };
     let out = input.choose(99); // 99 = the new leader's own value
     let chosen = (!out.abort).then_some(out.value);
     Fig16Outcome {
@@ -132,21 +143,25 @@ pub fn run_attack(
 /// The attack on the invalid configuration.
 pub fn run_invalid() -> Fig16Outcome {
     let rqs = invalid_rqs();
-    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let q2_id = rqs
+        .id_of(ProcessSet::from_indices([0, 1, 2, 3, 4]))
+        .unwrap();
     let handover = ProcessSet::from_indices([0, 1, 2, 3, 5]); // Q
-    // Byzantine B1 = {a1,a2} ∈ B; benign {a3,a4} prepared 1; benign a6
-    // (∈ Q1) prepared the decided 0.
+                                                              // Byzantine B1 = {a1,a2} ∈ B; benign {a3,a4} prepared 1; benign a6
+                                                              // (∈ Q1) prepared the decided 0.
     run_attack(rqs, handover, q2_id, &[0, 1], &[2, 3], &[5])
 }
 
 /// The same attack shape on the valid configuration.
 pub fn run_valid() -> Fig16Outcome {
     let rqs = valid_rqs();
-    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let q2_id = rqs
+        .id_of(ProcessSet::from_indices([0, 1, 2, 3, 4]))
+        .unwrap();
     let handover = ProcessSet::from_indices([0, 1, 2, 3, 5]); // Q2'
-    // Here Q1 = {a2,a4,a5,a6}: the class-1 decision on 0 means benign
-    // a2,a4,a6 prepared 0, so the Byzantine set can only be {a1} (∈ B)
-    // and only benign a3 prepared 1.
+                                                              // Here Q1 = {a2,a4,a5,a6}: the class-1 decision on 0 means benign
+                                                              // a2,a4,a6 prepared 0, so the Byzantine set can only be {a1} (∈ B)
+                                                              // and only benign a3 prepared 1.
     run_attack(rqs, handover, q2_id, &[0], &[2], &[1, 3, 5])
 }
 
@@ -165,20 +180,34 @@ pub fn report() -> Report {
         (false, Some(v)) => format!("returns {v}"),
         _ => "-".to_string(),
     };
-    r.headers(["configuration", "decided in view 0", "acks pass validation", "choose()", "agreement"]);
+    r.headers([
+        "configuration",
+        "decided in view 0",
+        "acks pass validation",
+        "choose()",
+        "agreement",
+    ]);
     r.row([
         "Property 3 violated".to_string(),
         bad.decided.to_string(),
         bad.acks_validated.to_string(),
         fmt(&bad),
-        if bad.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if bad.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r.row([
         "valid RQS (Example 7)".to_string(),
         good.decided.to_string(),
         good.acks_validated.to_string(),
         fmt(&good),
-        if good.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if good.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r
 }

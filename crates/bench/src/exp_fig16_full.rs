@@ -72,11 +72,14 @@ pub fn run(roles: AttackRoles) -> FullAttackOutcome {
     let acceptor_nodes = cfg.acceptors.clone();
 
     // --- network schedule -------------------------------------------------
-    let q1_nodes: Vec<NodeId> = roles.q1_members.iter().map(|&i| acceptor_nodes[i]).collect();
+    let q1_nodes: Vec<NodeId> = roles
+        .q1_members
+        .iter()
+        .map(|&i| acceptor_nodes[i])
+        .collect();
     let prep1_nodes: Vec<NodeId> = roles.prep1.iter().map(|&i| acceptor_nodes[i]).collect();
     let byz_nodes: Vec<NodeId> = roles.byz.iter().map(|&i| acceptor_nodes[i]).collect();
-    let handover_nodes: Vec<NodeId> =
-        roles.handover.iter().map(|&i| acceptor_nodes[i]).collect();
+    let handover_nodes: Vec<NodeId> = roles.handover.iter().map(|&i| acceptor_nodes[i]).collect();
     let acceptor_nodes_for_policy = acceptor_nodes.clone();
     let policy = move |env: &Envelope<ConsensusMsg>| -> Fate {
         let acceptor_nodes = &acceptor_nodes_for_policy;
@@ -121,16 +124,16 @@ pub fn run(roles: AttackRoles) -> FullAttackOutcome {
         let registry = cfg.registry.clone();
         let acceptors = acceptor_nodes.clone();
         let learners = [l1, l2];
-        let sign_targets: Vec<NodeId> =
-            roles.prep1.iter().map(|&i| acceptor_nodes[i]).collect();
+        let sign_targets: Vec<NodeId> = roles.prep1.iter().map(|&i| acceptor_nodes[i]).collect();
         let q2_id = roles.q2_id;
         let play0_to_l1 = roles.q1_members.contains(&b);
         let needed_sigs = roles.prep1.clone();
         let mut collected: Vec<SignedUpdate> = Vec::new();
         let mut sent_ack = false;
         let mut sent_vc = false;
-        let script = move |_from: NodeId, msg: ConsensusMsg, ctx: &mut rqs_sim::Context<ConsensusMsg>| {
-            match msg {
+        let script =
+            move |_from: NodeId, msg: ConsensusMsg, ctx: &mut rqs_sim::Context<ConsensusMsg>| {
+                match msg {
                 ConsensusMsg::Prepare { value: 0, view: 0, .. }
                     // Play 0 to l1 only: completes Q1's update1 set there.
                     if play0_to_l1 => {
@@ -220,7 +223,7 @@ pub fn run(roles: AttackRoles) -> FullAttackOutcome {
                 }
                 _ => {}
             }
-        };
+            };
         h.make_byzantine(b, Box::new(ScriptedAcceptor::new(script)));
     }
 
@@ -253,10 +256,12 @@ pub fn run(roles: AttackRoles) -> FullAttackOutcome {
 /// The invalid (Property-3-violating) configuration's roles.
 pub fn invalid_roles() -> AttackRoles {
     let rqs = crate::exp_fig8::invalid_rqs();
-    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let q2_id = rqs
+        .id_of(ProcessSet::from_indices([0, 1, 2, 3, 4]))
+        .unwrap();
     AttackRoles {
         rqs,
-        byz: vec![0, 1],          // B'1 = {a1, a2} ∈ B
+        byz: vec![0, 1],           // B'1 = {a1, a2} ∈ B
         q1_members: vec![0, 4, 5], // Q1 (a1 Byzantine, a5/a6 benign)
         prep1: vec![2, 3],         // benign preparers of 1
         q2_id,
@@ -267,10 +272,12 @@ pub fn invalid_roles() -> AttackRoles {
 /// The valid Example-7 configuration under the same attack shape.
 pub fn valid_roles() -> AttackRoles {
     let rqs = crate::exp_fig4::example7_rqs();
-    let q2_id = rqs.id_of(ProcessSet::from_indices([0, 1, 2, 3, 4])).unwrap();
+    let q2_id = rqs
+        .id_of(ProcessSet::from_indices([0, 1, 2, 3, 4]))
+        .unwrap();
     AttackRoles {
         rqs,
-        byz: vec![0],             // only {a1} keeps Q1 = {a2,a4,a5,a6} benign
+        byz: vec![0], // only {a1} keeps Q1 = {a2,a4,a5,a6} benign
         q1_members: vec![1, 3, 4, 5],
         prep1: vec![2],
         q2_id,
@@ -292,13 +299,21 @@ pub fn report() -> Report {
         "Property 3 violated".to_string(),
         fmt(bad.l1),
         fmt(bad.l2),
-        if bad.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if bad.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r.row([
         "valid RQS (Example 7)".to_string(),
         fmt(good.l1),
         fmt(good.l2),
-        if good.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if good.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r
 }

@@ -73,7 +73,7 @@ mod tests {
         assert_eq!(q2.intersection(qp).len(), 3); // |Q2 ∩ Q'| = 2k+1
         assert_eq!(q2.intersection(q1).len(), 3); // |Q2 ∩ Q1| = 2k+1
         assert_eq!(q2.intersection(q).intersection(q1).len(), 2); // k+1
-        // Property 2 via Q1: Q1 meets everything in ≥ 3.
+                                                                  // Property 2 via Q1: Q1 meets everything in ≥ 3.
         for other in [q, qp, q2, q1] {
             assert!(q1.intersection(other).len() >= 3);
         }

@@ -77,7 +77,11 @@ pub fn run_chain() -> Fig4Outcome {
     // not s6; all acks to the writer are lost, so the write stays open.
     h.world_mut().set_policy(
         NetworkScript::synchronous()
-            .rule(Rule::always(Fate::Drop).from(Selector::Is(writer)).to(Selector::Is(s5)))
+            .rule(
+                Rule::always(Fate::Drop)
+                    .from(Selector::Is(writer))
+                    .to(Selector::Is(s5)),
+            )
             .rule(Rule::always(Fate::Drop).to(Selector::Is(writer))),
     );
     h.start_write(Value::from(1u64));
@@ -86,8 +90,16 @@ pub fn run_chain() -> Fig4Outcome {
     // rd by r1: r1 and s6 cannot talk — r1 sees exactly Q2 = {s1..s5}.
     h.world_mut().set_policy(
         NetworkScript::synchronous()
-            .rule(Rule::always(Fate::Drop).from(Selector::Is(s5)).to(Selector::Is(r1)))
-            .rule(Rule::always(Fate::Drop).from(Selector::Is(r1)).to(Selector::Is(s5)))
+            .rule(
+                Rule::always(Fate::Drop)
+                    .from(Selector::Is(s5))
+                    .to(Selector::Is(r1)),
+            )
+            .rule(
+                Rule::always(Fate::Drop)
+                    .from(Selector::Is(r1))
+                    .to(Selector::Is(s5)),
+            )
             .rule(Rule::always(Fate::Drop).to(Selector::Is(writer))),
     );
     let rd1 = h.read(0);
@@ -130,7 +142,13 @@ pub fn report() -> Report {
     r.note("ex4 is the paper's punchline: after s5 crashes and {s1,s2} 'forget'");
     r.note("the write-back, the reader on Q2' can still return 1 only because");
     r.note("P3b guarantees a stamped class-1 witness inside Q2 ∩ Q2'.");
-    r.headers(["execution", "operation", "rounds", "returned", "paper expectation"]);
+    r.headers([
+        "execution",
+        "operation",
+        "rounds",
+        "returned",
+        "paper expectation",
+    ]);
     r.row([
         "ex1".to_string(),
         "write(1), Q1 correct".to_string(),
@@ -156,7 +174,11 @@ pub fn report() -> Report {
         "ex6".to_string(),
         "read of fabricated value".to_string(),
         "-".to_string(),
-        if out.ex6_returns_bottom { "⊥".to_string() } else { "FABRICATED".to_string() },
+        if out.ex6_returns_bottom {
+            "⊥".to_string()
+        } else {
+            "FABRICATED".to_string()
+        },
         "must return ⊥".to_string(),
     ]);
     r
@@ -179,7 +201,10 @@ mod tests {
         let out = run_chain();
         assert_eq!(out.ex1_write_rounds, 1, "ex1: class-1 write is 1 round");
         assert_eq!(out.ex3_read.0, 2, "ex2: read over Q2 takes 2 rounds");
-        assert!(out.ex3_read.1.contains("1"), "read returns the written value");
+        assert!(
+            out.ex3_read.1.contains("1"),
+            "read returns the written value"
+        );
         assert!(out.ex4_returns_written, "ex4: rd' must return 1");
         assert!(out.ex6_returns_bottom, "ex6: fabricated value rejected");
     }

@@ -97,12 +97,20 @@ fn schedule(
         }
         if env.to == r1 {
             if let Some(i) = from_server {
-                return if rd1_visible.contains(&i) { Fate::DEFAULT } else { Fate::Drop };
+                return if rd1_visible.contains(&i) {
+                    Fate::DEFAULT
+                } else {
+                    Fate::Drop
+                };
             }
         }
         if env.to == r2 {
             if let Some(i) = from_server {
-                return if rd2_visible.contains(&i) { Fate::DEFAULT } else { Fate::Drop };
+                return if rd2_visible.contains(&i) {
+                    Fate::DEFAULT
+                } else {
+                    Fate::Drop
+                };
             }
         }
         if env.from == r1 {
@@ -127,7 +135,12 @@ fn schedule(
 ///
 /// `q1_members` etc. parameterize the roles so the same schedule drives
 /// both the invalid and the valid (Example 7) configurations.
-pub fn run(rqs: Rqs, q1_members: Vec<usize>, q2_members: Vec<usize>, q_members: Vec<usize>) -> Fig8Outcome {
+pub fn run(
+    rqs: Rqs,
+    q1_members: Vec<usize>,
+    q2_members: Vec<usize>,
+    q_members: Vec<usize>,
+) -> Fig8Outcome {
     let mut h = StorageHarness::new(rqs, 2);
     let writer = h.writer_id();
     let (r1, r2) = (h.reader_id(0), h.reader_id(1));
@@ -170,12 +183,7 @@ pub fn run(rqs: Rqs, q1_members: Vec<usize>, q2_members: Vec<usize>, q_members: 
     h.start_read(1);
     let r2_node = r2;
     let completed = h.world_mut().run_until_bounded(
-        |w| {
-            w.node_as::<rqs_storage::Reader>(r2_node)
-                .outcomes()
-                .len()
-                == 1
-        },
+        |w| w.node_as::<rqs_storage::Reader>(r2_node).outcomes().len() == 1,
         500_000,
     );
     h.harvest();
@@ -219,7 +227,8 @@ pub fn run_valid() -> Fig8Outcome {
 pub fn report() -> Report {
     let bad = run_invalid();
     let good = run_valid();
-    let mut r = Report::new("E5 (Figure 8, Theorem 3): Property 3 is necessary for graceful degradation");
+    let mut r =
+        Report::new("E5 (Figure 8, Theorem 3): Property 3 is necessary for graceful degradation");
     r.note("Same adversary, same schedule; only the quorum classes differ.");
     r.note("Invalid config: P1,P2 hold, P3 fails (Q2∩Q\\B'1 = {s3,s4} ∈ B and");
     r.note("Q1∩Q2∩Q\\B'1 = ∅). rd1 returns 7 fast; after {s1,s2} forge σ0,");
@@ -233,13 +242,21 @@ pub fn report() -> Report {
         "Property 3 violated".to_string(),
         format!("{} in {} round(s)", bad.rd1.1, bad.rd1.0),
         fmt_rd2(&bad),
-        if bad.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if bad.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r.row([
         "valid RQS (Example 7)".to_string(),
         format!("{} in {} round(s)", good.rd1.1, good.rd1.0),
         fmt_rd2(&good),
-        if good.violated { "VIOLATED".to_string() } else { "ok".to_string() },
+        if good.violated {
+            "VIOLATED".to_string()
+        } else {
+            "ok".to_string()
+        },
     ]);
     r
 }
@@ -259,7 +276,10 @@ mod tests {
         assert_eq!(bad.rd1.0, 1, "rd1 must be a one-round read");
         assert!(bad.rd1.1.contains('7'));
         let rd2 = bad.rd2.expect("rd2 terminates in the invalid config");
-        assert!(rd2.1.contains('⊥'), "rd2 returns the initial value: {rd2:?}");
+        assert!(
+            rd2.1.contains('⊥'),
+            "rd2 returns the initial value: {rd2:?}"
+        );
         assert!(bad.violated, "atomicity must be violated");
     }
 

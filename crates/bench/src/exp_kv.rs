@@ -59,13 +59,19 @@ impl KvParams {
 
 /// Runs the fixed workload at each batch size on a fresh sim deployment;
 /// returns `(batch, stats)` rows. Every run is atomicity-checked.
-pub fn run_batching(seed: u64, params: KvParams, batch_sizes: &[usize]) -> Vec<(usize, KvRunStats)> {
+pub fn run_batching(
+    seed: u64,
+    params: KvParams,
+    batch_sizes: &[usize],
+) -> Vec<(usize, KvRunStats)> {
     let cfg = params.workload_config(seed);
     let ops = workload::generate(&cfg);
     batch_sizes
         .iter()
         .map(|&batch| {
-            let rqs = ThresholdConfig::byzantine_fast(1).build().expect("valid rqs");
+            let rqs = ThresholdConfig::byzantine_fast(1)
+                .build()
+                .expect("valid rqs");
             let mut sim = KvSim::new(rqs, params.objects, params.clients);
             let stats = sim.run_workload(&ops, batch);
             sim.check_atomicity().expect("per-object atomicity");
@@ -77,7 +83,9 @@ pub fn run_batching(seed: u64, params: KvParams, batch_sizes: &[usize]) -> Vec<(
 /// Runs the workload on the simulator, optionally with one forging
 /// Byzantine server, checking per-object atomicity.
 pub fn run_sim(seed: u64, params: KvParams, batch: usize, byzantine: bool) -> KvRunStats {
-    let rqs = ThresholdConfig::byzantine_fast(1).build().expect("valid rqs");
+    let rqs = ThresholdConfig::byzantine_fast(1)
+        .build()
+        .expect("valid rqs");
     let mut sim = KvSim::new(rqs, params.objects, params.clients);
     if byzantine {
         sim.make_byzantine(0, ByzantineMode::Forge);
@@ -90,7 +98,9 @@ pub fn run_sim(seed: u64, params: KvParams, batch: usize, byzantine: bool) -> Kv
 
 /// Runs the workload on the threaded runtime (1 ms ticks).
 pub fn run_threaded(seed: u64, params: KvParams, batch: usize) -> KvRunStats {
-    let rqs = ThresholdConfig::byzantine_fast(1).build().expect("valid rqs");
+    let rqs = ThresholdConfig::byzantine_fast(1)
+        .build()
+        .expect("valid rqs");
     let mut kv = RtKv::with_tick(
         rqs,
         params.objects,
@@ -113,7 +123,15 @@ pub fn batching_report(seed: u64, quick: bool) -> Report {
         params.objects, params.clients, params.ops
     ));
     r.note("envelopes/op must DECREASE as the per-client batch size grows");
-    r.headers(["batch", "envelopes", "env/op", "msgs/env", "ticks", "ops/tick", "fast-path"]);
+    r.headers([
+        "batch",
+        "envelopes",
+        "env/op",
+        "msgs/env",
+        "ticks",
+        "ops/tick",
+        "fast-path",
+    ]);
     for (batch, stats) in &rows {
         r.row([
             batch.to_string(),
@@ -125,9 +143,9 @@ pub fn batching_report(seed: u64, quick: bool) -> Report {
             format!("{:.2}", stats.rounds.fast_path_ratio()),
         ]);
     }
-    let decreasing = rows.windows(2).all(|w| {
-        w[1].1.envelopes_per_op() < w[0].1.envelopes_per_op()
-    });
+    let decreasing = rows
+        .windows(2)
+        .all(|w| w[1].1.envelopes_per_op() < w[0].1.envelopes_per_op());
     r.note(format!(
         "envelopes/op strictly decreasing across batch sizes: {decreasing}"
     ));

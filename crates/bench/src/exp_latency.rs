@@ -121,7 +121,13 @@ pub fn storage_report() -> Report {
     r.note("Synchronous, uncontended operations; crashes knock out the fast");
     r.note("quorum classes one by one. Paper: 1/2/3 rounds for class 1/2/3.");
     r.note("ABD baseline: reads always 2 rounds, crash faults only.");
-    r.headers(["system", "crashes", "best class", "write rounds", "read rounds"]);
+    r.headers([
+        "system",
+        "crashes",
+        "best class",
+        "write rounds",
+        "read rounds",
+    ]);
     // §1.2 crash system: n=5, t=2, fast at 4.
     for f in 0..=2 {
         let row = measure_storage(ThresholdConfig::crash_fast(5, 1).build().unwrap(), f);
@@ -282,12 +288,7 @@ pub fn measure_view_change(leader_crashes: usize) -> (u64, bool) {
         }
     }
     let learned = h.run_until_learned(2_000_000);
-    let delays = h
-        .learner_delays()
-        .into_iter()
-        .flatten()
-        .max()
-        .unwrap_or(0);
+    let delays = h.learner_delays().into_iter().flatten().max().unwrap_or(0);
     (delays, learned)
 }
 
@@ -300,11 +301,7 @@ pub fn view_change_report() -> Report {
     r.headers(["crashed leaders", "learned", "message delays"]);
     for crashes in 0..=2 {
         let (delays, learned) = measure_view_change(crashes);
-        r.row([
-            crashes.to_string(),
-            learned.to_string(),
-            delays.to_string(),
-        ]);
+        r.row([crashes.to_string(), learned.to_string(), delays.to_string()]);
     }
     r
 }

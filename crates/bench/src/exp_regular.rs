@@ -57,7 +57,12 @@ pub fn report() -> Report {
     r.note("Properties 1 + 3a suffice for non-atomic fast reads.");
     r.note("Cost: regular reads permit read inversion (see rqs-storage");
     r.note("regular::tests::regularity_checker_accepts_inversion).");
-    r.headers(["crashes", "best class", "atomic read rounds", "regular read rounds"]);
+    r.headers([
+        "crashes",
+        "best class",
+        "atomic read rounds",
+        "regular read rounds",
+    ]);
     for f in 0..=2usize {
         let atomic = crate::exp_latency::measure_degraded_read(graded(), f);
         let (regular_rounds, correct) = measure_regular_read(f);
@@ -91,6 +96,9 @@ mod tests {
         assert_eq!(r.rows.len(), 3);
         // Atomic degrades 1/2/3; regular stays at 1.
         assert_eq!(r.cell("atomic read rounds", |row| row[0] == "2"), Some("3"));
-        assert_eq!(r.cell("regular read rounds", |row| row[0] == "2"), Some("1"));
+        assert_eq!(
+            r.cell("regular read rounds", |row| row[0] == "2"),
+            Some("1")
+        );
     }
 }

@@ -22,6 +22,7 @@
 //! | E13 | Example 4 dissemination/masking systems | [`exp_classic`] |
 //! | E14 | §5 best-case message complexity | [`exp_scale`] |
 //! | E15 | multi-object KV service (batching + substrates) | [`exp_kv`] |
+//! | E16 | scenario engine × substrates | [`exp_scenarios`] |
 //!
 //! Every binary accepts `--seed N`, `--json` and `--quick`
 //! (see [`cli::ExpArgs`]).
@@ -42,6 +43,7 @@ pub mod exp_kv;
 pub mod exp_latency;
 pub mod exp_regular;
 pub mod exp_scale;
+pub mod exp_scenarios;
 pub mod exp_sweep;
 pub mod report;
 
@@ -79,5 +81,6 @@ pub fn all_reports_seeded(seed: u64, quick: bool) -> Vec<Report> {
     ];
     reports.push(exp_kv::batching_report(seed, quick));
     reports.push(exp_kv::substrate_report_sim(seed, quick));
+    reports.push(exp_scenarios::report_sim(seed, quick));
     reports
 }

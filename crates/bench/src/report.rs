@@ -163,9 +163,7 @@ mod tests {
     #[test]
     fn json_emission() {
         let mut r = Report::new("E0 \"quoted\"");
-        r.note("line\none")
-            .headers(["a", "b"])
-            .row(["1", "x\\y"]);
+        r.note("line\none").headers(["a", "b"]).row(["1", "x\\y"]);
         assert_eq!(
             r.to_json(),
             "{\"title\":\"E0 \\\"quoted\\\"\",\

@@ -1,0 +1,288 @@
+//! Round-trip and escaping tests for `Report::to_json`.
+//!
+//! The emitter is hand-rolled (no serde in the offline build), so these
+//! tests drive it through a minimal strict JSON reader: every emitted
+//! document must parse, and every string must un-escape back to the
+//! original cell content — including keys with quotes and backslashes,
+//! control characters, and nested tables of rows.
+
+use bench::Report;
+
+// ---- a minimal strict JSON reader (objects of string/array values) ----
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.bump(), b, "malformed JSON at byte {}", self.pos - 1);
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'"' => Json::Str(self.string()),
+            b'[' => {
+                self.expect(b'[');
+                let mut items = Vec::new();
+                if self.peek() != b']' {
+                    loop {
+                        items.push(self.value());
+                        if self.peek() == b',' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(b']');
+                Json::Arr(items)
+            }
+            b'{' => {
+                self.expect(b'{');
+                let mut fields = Vec::new();
+                if self.peek() != b'}' {
+                    loop {
+                        let key = self.string();
+                        self.expect(b':');
+                        fields.push((key, self.value()));
+                        if self.peek() == b',' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(b'}');
+                Json::Obj(fields)
+            }
+            other => panic!("unexpected byte {other:?} at {}", self.pos),
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                b'"' => return out,
+                b'\\' => match self.bump() {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex: String = (0..4).map(|_| self.bump() as char).collect();
+                        let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                        out.push(char::from_u32(code).expect("scalar value"));
+                    }
+                    other => panic!("bad escape \\{}", other as char),
+                },
+                c if c < 0x20 => panic!("raw control character {c:#x} in JSON string"),
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble multi-byte UTF-8 (the emitter passes
+                    // non-ASCII through verbatim).
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Json {
+    let mut r = Reader::new(s);
+    let v = r.value();
+    assert_eq!(r.pos, r.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+fn field<'a>(obj: &'a Json, name: &str) -> &'a Json {
+    match obj {
+        Json::Obj(fields) => {
+            &fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing field {name:?}"))
+                .1
+        }
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn strings(v: &Json) -> Vec<String> {
+    match v {
+        Json::Arr(items) => items
+            .iter()
+            .map(|i| match i {
+                Json::Str(s) => s.clone(),
+                other => panic!("expected string, got {other:?}"),
+            })
+            .collect(),
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+// ---- the round-trip tests --------------------------------------------
+
+#[test]
+fn quotes_and_backslashes_round_trip() {
+    let mut r = Report::new(r#"E0 "quoted\title" with \\ stuff"#);
+    r.note(r#"path C:\tmp\"data""#)
+        .headers([r#"k"ey"#, r"v\alue"])
+        .row([r#"""#, r"\"])
+        .row([r#"a"b\c"d"#, r"\\\\"]);
+    let json = parse(&r.to_json());
+    match field(&json, "title") {
+        Json::Str(s) => assert_eq!(s, r#"E0 "quoted\title" with \\ stuff"#),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        strings(field(&json, "commentary")),
+        vec![r#"path C:\tmp\"data""#]
+    );
+    assert_eq!(strings(field(&json, "headers")), vec![r#"k"ey"#, r"v\alue"]);
+    match field(&json, "rows") {
+        Json::Arr(rows) => {
+            assert_eq!(
+                strings(&rows[0]),
+                vec![r#"""#.to_string(), r"\".to_string()]
+            );
+            assert_eq!(
+                strings(&rows[1]),
+                vec![r#"a"b\c"d"#.to_string(), r"\\\\".to_string()]
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn control_characters_and_unicode_round_trip() {
+    let mut r = Report::new("E∞ (unicode ⟨τ⟩)");
+    r.note("line\none\ttabbed\rreturned")
+        .headers(["α", "b\u{1}c"])
+        .row(["δ→ε", "\u{7f} del is not escaped but ok"]);
+    let emitted = r.to_json();
+    // No raw control characters may survive in the emitted text.
+    assert!(
+        emitted.bytes().all(|b| b >= 0x20),
+        "raw control byte emitted"
+    );
+    let json = parse(&emitted);
+    assert_eq!(
+        strings(field(&json, "commentary")),
+        vec!["line\none\ttabbed\rreturned"]
+    );
+    assert_eq!(strings(field(&json, "headers")), vec!["α", "b\u{1}c"]);
+}
+
+#[test]
+fn nested_tables_preserve_shape() {
+    let mut r = Report::new("E16 (nested)");
+    r.headers(["a", "b", "c"]);
+    for i in 0..4 {
+        r.row([format!("r{i}a"), format!("r{i}b"), format!("r{i}c")]);
+    }
+    let json = parse(&r.to_json());
+    match field(&json, "rows") {
+        Json::Arr(rows) => {
+            assert_eq!(rows.len(), 4);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    strings(row),
+                    vec![format!("r{i}a"), format!("r{i}b"), format!("r{i}c")]
+                );
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn empty_report_is_valid_json() {
+    let r = Report::new("");
+    let json = parse(&r.to_json());
+    assert_eq!(field(&json, "title"), &Json::Str(String::new()));
+    assert_eq!(field(&json, "rows"), &Json::Arr(vec![]));
+}
+
+#[test]
+fn float_cells_are_nan_free_plain_strings() {
+    // Reports carry pre-formatted cells; the convention across the
+    // experiment modules is `format!("{:.2}", x)` over NaN-free helpers
+    // (the metrics module defines 0-denominators to return 0.0). Check
+    // that the emitter passes such cells through untouched and that the
+    // zero-guarded helpers never emit "NaN".
+    let stats = rqs_kv::KvRunStats::default();
+    let cells = [
+        format!("{:.2}", stats.throughput()),
+        format!("{:.2}", stats.envelopes_per_op()),
+        format!("{:.2}", stats.batching_factor()),
+        format!("{:.2}", rqs_kv::RoundHistogram::new().fast_path_ratio()),
+    ];
+    let mut r = Report::new("floats");
+    r.headers(["v"]);
+    for c in &cells {
+        assert!(!c.contains("NaN"), "zero-guarded metric emitted NaN");
+        r.row([c.clone()]);
+    }
+    let json = parse(&r.to_json());
+    match field(&json, "rows") {
+        Json::Arr(rows) => {
+            for (row, cell) in rows.iter().zip(&cells) {
+                assert_eq!(strings(row), vec![cell.clone()]);
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn every_experiment_report_emits_parseable_json() {
+    for report in bench::all_reports_seeded(7, true) {
+        let json = parse(&report.to_json());
+        match field(&json, "title") {
+            Json::Str(s) => assert!(!s.is_empty(), "every report is titled"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

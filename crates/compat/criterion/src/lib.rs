@@ -34,7 +34,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { name: s.to_string() }
+        BenchmarkId {
+            name: s.to_string(),
+        }
     }
 }
 

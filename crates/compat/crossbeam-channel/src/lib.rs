@@ -54,6 +54,12 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
         self.0.try_recv()
     }
+
+    /// Blocks until a message arrives, all senders are dropped, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, mpsc::RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
 }
 
 /// An unbounded FIFO channel.

@@ -80,7 +80,11 @@ impl Condvar {
     }
 
     /// Blocks until notified or `timeout` has elapsed.
-    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard present outside wait");
         let (inner, res) = self
             .0
@@ -91,7 +95,11 @@ impl Condvar {
     }
 
     /// Blocks until notified or the `deadline` instant is reached.
-    pub fn wait_until<T>(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> WaitTimeoutResult {
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
         let timeout = deadline.saturating_duration_since(Instant::now());
         self.wait_for(guard, timeout)
     }

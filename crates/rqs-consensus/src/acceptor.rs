@@ -8,7 +8,7 @@ use crate::types::{
     ProposalValue, SignedNewViewAck, SignedUpdate, SignedViewChange, View, INIT_VIEW,
 };
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
-use rqs_crypto::{Keypair, KeyRegistry, SignerId};
+use rqs_crypto::{KeyRegistry, Keypair, SignerId};
 use rqs_sim::{Automaton, Context, NodeId, TimerToken, DELTA};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -332,7 +332,10 @@ impl Acceptor {
 
     fn on_decide(&mut self, v: ProposalValue, ctx: &mut Context<ConsensusMsg>) {
         // Election line 7: broadcast the decision to acceptors.
-        ctx.broadcast(self.cfg.acceptors.clone(), ConsensusMsg::Decision { value: v });
+        ctx.broadcast(
+            self.cfg.acceptors.clone(),
+            ConsensusMsg::Decision { value: v },
+        );
     }
 
     // ---- consult phase --------------------------------------------------
@@ -512,10 +515,20 @@ impl Acceptor {
 impl Automaton<ConsensusMsg> for Acceptor {
     fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
         match msg {
-            ConsensusMsg::Prepare { value, view, v_proof, quorum } => {
+            ConsensusMsg::Prepare {
+                value,
+                view,
+                v_proof,
+                quorum,
+            } => {
                 self.on_prepare(from, value, view, v_proof, quorum, ctx);
             }
-            ConsensusMsg::Update { step, value, view, quorum } => {
+            ConsensusMsg::Update {
+                step,
+                value,
+                view,
+                quorum,
+            } => {
                 if let Some(sender) = self.cfg.acceptor_index(from) {
                     self.on_update(sender, step, value, view, quorum, ctx);
                 }
@@ -620,7 +633,12 @@ mod tests {
         let mut c = ctx(0);
         a.on_message(
             NodeId(4),
-            ConsensusMsg::Prepare { value: 7, view: 0, v_proof: None, quorum: None },
+            ConsensusMsg::Prepare {
+                value: 7,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
             &mut c,
         );
         assert_eq!(a.prepared(), Some(7));
@@ -640,7 +658,12 @@ mod tests {
         let cfg = config();
         let mut a = acceptor(&cfg, 0);
         let mut c = ctx(0);
-        let prep = |v| ConsensusMsg::Prepare { value: v, view: 0, v_proof: None, quorum: None };
+        let prep = |v| ConsensusMsg::Prepare {
+            value: v,
+            view: 0,
+            v_proof: None,
+            quorum: None,
+        };
         a.on_message(NodeId(4), prep(7), &mut c);
         let mut c2 = ctx(1);
         a.on_message(NodeId(5), prep(9), &mut c2);
@@ -655,7 +678,12 @@ mod tests {
         let mut c = ctx(0);
         a.on_message(
             NodeId(4),
-            ConsensusMsg::Prepare { value: 7, view: 0, v_proof: None, quorum: None },
+            ConsensusMsg::Prepare {
+                value: 7,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
             &mut c,
         );
         // update1 from acceptors 0,1,2 (a 3-member class-2 quorum).
@@ -663,7 +691,12 @@ mod tests {
             let mut ci = ctx(2);
             a.on_message(
                 NodeId(i),
-                ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+                ConsensusMsg::Update {
+                    step: 1,
+                    value: 7,
+                    view: 0,
+                    quorum: None,
+                },
                 &mut ci,
             );
             if i == 2 {
@@ -679,7 +712,12 @@ mod tests {
         let mut c4 = ctx(3);
         a.on_message(
             NodeId(3),
-            ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+            ConsensusMsg::Update {
+                step: 1,
+                value: 7,
+                view: 0,
+                quorum: None,
+            },
             &mut c4,
         );
         let u2: Vec<_> = c4
@@ -687,7 +725,10 @@ mod tests {
             .iter()
             .filter(|(_, m)| matches!(m, ConsensusMsg::Update { step: 2, .. }))
             .collect();
-        assert!(!u2.is_empty(), "newly covered quorums trigger more update2s");
+        assert!(
+            !u2.is_empty(),
+            "newly covered quorums trigger more update2s"
+        );
     }
 
     #[test]
@@ -697,7 +738,12 @@ mod tests {
         let mut c = ctx(0);
         a.on_message(
             NodeId(4),
-            ConsensusMsg::Prepare { value: 7, view: 0, v_proof: None, quorum: None },
+            ConsensusMsg::Prepare {
+                value: 7,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
             &mut c,
         );
         let q = cfg.rqs.id_of(ProcessSet::from_indices([0, 1, 2])).unwrap();
@@ -706,7 +752,12 @@ mod tests {
             let mut ci = ctx(3);
             a.on_message(
                 NodeId(i),
-                ConsensusMsg::Update { step: 2, value: 7, view: 0, quorum: Some(q) },
+                ConsensusMsg::Update {
+                    step: 2,
+                    value: 7,
+                    view: 0,
+                    quorum: Some(q),
+                },
                 &mut ci,
             );
             total_u3 += ci
@@ -763,11 +814,9 @@ mod tests {
             ConsensusMsg::ViewChange(svc) => {
                 assert_eq!(svc.next_view, 1);
                 assert_eq!(svc.acceptor, ProcessId(2));
-                assert!(cfg.registry.verify(
-                    SignerId(2),
-                    &encode_view_change(1),
-                    &svc.sig
-                ));
+                assert!(cfg
+                    .registry
+                    .verify(SignerId(2), &encode_view_change(1), &svc.sig));
             }
             other => panic!("{other:?}"),
         }
@@ -793,7 +842,10 @@ mod tests {
         let mut c = ctx(5);
         a.on_message(
             NodeId(5), // leader of view 1
-            ConsensusMsg::NewView { view: 1, view_proof: proof },
+            ConsensusMsg::NewView {
+                view: 1,
+                view_proof: proof,
+            },
             &mut c,
         );
         assert_eq!(a.view(), 1);
@@ -825,7 +877,10 @@ mod tests {
         let mut c = ctx(5);
         a.on_message(
             NodeId(5),
-            ConsensusMsg::NewView { view: 1, view_proof: forged },
+            ConsensusMsg::NewView {
+                view: 1,
+                view_proof: forged,
+            },
             &mut c,
         );
         assert_eq!(a.view(), 0);
@@ -839,24 +894,31 @@ mod tests {
         let mut c = ctx(0);
         a.on_message(
             NodeId(4),
-            ConsensusMsg::Prepare { value: 7, view: 0, v_proof: None, quorum: None },
+            ConsensusMsg::Prepare {
+                value: 7,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
             &mut c,
         );
         // update1⟨7,0⟩ is in `old` now.
         let mut c2 = ctx(2);
         a.on_message(
             NodeId(1),
-            ConsensusMsg::SignReq { value: 7, view: 0, step: 1 },
+            ConsensusMsg::SignReq {
+                value: 7,
+                view: 0,
+                step: 1,
+            },
             &mut c2,
         );
         assert_eq!(c2.sent().len(), 1);
         match &c2.sent()[0].1 {
             ConsensusMsg::SignAck(su) => {
-                assert!(cfg.registry.verify(
-                    SignerId(0),
-                    &encode_update(1, 7, 0),
-                    &su.sig
-                ));
+                assert!(cfg
+                    .registry
+                    .verify(SignerId(0), &encode_update(1, 7, 0), &su.sig));
             }
             other => panic!("{other:?}"),
         }
@@ -864,7 +926,11 @@ mod tests {
         let mut c3 = ctx(3);
         a.on_message(
             NodeId(1),
-            ConsensusMsg::SignReq { value: 9, view: 0, step: 1 },
+            ConsensusMsg::SignReq {
+                value: 9,
+                view: 0,
+                step: 1,
+            },
             &mut c3,
         );
         assert!(c3.sent().is_empty());

@@ -47,11 +47,21 @@ impl ScriptedAcceptor {
             if let ConsensusMsg::Prepare { view, .. } = msg {
                 ctx.broadcast(
                     targets_a.iter().copied(),
-                    ConsensusMsg::Update { step: 1, value: value_a, view, quorum: None },
+                    ConsensusMsg::Update {
+                        step: 1,
+                        value: value_a,
+                        view,
+                        quorum: None,
+                    },
                 );
                 ctx.broadcast(
                     targets_b.iter().copied(),
-                    ConsensusMsg::Update { step: 1, value: value_b, view, quorum: None },
+                    ConsensusMsg::Update {
+                        step: 1,
+                        value: value_b,
+                        view,
+                        quorum: None,
+                    },
                 );
             }
         })
@@ -93,26 +103,24 @@ mod tests {
 
     #[test]
     fn equivocator_splits_votes() {
-        let mut a = ScriptedAcceptor::equivocating_update1(
-            vec![NodeId(10)],
-            1,
-            vec![NodeId(11)],
-            2,
-        );
+        let mut a =
+            ScriptedAcceptor::equivocating_update1(vec![NodeId(10)], 1, vec![NodeId(11)], 2);
         let mut c = Context::new(NodeId(0), Time::ZERO, 0);
         a.on_message(
             NodeId(5),
-            ConsensusMsg::Prepare { value: 1, view: 0, v_proof: None, quorum: None },
+            ConsensusMsg::Prepare {
+                value: 1,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
             &mut c,
         );
         assert_eq!(c.sent().len(), 2);
         let to_10 = c.sent().iter().find(|(n, _)| *n == NodeId(10)).unwrap();
         let to_11 = c.sent().iter().find(|(n, _)| *n == NodeId(11)).unwrap();
         match (&to_10.1, &to_11.1) {
-            (
-                ConsensusMsg::Update { value: v1, .. },
-                ConsensusMsg::Update { value: v2, .. },
-            ) => {
+            (ConsensusMsg::Update { value: v1, .. }, ConsensusMsg::Update { value: v2, .. }) => {
                 assert_eq!((*v1, *v2), (1, 2));
             }
             other => panic!("{other:?}"),

@@ -85,7 +85,11 @@ impl<'a> ChooseInput<'a> {
             })
             .collect();
         self.rqs.class1_ids().iter().any(|&q1| {
-            let missing = self.rqs.quorum(q1).intersection(q_set).difference(reporting);
+            let missing = self
+                .rqs
+                .quorum(q1)
+                .intersection(q_set)
+                .difference(reporting);
             self.rqs.adversary().contains(missing)
         })
     }
@@ -158,10 +162,7 @@ impl<'a> ChooseInput<'a> {
     }
 
     fn is_candidate(&self, v: ProposalValue, w: View) -> bool {
-        self.cand2(v, w)
-            || self.cand3(v, w, true)
-            || self.cand3(v, w, false)
-            || self.cand4(v, w)
+        self.cand2(v, w) || self.cand3(v, w, true) || self.cand3(v, w, false) || self.cand4(v, w)
     }
 
     /// The `choose()` function (Fig. 13 lines 10–21).
@@ -197,7 +198,10 @@ impl<'a> ChooseInput<'a> {
             .iter()
             .find(|&&v| self.cand3(v, view_max, true) || self.cand4(v, view_max))
         {
-            return ChooseOutcome { value: v, abort: false };
+            return ChooseOutcome {
+                value: v,
+                abort: false,
+            };
         }
         // Line 15–16: two distinct Cand3(·,'b') values → abort.
         let b_cands: Vec<ProposalValue> = at_max
@@ -214,7 +218,10 @@ impl<'a> ChooseInput<'a> {
         // Line 17–19: a single Cand3(·,'b') value must also be Valid3.
         if let Some(&v) = b_cands.first() {
             if self.valid3(v, view_max, false) {
-                return ChooseOutcome { value: v, abort: false };
+                return ChooseOutcome {
+                    value: v,
+                    abort: false,
+                };
             }
             return ChooseOutcome {
                 value: default,
@@ -223,7 +230,10 @@ impl<'a> ChooseInput<'a> {
         }
         // Line 20: fall back to the (unique — Lemma 22) Cand2 value.
         if let Some(&v) = at_max.iter().find(|&&v| self.cand2(v, view_max)) {
-            return ChooseOutcome { value: v, abort: false };
+            return ChooseOutcome {
+                value: v,
+                abort: false,
+            };
         }
         // Candidates existed only at lower views than view_max for other
         // predicates — unreachable by construction of view_max, but keep a
@@ -293,7 +303,15 @@ mod tests {
     fn empty_acks(members: ProcessSet) -> BTreeMap<ProcessId, NewViewAckBody> {
         members
             .iter()
-            .map(|p| (p, NewViewAckBody { view: 1, ..Default::default() }))
+            .map(|p| {
+                (
+                    p,
+                    NewViewAckBody {
+                        view: 1,
+                        ..Default::default()
+                    },
+                )
+            })
             .collect()
     }
 
@@ -306,9 +324,19 @@ mod tests {
         let rqs = rqs();
         let q = quorum_of(&rqs, ProcessSet::from_indices([0, 1, 2]));
         let acks = empty_acks(rqs.quorum(q));
-        let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &acks,
+        };
         let out = input.choose(42);
-        assert_eq!(out, ChooseOutcome { value: 42, abort: false });
+        assert_eq!(
+            out,
+            ChooseOutcome {
+                value: 42,
+                abort: false
+            }
+        );
     }
 
     #[test]
@@ -322,10 +350,20 @@ mod tests {
             a.prep = Some(7);
             a.prep_view.insert(0);
         }
-        let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &acks,
+        };
         assert!(input.cand2(7, 0));
         let out = input.choose(42);
-        assert_eq!(out, ChooseOutcome { value: 7, abort: false });
+        assert_eq!(
+            out,
+            ChooseOutcome {
+                value: 7,
+                abort: false
+            }
+        );
     }
 
     #[test]
@@ -340,7 +378,11 @@ mod tests {
                 a.prep_view.insert(0);
             }
         }
-        let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &acks,
+        };
         assert!(input.cand2(7, 0));
     }
 
@@ -359,7 +401,11 @@ mod tests {
                 a.update_view[1].insert(1);
             }
         }
-        let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &acks,
+        };
         assert!(input.cand4(7, 1));
         assert_eq!(input.choose(42).value, 7);
     }
@@ -377,7 +423,11 @@ mod tests {
             a.update[1] = Some(5);
             a.update_view[1].insert(1);
         }
-        let input = ChooseInput { rqs: &rqs, q, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &acks,
+        };
         assert!(input.cand4(5, 1));
         assert!(input.cand2(9, 2));
         assert_eq!(input.choose(0).value, 9, "view 2 dominates view 1");
@@ -397,7 +447,11 @@ mod tests {
                 a.update_q[0].entry(1).or_default().insert(q3);
             }
         }
-        let input = ChooseInput { rqs: &rqs, q: full, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q: full,
+            acks: &acks,
+        };
         // M = ∅ for Q2 = {0,1,2}: P3a(Q2, Q, ∅) ⇔ |Q2∩Q| = 3 > k… basic ✓.
         assert!(input.cand3(3, 1, true));
         assert_eq!(input.choose(0).value, 3);
@@ -429,7 +483,11 @@ mod tests {
                 _ => {}
             }
         }
-        let input = ChooseInput { rqs: &rqs, q: full, acks: &acks };
+        let input = ChooseInput {
+            rqs: &rqs,
+            q: full,
+            acks: &acks,
+        };
         // For v=3 with Q2={0,1,2}: M = {2} ∈ B_1; for v=4 with Q2={0,1,3}:
         // M = {0,1}… not in B; with Q2={2,3,x}…
         // Validate at least that choose() never returns a non-candidate
@@ -444,7 +502,10 @@ mod tests {
     fn validate_ack_checks_signatures_and_proofs() {
         let rqs = rqs();
         let registry = KeyRegistry::new(4, 5);
-        let mut body = NewViewAckBody { view: 2, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 2,
+            ..Default::default()
+        };
         body.update[0] = Some(6);
         body.update_view[0].insert(1);
         // Proofs: acceptors 1 and 2 vouch (basic for k=1 needs ≥ 2).
@@ -501,7 +562,10 @@ mod tests {
     fn validate_ack_rejects_updateview_without_value() {
         let rqs = rqs();
         let registry = KeyRegistry::new(4, 5);
-        let mut body = NewViewAckBody { view: 2, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 2,
+            ..Default::default()
+        };
         body.update_view[0].insert(1); // view without a value
         let sig = registry
             .signer(SignerId(0))

@@ -1,6 +1,13 @@
-//! End-to-end consensus harness: builds a proposer/acceptor/learner
-//! deployment over a refined quorum system, drives proposals and measures
-//! learning latency in message delays.
+//! End-to-end consensus deployment, generic over the execution
+//! substrate: builds a proposer/acceptor/learner deployment over a
+//! refined quorum system, drives proposals and measures learning latency
+//! in message delays.
+//!
+//! [`ConsensusDeployment`] is written once against
+//! [`Substrate`](rqs_sim::Substrate); [`ConsensusHarness`] is its
+//! deterministic-simulator alias (with extra sim-only scripting methods)
+//! and `rqs_runtime::RtConsensus` wraps the same driver on the threaded
+//! runtime.
 
 use crate::acceptor::{Acceptor, ConsensusConfig};
 use crate::learner::Learner;
@@ -8,10 +15,13 @@ use crate::proposer::Proposer;
 use crate::types::{ConsensusMsg, ProposalValue};
 use rqs_core::{ProcessId, ProcessSet, Rqs};
 use rqs_crypto::{KeyRegistry, SignerId};
-use rqs_sim::{Automaton, NetworkScript, NodeId, Time, World};
+use rqs_sim::{
+    Automaton, NetworkScript, NodeId, Scenario, Substrate, SubstrateConfig, Time, World,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A consensus deployment inside a simulation world.
+/// A consensus deployment on any [`Substrate`].
 ///
 /// # Examples
 ///
@@ -29,63 +39,82 @@ use std::sync::Arc;
 /// assert_eq!(h.agreed_value(), Some(42));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct ConsensusHarness {
-    world: World<ConsensusMsg>,
+pub struct ConsensusDeployment<S: Substrate<ConsensusMsg>> {
+    sub: S,
     cfg: ConsensusConfig,
     propose_time: Option<Time>,
     crashed_learners: Vec<usize>,
 }
 
-impl ConsensusHarness {
-    /// Builds a synchronous deployment.
+/// The simulated consensus deployment (back-compat alias).
+pub type ConsensusHarness = ConsensusDeployment<World<ConsensusMsg>>;
+
+impl<S: Substrate<ConsensusMsg>> ConsensusDeployment<S> {
+    /// Builds a fault-free deployment.
     pub fn new(rqs: Rqs, proposers: usize, learners: usize) -> Self {
-        Self::with_script(rqs, proposers, learners, NetworkScript::synchronous())
+        Self::with_scenario(rqs, proposers, learners, Scenario::default())
     }
 
-    /// Builds a deployment with a custom network script.
-    pub fn with_script(
+    /// Builds a deployment under a fault scenario (acceptor crash plans,
+    /// link effects; the scenario's `byzantine` indices are rejected here
+    /// — Byzantine acceptors are scripted per experiment).
+    pub fn with_scenario(rqs: Rqs, proposers: usize, learners: usize, scenario: Scenario) -> Self {
+        Self::with_setup(rqs, proposers, learners, scenario, rqs_sim::DEFAULT_TICK)
+    }
+
+    /// Builds with a scenario and an explicit wall-clock tick length
+    /// (ignored by the simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario names Byzantine nodes (consensus Byzantine
+    /// behaviours are experiment-specific scripts; use
+    /// [`ConsensusHarness::make_byzantine`]).
+    pub fn with_setup(
         rqs: Rqs,
         proposers: usize,
         learners: usize,
-        script: NetworkScript,
+        scenario: Scenario,
+        tick: Duration,
     ) -> Self {
         assert!(proposers >= 1, "at least one proposer");
         assert!(learners >= 1, "at least one learner");
+        assert!(
+            scenario.byzantine.is_empty(),
+            "consensus deployments take scripted Byzantine acceptors, not scenario swap-ins"
+        );
         let n = rqs.universe_size();
         let rqs = Arc::new(rqs);
         let registry = KeyRegistry::new(n, 0xC0FFEE);
-        let acceptor_nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let proposer_nodes: Vec<NodeId> = (n..n + proposers).map(NodeId).collect();
-        let learner_nodes: Vec<NodeId> =
-            (n + proposers..n + proposers + learners).map(NodeId).collect();
         let cfg = ConsensusConfig {
             rqs,
             registry: registry.clone(),
-            acceptors: acceptor_nodes,
-            proposers: proposer_nodes,
-            learners: learner_nodes,
+            acceptors: (0..n).map(NodeId).collect(),
+            proposers: (n..n + proposers).map(NodeId).collect(),
+            learners: (n + proposers..n + proposers + learners)
+                .map(NodeId)
+                .collect(),
         };
-        let mut world = World::new(script);
+        let mut nodes: Vec<Box<dyn Automaton<ConsensusMsg> + Send>> = Vec::new();
         for i in 0..n {
-            let id = world.add_node(Box::new(Acceptor::new(
+            nodes.push(Box::new(Acceptor::new(
                 cfg.clone(),
                 ProcessId(i),
                 registry.signer(SignerId(i)),
             )));
-            debug_assert_eq!(id, cfg.acceptors[i]);
         }
         for i in 0..proposers {
             let me = cfg.proposers[i];
-            let id = world.add_node(Box::new(Proposer::new(cfg.clone(), me)));
-            debug_assert_eq!(id, me);
+            nodes.push(Box::new(Proposer::new(cfg.clone(), me)));
         }
-        for i in 0..learners {
-            let id = world.add_node(Box::new(Learner::new(cfg.clone())));
-            debug_assert_eq!(id, cfg.learners[i]);
+        for _ in 0..learners {
+            nodes.push(Box::new(Learner::new(cfg.clone())));
         }
-        world.start(); // arms the learners' pull timers
-        ConsensusHarness {
-            world,
+        // Substrate::build runs on_start, arming the learners' pull timers.
+        let config = SubstrateConfig::new(nodes).scenario(scenario).tick(tick);
+        let sub = S::build(config);
+        ConsensusDeployment {
+            sub,
             cfg,
             propose_time: None,
             crashed_learners: Vec::new(),
@@ -97,36 +126,22 @@ impl ConsensusHarness {
         &self.cfg
     }
 
-    /// The underlying world.
-    pub fn world_mut(&mut self) -> &mut World<ConsensusMsg> {
-        &mut self.world
+    /// The underlying substrate.
+    pub fn substrate(&mut self) -> &mut S {
+        &mut self.sub
     }
 
     /// Crashes a set of acceptors (universe indices) now.
     pub fn crash_acceptors(&mut self, faulty: ProcessSet) {
-        let now = self.world.now();
         for p in faulty.iter() {
-            self.world.crash_at(self.cfg.acceptors[p.index()], now);
+            self.sub.crash(self.cfg.acceptors[p.index()]);
         }
-        self.world.run_before(now + 1);
-    }
-
-    /// Crashes proposer `i` at the given time (leader-failure scenarios).
-    pub fn crash_proposer_at(&mut self, i: usize, at: Time) {
-        self.world.crash_at(self.cfg.proposers[i], at);
     }
 
     /// Marks learner `i` crashed (excluded from agreement checks).
     pub fn crash_learner(&mut self, i: usize) {
-        let now = self.world.now();
-        self.world.crash_at(self.cfg.learners[i], now);
-        self.world.run_before(now + 1);
+        self.sub.crash(self.cfg.learners[i]);
         self.crashed_learners.push(i);
-    }
-
-    /// Replaces an acceptor with a Byzantine automaton.
-    pub fn make_byzantine(&mut self, idx: usize, node: Box<dyn Automaton<ConsensusMsg>>) {
-        self.world.replace_node(self.cfg.acceptors[idx], node);
     }
 
     /// Proposer `i` proposes `value`. The first proposal timestamps the
@@ -134,14 +149,16 @@ impl ConsensusHarness {
     pub fn propose(&mut self, i: usize, value: ProposalValue) {
         let node = self.cfg.proposers[i];
         if self.propose_time.is_none() {
-            self.propose_time = Some(self.world.now());
+            self.propose_time = Some(self.sub.now_ticks());
         }
-        self.world
-            .invoke::<Proposer>(node, move |p, ctx| p.propose(value, ctx));
+        self.sub
+            .invoke_on::<Proposer>(node, move |p, ctx| p.propose(value, ctx));
     }
 
-    /// Runs until every correct learner has learned (or the step budget is
-    /// exhausted); returns whether they all learned.
+    /// Runs until every correct learner has learned (or the budget is
+    /// exhausted — `max_steps` events on the simulator, the configured
+    /// timeout per learner on wall-clock substrates); returns whether
+    /// they all learned.
     pub fn run_until_learned(&mut self, max_steps: usize) -> bool {
         let learners: Vec<NodeId> = self
             .cfg
@@ -151,26 +168,22 @@ impl ConsensusHarness {
             .filter(|(i, _)| !self.crashed_learners.contains(i))
             .map(|(_, &n)| n)
             .collect();
-        self.world.run_until_bounded(
-            |w| {
-                learners
-                    .iter()
-                    .all(|&l| w.node_as::<Learner>(l).learned().is_some())
-            },
-            max_steps,
-        )
+        learners.into_iter().all(|l| {
+            self.sub
+                .await_on::<Learner>(l, |lr| lr.learned().is_some(), max_steps)
+        })
     }
 
     /// Learned value of learner `i`, if any.
     pub fn learned(&self, i: usize) -> Option<ProposalValue> {
-        self.world
-            .node_as::<Learner>(self.cfg.learners[i])
-            .learned()
-            .map(|(v, _)| v)
+        self.sub
+            .inspect_on::<Learner, Option<ProposalValue>>(self.cfg.learners[i], |l| {
+                l.learned().map(|(v, _)| v)
+            })
     }
 
     /// Message delays from the first propose to each learner's learn time
-    /// (`None` for learners that have not learned). One simulated tick is
+    /// (`None` for learners that have not learned). One protocol tick is
     /// one message delay.
     pub fn learner_delays(&self) -> Vec<Option<u64>> {
         let t0 = self.propose_time.unwrap_or(Time::ZERO);
@@ -178,10 +191,9 @@ impl ConsensusHarness {
             .learners
             .iter()
             .map(|&l| {
-                self.world
-                    .node_as::<Learner>(l)
-                    .learned()
-                    .map(|(_, t)| t.since(t0))
+                self.sub
+                    .inspect_on::<Learner, Option<Time>>(l, |lr| lr.learned().map(|(_, t)| t))
+                    .map(|t| t.since(t0))
             })
             .collect()
     }
@@ -190,11 +202,11 @@ impl ConsensusHarness {
     /// `None` if any is missing or they disagree (an Agreement violation).
     pub fn agreed_value(&self) -> Option<ProposalValue> {
         let mut agreed: Option<ProposalValue> = None;
-        for (i, &l) in self.cfg.learners.iter().enumerate() {
+        for (i, _) in self.cfg.learners.iter().enumerate() {
             if self.crashed_learners.contains(&i) {
                 continue;
             }
-            let v = self.world.node_as::<Learner>(l).learned().map(|(v, _)| v)?;
+            let v = self.learned(i)?;
             match agreed {
                 None => agreed = Some(v),
                 Some(prev) if prev != v => return None,
@@ -206,14 +218,46 @@ impl ConsensusHarness {
 
     /// Decided value at acceptor `i` (inspection).
     pub fn acceptor_decided(&self, i: usize) -> Option<ProposalValue> {
-        self.world
-            .node_as::<Acceptor>(self.cfg.acceptors[i])
-            .decided()
+        self.sub
+            .inspect_on::<Acceptor, Option<ProposalValue>>(self.cfg.acceptors[i], |a| a.decided())
+    }
+
+    /// Stops the substrate (a no-op on the simulator).
+    pub fn shutdown(&mut self) {
+        self.sub.shutdown();
+    }
+}
+
+/// Simulator-only scripting surface.
+impl ConsensusHarness {
+    /// Builds a deployment with a custom network script.
+    pub fn with_script(rqs: Rqs, proposers: usize, learners: usize, script: NetworkScript) -> Self {
+        let mut h = Self::new(rqs, proposers, learners);
+        h.world_mut().set_policy(script);
+        h
+    }
+
+    /// The underlying world.
+    pub fn world_mut(&mut self) -> &mut World<ConsensusMsg> {
+        &mut self.sub
+    }
+
+    /// Crashes proposer `i` at the given time (leader-failure scenarios).
+    pub fn crash_proposer_at(&mut self, i: usize, at: Time) {
+        let node = self.cfg.proposers[i];
+        self.sub.crash_at(node, at);
+    }
+
+    /// Replaces an acceptor with a Byzantine automaton (simulator only:
+    /// the scripted acceptors need not be `Send`).
+    pub fn make_byzantine(&mut self, idx: usize, node: Box<dyn Automaton<ConsensusMsg>>) {
+        let id = self.cfg.acceptors[idx];
+        self.sub.replace_node(id, node);
     }
 
     /// Current time.
     pub fn now(&self) -> Time {
-        self.world.now()
+        self.sub.now()
     }
 }
 
@@ -302,5 +346,15 @@ mod tests {
         h.propose(0, 3);
         assert!(h.run_until_learned(200_000));
         assert_eq!(h.learner_delays(), vec![Some(4)]);
+    }
+
+    #[test]
+    fn scenario_acceptor_crash_degrades_but_learns() {
+        let scenario = Scenario::named("late-crash").crash(6, 0);
+        let mut h =
+            ConsensusDeployment::<World<ConsensusMsg>>::with_scenario(graded_rqs(), 1, 1, scenario);
+        h.propose(0, 5);
+        assert!(h.run_until_learned(400_000));
+        assert_eq!(h.agreed_value(), Some(5));
     }
 }

@@ -73,7 +73,12 @@ impl Automaton<ConsensusMsg> for Learner {
         // Any protocol traffic starts the pull loop (lines 102–103).
         self.ensure_pull_timer(ctx);
         match msg {
-            ConsensusMsg::Update { step, value, view, quorum } => {
+            ConsensusMsg::Update {
+                step,
+                value,
+                view,
+                quorum,
+            } => {
                 if let Some(v) = self.decider.record(step, value, view, quorum, sender) {
                     self.learn(v, ctx.now()); // line 60
                 }
@@ -140,7 +145,12 @@ mod tests {
             let mut c = ctx(2);
             l.on_message(
                 NodeId(i),
-                ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+                ConsensusMsg::Update {
+                    step: 1,
+                    value: 7,
+                    view: 0,
+                    quorum: None,
+                },
                 &mut c,
             );
         }
@@ -189,7 +199,12 @@ mod tests {
         // First traffic arms the pull timer.
         l.on_message(
             NodeId(0),
-            ConsensusMsg::Update { step: 1, value: 7, view: 0, quorum: None },
+            ConsensusMsg::Update {
+                step: 1,
+                value: 7,
+                view: 0,
+                quorum: None,
+            },
             &mut c,
         );
         let (_, token) = c.armed_timers()[0];

@@ -54,7 +54,7 @@ pub mod types;
 pub use acceptor::{Acceptor, ConsensusConfig, SUSPECT_TIMEOUT};
 pub use choose::{validate_ack, ChooseInput, ChooseOutcome};
 pub use decide::DecisionTracker;
-pub use harness::ConsensusHarness;
+pub use harness::{ConsensusDeployment, ConsensusHarness};
 pub use learner::{Learner, PULL_INTERVAL};
 pub use proposer::{Proposer, SYNC_DELAY};
 pub use types::{ConsensusMsg, ProposalValue, View, INIT_VIEW};

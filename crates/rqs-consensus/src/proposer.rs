@@ -212,9 +212,10 @@ impl Automaton<ConsensusMsg> for Proposer {
     fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
         match msg {
             ConsensusMsg::ViewChange(svc)
-                if self.cfg.acceptor_index(from) == Some(svc.acceptor) => {
-                    self.on_view_change(svc, ctx);
-                }
+                if self.cfg.acceptor_index(from) == Some(svc.acceptor) =>
+            {
+                self.on_view_change(svc, ctx);
+            }
             ConsensusMsg::NewViewAck(ack) => {
                 if self.halted || !self.consult_active {
                     return;
@@ -293,7 +294,16 @@ mod tests {
         let prepares: Vec<_> = c
             .sent()
             .iter()
-            .filter(|(_, m)| matches!(m, ConsensusMsg::Prepare { view: 0, value: 7, .. }))
+            .filter(|(_, m)| {
+                matches!(
+                    m,
+                    ConsensusMsg::Prepare {
+                        view: 0,
+                        value: 7,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(prepares.len(), 4);
         assert_eq!(c.armed_timers().len(), 1, "sync timer armed");

@@ -215,7 +215,12 @@ impl fmt::Display for ConsensusMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConsensusMsg::Prepare { value, view, .. } => write!(f, "prepare⟨{value},{view}⟩"),
-            ConsensusMsg::Update { step, value, view, quorum } => match quorum {
+            ConsensusMsg::Update {
+                step,
+                value,
+                view,
+                quorum,
+            } => match quorum {
                 Some(q) => write!(f, "update{step}⟨{value},{view},{q}⟩"),
                 None => write!(f, "update{step}⟨{value},{view},∅⟩"),
             },

@@ -29,7 +29,10 @@ fn benign_state(
     let n = rqs.universe_size();
     let mut acks = BTreeMap::new();
     for i in 0..n {
-        let mut body = NewViewAckBody { view: 1, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 1,
+            ..Default::default()
+        };
         if let Some(v) = prep_assignment[i] {
             body.prep = Some(v);
             body.prep_view.insert(0);
@@ -160,7 +163,10 @@ fn two_updated_value_protected() {
     // Everyone prepared and fully updated value 5 in view 0.
     let mut acks = BTreeMap::new();
     for i in 0..n {
-        let mut body = NewViewAckBody { view: 1, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 1,
+            ..Default::default()
+        };
         body.prep = Some(5);
         body.prep_view.insert(0);
         body.update = [Some(5), Some(5)];
@@ -173,11 +179,13 @@ fn two_updated_value_protected() {
     }
     for q in rqs.all_ids() {
         let members = rqs.quorum(q);
-        let subset: BTreeMap<ProcessId, NewViewAckBody> = members
-            .iter()
-            .map(|p| (p, acks[&p].clone()))
-            .collect();
-        let input = ChooseInput { rqs: &rqs, q, acks: &subset };
+        let subset: BTreeMap<ProcessId, NewViewAckBody> =
+            members.iter().map(|p| (p, acks[&p].clone())).collect();
+        let input = ChooseInput {
+            rqs: &rqs,
+            q,
+            acks: &subset,
+        };
         let out = input.choose(99);
         assert!(!out.abort);
         assert_eq!(out.value, 5);
@@ -192,7 +200,10 @@ fn higher_view_dominates() {
     let n = rqs.universe_size();
     let mut acks = BTreeMap::new();
     for i in 0..n {
-        let mut body = NewViewAckBody { view: 3, ..Default::default() };
+        let mut body = NewViewAckBody {
+            view: 3,
+            ..Default::default()
+        };
         // Old: fully updated 5 in view 0.
         body.update[1] = Some(5);
         body.update_view[1].insert(0);
@@ -203,11 +214,13 @@ fn higher_view_dominates() {
     }
     let q = rqs.all_ids()[0];
     let members = rqs.quorum(q);
-    let subset: BTreeMap<ProcessId, NewViewAckBody> = members
-        .iter()
-        .map(|p| (p, acks[&p].clone()))
-        .collect();
-    let input = ChooseInput { rqs: &rqs, q, acks: &subset };
+    let subset: BTreeMap<ProcessId, NewViewAckBody> =
+        members.iter().map(|p| (p, acks[&p].clone())).collect();
+    let input = ChooseInput {
+        rqs: &rqs,
+        q,
+        acks: &subset,
+    };
     let out = input.choose(99);
     assert!(!out.abort);
     assert_eq!(out.value, 8, "view 2 beats view 0");

@@ -77,7 +77,10 @@ impl fmt::Display for AdversaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdversaryError::OutOfUniverse { set, n } => {
-                write!(f, "adversary element {set} mentions processes outside universe of size {n}")
+                write!(
+                    f,
+                    "adversary element {set} mentions processes outside universe of size {n}"
+                )
             }
         }
     }
@@ -146,7 +149,9 @@ impl Adversary {
         maximal_only.dedup();
         Ok(Adversary {
             n,
-            kind: AdversaryKind::General { maximal: maximal_only },
+            kind: AdversaryKind::General {
+                maximal: maximal_only,
+            },
         })
     }
 
@@ -307,7 +312,11 @@ impl fmt::Display for Adversary {
         match &self.kind {
             AdversaryKind::Threshold { k } => write!(f, "B_{k} over |S|={}", self.n),
             AdversaryKind::General { maximal } => {
-                write!(f, "general adversary over |S|={} with maximal sets [", self.n)?;
+                write!(
+                    f,
+                    "general adversary over |S|={} with maximal sets [",
+                    self.n
+                )?;
                 for (i, m) in maximal.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
@@ -424,7 +433,10 @@ mod tests {
         // maximal = {a,b}, {c}; union of two elements covers at most {a,b,c}
         let b = Adversary::general(
             4,
-            [ProcessSet::from_indices([0, 1]), ProcessSet::from_indices([2])],
+            [
+                ProcessSet::from_indices([0, 1]),
+                ProcessSet::from_indices([2]),
+            ],
         )
         .unwrap();
         assert!(!b.is_large(ProcessSet::from_indices([0, 1, 2])));
@@ -480,7 +492,10 @@ mod tests {
         assert_eq!(min.len(), 3); // smallest basic subset has k+1 members
         assert!(min.is_subset_of(big));
         assert!(b.is_basic(min));
-        assert_eq!(b.minimal_basic_subset(ProcessSet::from_indices([0, 1])), None);
+        assert_eq!(
+            b.minimal_basic_subset(ProcessSet::from_indices([0, 1])),
+            None
+        );
     }
 
     #[test]

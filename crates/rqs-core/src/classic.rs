@@ -198,7 +198,10 @@ mod tests {
         // at most {0..3} — never all of {0..5}: Q3 and even Q4 hold.
         let b = Adversary::general(
             6,
-            [ProcessSet::from_indices([0, 1]), ProcessSet::from_indices([2, 3])],
+            [
+                ProcessSet::from_indices([0, 1]),
+                ProcessSet::from_indices([2, 3]),
+            ],
         )
         .unwrap();
         assert!(q_condition(&b, 3));
@@ -242,7 +245,10 @@ mod tests {
     fn general_complement_constructions() {
         let b = Adversary::general(
             6,
-            [ProcessSet::from_indices([0, 1]), ProcessSet::from_indices([2, 3])],
+            [
+                ProcessSet::from_indices([0, 1]),
+                ProcessSet::from_indices([2, 3]),
+            ],
         )
         .unwrap();
         let d = dissemination(&b).expect("Q3 holds");

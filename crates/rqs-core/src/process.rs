@@ -89,7 +89,10 @@ impl ProcessSet {
     /// Panics if `n > MAX_PROCESSES`.
     #[inline]
     pub fn universe(n: usize) -> Self {
-        assert!(n <= MAX_PROCESSES, "universe size {n} exceeds {MAX_PROCESSES}");
+        assert!(
+            n <= MAX_PROCESSES,
+            "universe size {n} exceeds {MAX_PROCESSES}"
+        );
         if n == MAX_PROCESSES {
             ProcessSet { bits: u128::MAX }
         } else {
@@ -247,7 +250,10 @@ impl ProcessSet {
     ///
     /// Panics if `n > MAX_PROCESSES` or `k > n`.
     pub fn subsets_of_size(n: usize, k: usize) -> SubsetsOfSize {
-        assert!(n <= MAX_PROCESSES, "universe size {n} exceeds {MAX_PROCESSES}");
+        assert!(
+            n <= MAX_PROCESSES,
+            "universe size {n} exceeds {MAX_PROCESSES}"
+        );
         assert!(k <= n, "subset size {k} exceeds universe size {n}");
         SubsetsOfSize {
             n,

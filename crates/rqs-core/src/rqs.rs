@@ -163,7 +163,13 @@ impl fmt::Display for RqsViolation {
             RqsViolation::Property1 { q, q_prime } => {
                 write!(f, "Property 1 violated: {q} ∩ {q_prime} ∈ B")
             }
-            RqsViolation::Property2 { q1, q1_prime, q, b1, b2 } => write!(
+            RqsViolation::Property2 {
+                q1,
+                q1_prime,
+                q,
+                b1,
+                b2,
+            } => write!(
                 f,
                 "Property 2 violated: {q1} ∩ {q1_prime} ∩ {q} ⊆ {b1} ∪ {b2}"
             ),
@@ -492,8 +498,7 @@ impl Rqs {
                         let b = threshold_p3_witness(inter, ProcessSet::empty(), k);
                         return Err(RqsViolation::Property3 { q2, q, b, q1: None });
                     }
-                    if let Some(&bad_q1) =
-                        c1.iter().find(|&&q1| q1.intersection(inter).len() <= k)
+                    if let Some(&bad_q1) = c1.iter().find(|&&q1| q1.intersection(inter).len() <= k)
                     {
                         let b = threshold_p3_witness(inter, bad_q1.intersection(inter), k);
                         return Err(RqsViolation::Property3 {
@@ -602,7 +607,12 @@ impl Rqs {
 
 impl fmt::Display for Rqs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "RQS over {} ({} quorums)", self.adversary, self.quorums.len())?;
+        writeln!(
+            f,
+            "RQS over {} ({} quorums)",
+            self.adversary,
+            self.quorums.len()
+        )?;
         for (i, q) in self.quorums.iter().enumerate() {
             let id = QuorumId(i);
             writeln!(f, "  {id} = {q} [{}]", self.class_of(id))?;
@@ -847,8 +857,8 @@ mod tests {
         let q1 = ProcessSet::from_indices([1, 3, 4, 5]);
         let q2 = ProcessSet::from_indices([0, 1, 2, 3, 4]);
         let q2p = ProcessSet::from_indices([0, 1, 2, 3, 5]);
-        let rqs = Rqs::new(b, vec![q1, q2, q2p], vec![0], vec![0, 1, 2])
-            .expect("example 7 must verify");
+        let rqs =
+            Rqs::new(b, vec![q1, q2, q2p], vec![0], vec![0, 1, 2]).expect("example 7 must verify");
         assert_eq!(rqs.class_of_set(q1), Some(QuorumClass::Class1));
         assert_eq!(rqs.class_of_set(q2), Some(QuorumClass::Class2));
         assert_eq!(rqs.class_of_set(q2p), Some(QuorumClass::Class2));
@@ -881,14 +891,18 @@ mod tests {
             err,
             RqsViolation::Structural(StructuralIssue::NoQuorums)
         ));
-        let err = Rqs::new(b.clone(), vec![ProcessSet::from_indices([9])], vec![], vec![])
-            .unwrap_err();
+        let err = Rqs::new(
+            b.clone(),
+            vec![ProcessSet::from_indices([9])],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             RqsViolation::Structural(StructuralIssue::OutOfUniverse { .. })
         ));
-        let err =
-            Rqs::new(b, vec![ProcessSet::universe(4)], vec![3], vec![]).unwrap_err();
+        let err = Rqs::new(b, vec![ProcessSet::universe(4)], vec![3], vec![]).unwrap_err();
         assert!(matches!(
             err,
             RqsViolation::Structural(StructuralIssue::BadIndex { .. })
@@ -921,16 +935,10 @@ mod tests {
         // Fail 0 and 1: Q1 = {0,1,2,4,5} dies, Q2 = {2,3,4,5,6} (class 2)
         // survives.
         let faulty = ProcessSet::from_indices([0, 1]);
-        assert_eq!(
-            rqs.best_available_class(faulty),
-            Some(QuorumClass::Class2)
-        );
+        assert_eq!(rqs.best_available_class(faulty), Some(QuorumClass::Class2));
         // Fail 1 and 2: Q1 and Q2 die; Q = {0,4,5,7} (class 3) survives.
         let faulty = ProcessSet::from_indices([1, 2]);
-        assert_eq!(
-            rqs.best_available_class(faulty),
-            Some(QuorumClass::Class3)
-        );
+        assert_eq!(rqs.best_available_class(faulty), Some(QuorumClass::Class3));
         // Remove everything: nothing survives.
         assert_eq!(rqs.best_available_class(ProcessSet::universe(8)), None);
         assert!(!rqs.has_correct_quorum(ProcessSet::universe(8)));
@@ -960,7 +968,10 @@ mod tests {
         // → needs P3b: Q1 ∩ {1} ≠ ∅ — universe contains 1, ok.
         let rqs = rqs.expect("valid");
         assert_eq!(rqs.class_of(QuorumId(1)), QuorumClass::Class2);
-        assert_eq!(rqs.id_of(ProcessSet::from_indices([0, 1, 3])), Some(QuorumId(2)));
+        assert_eq!(
+            rqs.id_of(ProcessSet::from_indices([0, 1, 3])),
+            Some(QuorumId(2))
+        );
         assert_eq!(rqs.id_of(ProcessSet::from_indices([9])), None);
     }
 

@@ -389,9 +389,7 @@ mod tests {
                 for k in 0..=t.min(2) {
                     for q in 0..=t {
                         for r in q..=t {
-                            let cfg = ThresholdConfig::new(n, t, k)
-                                .with_class1(q)
-                                .with_class2(r);
+                            let cfg = ThresholdConfig::new(n, t, k).with_class1(q).with_class2(r);
                             let built = cfg.build_unchecked().unwrap();
                             let verified = built.verify().is_ok();
                             assert_eq!(
@@ -413,7 +411,10 @@ mod tests {
         for (t, r, q, k) in [(2, 2, 1, 0), (1, 1, 0, 1), (2, 2, 0, 2), (3, 2, 1, 1)] {
             let n = ThresholdConfig::minimal_n(t, r, q, k);
             let at = ThresholdConfig::new(n, t, k).with_class1(q).with_class2(r);
-            assert!(at.is_feasible(), "minimal n={n} for t={t},r={r},q={q},k={k}");
+            assert!(
+                at.is_feasible(),
+                "minimal n={n} for t={t},r={r},q={q},k={k}"
+            );
             if n > t + 1 {
                 let below = ThresholdConfig::new(n - 1, t, k)
                     .with_class1(q)

@@ -16,7 +16,7 @@
 //! - completed inner operations are harvested into a flat outcome log
 //!   with object tags, rounds and invocation/response times.
 
-use crate::messages::{KvBatch, KvItem, Lane};
+use crate::messages::{BatchAccumulator, KvBatch, KvItem, Lane};
 use crate::object::ObjectId;
 use rqs_core::Rqs;
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
@@ -94,7 +94,7 @@ pub struct KvClient {
     writers: BTreeMap<ObjectId, Writer>,
     readers: BTreeMap<ObjectId, Reader>,
     /// Per-destination outgoing buffer, flushed once per step.
-    pending: BTreeMap<NodeId, Vec<KvItem>>,
+    pending: BatchAccumulator,
     /// Monotone counter seeding inner contexts: inner tokens are unique
     /// across all inner automata of this client.
     inner_counter: u64,
@@ -113,14 +113,18 @@ pub struct KvClient {
 impl KvClient {
     /// A client over `rqs` whose universe member `i` is node `servers[i]`,
     /// owning (solely allowed to write) the objects in `owned`.
-    pub fn new(rqs: Arc<Rqs>, servers: Vec<NodeId>, owned: impl IntoIterator<Item = ObjectId>) -> Self {
+    pub fn new(
+        rqs: Arc<Rqs>,
+        servers: Vec<NodeId>,
+        owned: impl IntoIterator<Item = ObjectId>,
+    ) -> Self {
         KvClient {
             rqs,
             servers,
             owned: owned.into_iter().collect(),
             writers: BTreeMap::new(),
             readers: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            pending: BatchAccumulator::new(),
             inner_counter: 0,
             timer_routes: BTreeMap::new(),
             timer_back: BTreeMap::new(),
@@ -200,12 +204,7 @@ impl KvClient {
     ) {
         self.inner_counter = inner.timer_counter_snapshot();
         let (outbox, timers, cancelled) = inner.into_outputs();
-        for (to, msg) in outbox {
-            self.pending
-                .entry(to)
-                .or_default()
-                .push(KvItem { object, lane, msg });
-        }
+        self.pending.absorb(object, lane, outbox);
         for (delay, inner_token) in timers {
             let outer = ctx.set_timer(delay);
             self.timer_routes.insert(
@@ -272,19 +271,11 @@ impl KvClient {
 
     /// Sends every buffered item as one batch per destination.
     fn flush(&mut self, ctx: &mut Context<KvBatch>) {
-        let pending = std::mem::take(&mut self.pending);
-        for (to, items) in pending {
-            ctx.send(to, KvBatch(items));
-        }
+        self.pending.flush(ctx);
     }
 
     /// Routes one incoming item to the inner automaton it addresses.
-    fn dispatch(
-        &mut self,
-        from: NodeId,
-        item: KvItem,
-        ctx: &mut Context<KvBatch>,
-    ) {
+    fn dispatch(&mut self, from: NodeId, item: KvItem, ctx: &mut Context<KvBatch>) {
         let KvItem { object, lane, msg } = item;
         match lane {
             Lane::Writer => {
@@ -408,7 +399,12 @@ mod tests {
     fn reads_allowed_on_any_object() {
         let mut c = client();
         let mut cx = ctx();
-        c.start_ops(vec![KvOp::Read { object: ObjectId(1) }], &mut cx);
+        c.start_ops(
+            vec![KvOp::Read {
+                object: ObjectId(1),
+            }],
+            &mut cx,
+        );
         assert_eq!(c.in_flight(), 1);
         assert_eq!(cx.sent().len(), 5);
     }
@@ -438,7 +434,9 @@ mod tests {
         };
         assert_eq!(w.object(), ObjectId(3));
         assert_eq!(w.kind(), OpKind::Write);
-        let r = KvOp::Read { object: ObjectId(4) };
+        let r = KvOp::Read {
+            object: ObjectId(4),
+        };
         assert_eq!(r.object(), ObjectId(4));
         assert_eq!(r.kind(), OpKind::Read);
     }

@@ -1,11 +1,24 @@
-//! Deterministic simulated deployment of the KV service.
+//! The one KV deployment driver, generic over the execution substrate.
 //!
-//! [`KvSim`] builds a [`World`] with one [`KvServer`] per universe member
-//! and `clients` [`KvClient`]s owning disjoint object ranges, drives a
+//! [`KvDeployment`] builds one [`KvServer`] per universe member and
+//! `clients` [`KvClient`]s owning disjoint object ranges, drives a
 //! generated workload in batched waves, and checks *every per-object
 //! history* against the single-register atomicity checker — atomicity is
 //! a local (per-object) property, so the multi-object service is correct
 //! iff each object's history is.
+//!
+//! The driver is written once against [`Substrate`]; the historical
+//! deployment types are aliases of it:
+//!
+//! - [`KvSim`] = `KvDeployment<World<KvBatch>>` — deterministic
+//!   simulation, byte-identical traces per seed;
+//! - [`RtKv`] = `KvDeployment<Runtime<KvBatch>>` — node-per-thread over
+//!   channels, real wall-clock latency.
+//!
+//! Fault injection goes through a declarative
+//! [`Scenario`](rqs_sim::Scenario): partitions with heal times, lossy or
+//! duplicating links, crash-restart plans and Byzantine swap-ins run on
+//! *both* substrates from the same description.
 
 use crate::client::{KvClient, KvOp, KvOutcome};
 use crate::messages::KvBatch;
@@ -14,12 +27,14 @@ use crate::object::{ObjectId, ShardMap};
 use crate::server::{ByzantineMode, KvByzantineServer, KvServer};
 use crate::workload::{per_client, take_wave, WorkloadOp};
 use rqs_core::Rqs;
-use rqs_sim::{Envelope, FatePolicy, NetworkScript, NodeId, World};
+use rqs_runtime::Runtime;
+use rqs_sim::{
+    Automaton, NodeId, Scenario, Substrate, SubstrateConfig, World, DEFAULT_AWAIT_STEPS,
+};
 use rqs_storage::atomicity::{check_atomicity, AtomicityViolation, OpRecord};
-use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An atomicity violation on one object of the KV service.
 #[derive(Clone, Debug)]
@@ -38,63 +53,81 @@ impl core::fmt::Display for KvAtomicityViolation {
 
 impl std::error::Error for KvAtomicityViolation {}
 
-/// A simulated KV deployment.
-pub struct KvSim {
-    world: World<KvBatch>,
+/// A KV deployment on any [`Substrate`].
+pub struct KvDeployment<S: Substrate<KvBatch>> {
+    sub: S,
     shard: ShardMap,
     servers: Vec<NodeId>,
     clients: Vec<NodeId>,
-    /// Protocol messages carried inside envelopes (shared with the fate
-    /// policy closure that counts them).
-    items_sent: Rc<Cell<usize>>,
     /// `(client index, outcome)` pairs harvested after each run.
     completed: Vec<(usize, KvOutcome)>,
+    /// Per-client harvest cursors into the clients' outcome logs.
+    harvested: Vec<usize>,
 }
 
-impl KvSim {
-    /// Builds a synchronous-network deployment: one multi-object server
-    /// per universe member, `clients` clients owning `objects` objects
+/// The deterministic simulated KV deployment (back-compat alias).
+pub type KvSim = KvDeployment<World<KvBatch>>;
+
+/// The threaded KV deployment (back-compat alias).
+pub type RtKv = KvDeployment<Runtime<KvBatch>>;
+
+impl<S: Substrate<KvBatch>> KvDeployment<S> {
+    /// Builds a fault-free deployment: one multi-object server per
+    /// universe member, `clients` clients owning `objects` objects
     /// round-robin.
     pub fn new(rqs: Rqs, objects: usize, clients: usize) -> Self {
-        Self::with_script(rqs, objects, clients, NetworkScript::synchronous())
+        Self::with_scenario(rqs, objects, clients, Scenario::default())
     }
 
-    /// Builds a deployment with a custom network script.
-    pub fn with_script(
+    /// Builds a deployment under a fault scenario; the scenario's
+    /// `byzantine` indices become forging Byzantine servers.
+    pub fn with_scenario(rqs: Rqs, objects: usize, clients: usize, scenario: Scenario) -> Self {
+        Self::with_setup(rqs, objects, clients, scenario, rqs_sim::DEFAULT_TICK)
+    }
+
+    /// Builds with a scenario and an explicit wall-clock tick length
+    /// (ignored by the simulator).
+    pub fn with_setup(
         rqs: Rqs,
         objects: usize,
         clients: usize,
-        script: NetworkScript,
+        scenario: Scenario,
+        tick: Duration,
     ) -> Self {
         let rqs = Arc::new(rqs);
         let shard = ShardMap::new(objects, clients);
-        let items_sent = Rc::new(Cell::new(0usize));
-        let counter = items_sent.clone();
-        let mut script = script;
-        let policy = move |env: &Envelope<KvBatch>| {
-            counter.set(counter.get() + env.msg.len());
-            script.fate(env)
-        };
-        let mut world = World::new(policy);
-        let servers: Vec<NodeId> = (0..rqs.universe_size())
-            .map(|_| world.add_node(Box::new(KvServer::new())))
-            .collect();
-        let client_ids: Vec<NodeId> = (0..clients)
-            .map(|c| {
-                world.add_node(Box::new(KvClient::new(
-                    rqs.clone(),
-                    servers.clone(),
-                    shard.owned_by(c),
-                )))
-            })
-            .collect();
-        KvSim {
-            world,
+        let n = rqs.universe_size();
+        let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let byzantine = scenario.byzantine.clone();
+        let mut nodes: Vec<Box<dyn Automaton<KvBatch> + Send>> = Vec::new();
+        for _ in 0..n {
+            nodes.push(Box::new(KvServer::new()));
+        }
+        for c in 0..clients {
+            nodes.push(Box::new(KvClient::new(
+                rqs.clone(),
+                server_ids.clone(),
+                shard.owned_by(c),
+            )));
+        }
+        let config = SubstrateConfig::new(nodes)
+            .scenario(scenario)
+            .sizer(|b: &KvBatch| b.len() as u64)
+            .tick(tick);
+        let mut sub = S::build(config);
+        for idx in byzantine {
+            sub.replace_node(
+                server_ids[idx],
+                Box::new(KvByzantineServer::new(ByzantineMode::Forge)),
+            );
+        }
+        KvDeployment {
+            sub,
             shard,
-            servers,
-            clients: client_ids,
-            items_sent,
+            servers: server_ids,
+            clients: (n..n + clients).map(NodeId).collect(),
             completed: Vec::new(),
+            harvested: vec![0; clients],
         }
     }
 
@@ -108,15 +141,15 @@ impl KvSim {
         &self.servers
     }
 
-    /// The underlying world (crash injection, tracing, inspection).
-    pub fn world_mut(&mut self) -> &mut World<KvBatch> {
-        &mut self.world
+    /// The underlying substrate (crash injection, stats, scripting).
+    pub fn substrate(&mut self) -> &mut S {
+        &mut self.sub
     }
 
     /// Replaces server `idx` with a Byzantine automaton behaving per
-    /// `mode` on every object.
+    /// `mode` on every object — on either substrate.
     pub fn make_byzantine(&mut self, idx: usize, mode: ByzantineMode) {
-        self.world
+        self.sub
             .replace_node(self.servers[idx], Box::new(KvByzantineServer::new(mode)));
     }
 
@@ -129,6 +162,9 @@ impl KvSim {
     /// well-formedness the single-object automata require. Cross-client
     /// contention (reads racing the owner's writes) is preserved.
     ///
+    /// `duration_units` of the returned stats is simulated ticks on the
+    /// simulator and wall-clock microseconds on the threaded runtime.
+    ///
     /// # Panics
     ///
     /// Panics if the workload cannot complete (no correct quorum) or if
@@ -139,14 +175,8 @@ impl KvSim {
             .into_iter()
             .map(VecDeque::from)
             .collect();
-        let start_tick = self.world.now();
-        let envelopes_before = self.world.stats().messages_sent;
-        let items_before = self.items_sent.get();
-        let before_counts: Vec<usize> = self
-            .clients
-            .iter()
-            .map(|&c| self.world.node_as::<KvClient>(c).outcomes().len())
-            .collect();
+        let units_before = self.sub.elapsed_units();
+        let net_before = self.sub.stats();
 
         loop {
             let mut launched = false;
@@ -154,32 +184,42 @@ impl KvSim {
                 let wave = take_wave(queue, batch);
                 if !wave.is_empty() {
                     launched = true;
-                    self.world
-                        .invoke::<KvClient>(self.clients[ci], |c, ctx| c.start_ops(wave, ctx));
+                    self.sub
+                        .invoke_on::<KvClient>(self.clients[ci], move |c, ctx| {
+                            c.start_ops(wave, ctx)
+                        });
                 }
             }
             if !launched {
                 break;
             }
-            let ids = self.clients.clone();
-            let done = self
-                .world
-                .run_until(|w| ids.iter().all(|&c| w.node_as::<KvClient>(c).in_flight() == 0));
-            assert!(done, "workload wave did not complete (no correct quorum?)");
+            for &c in &self.clients {
+                let done =
+                    self.sub
+                        .await_on::<KvClient>(c, |k| k.in_flight() == 0, DEFAULT_AWAIT_STEPS);
+                assert!(done, "KV wave did not complete (no correct quorum?)");
+            }
         }
 
         // Harvest the new outcomes.
         let mut stats = KvRunStats::default();
         for (ci, &node) in self.clients.iter().enumerate() {
-            let outs = self.world.node_as::<KvClient>(node).outcomes();
-            for out in &outs[before_counts[ci]..] {
-                stats.record_outcome(out);
-                self.completed.push((ci, out.clone()));
+            let skip = self.harvested[ci];
+            let outs = self
+                .sub
+                .inspect_on::<KvClient, Vec<KvOutcome>>(node, move |k| {
+                    k.outcomes()[skip..].to_vec()
+                });
+            self.harvested[ci] += outs.len();
+            for out in outs {
+                stats.record_outcome(&out);
+                self.completed.push((ci, out));
             }
         }
-        stats.duration_units = (self.world.now() - start_tick).max(1);
-        stats.envelopes = self.world.stats().messages_sent - envelopes_before;
-        stats.items = self.items_sent.get() - items_before;
+        let net_after = self.sub.stats();
+        stats.duration_units = (self.sub.elapsed_units() - units_before).max(1);
+        stats.envelopes = (net_after.envelopes - net_before.envelopes) as usize;
+        stats.items = (net_after.items - net_before.items) as usize;
         stats
     }
 
@@ -203,7 +243,10 @@ impl KvSim {
         map
     }
 
-    /// Checks every object's history for atomicity.
+    /// Checks every object's history for atomicity. Works on both
+    /// substrates: wall-clock invocation/response ticks only widen the
+    /// apparent concurrency windows, which never invalidates a real-time
+    /// linearization.
     ///
     /// # Errors
     ///
@@ -217,8 +260,8 @@ impl KvSim {
     }
 
     /// A canonical, human-readable operation trace: one line per
-    /// completed operation in completion order per client. Two runs with
-    /// the same seed must produce byte-identical traces.
+    /// completed operation in completion order per client. Two simulator
+    /// runs with the same seed must produce byte-identical traces.
     pub fn op_trace(&self) -> Vec<String> {
         self.completed
             .iter()
@@ -240,9 +283,30 @@ impl KvSim {
             .collect()
     }
 
+    /// Stops the substrate (a no-op on the simulator).
+    pub fn shutdown(&mut self) {
+        self.sub.shutdown();
+    }
+}
+
+/// Simulator-only scripting surface.
+impl KvSim {
+    /// The underlying world (crash injection, tracing, inspection).
+    pub fn world_mut(&mut self) -> &mut World<KvBatch> {
+        &mut self.sub
+    }
+
     /// Current simulated time in ticks.
     pub fn now_ticks(&self) -> u64 {
-        self.world.now().0
+        self.sub.now().ticks()
+    }
+}
+
+impl RtKv {
+    /// Deploys on the threaded runtime with an explicit wall-clock tick
+    /// length (back-compat constructor).
+    pub fn with_tick(rqs: Rqs, objects: usize, clients: usize, tick: Duration) -> Self {
+        Self::with_setup(rqs, objects, clients, Scenario::default(), tick)
     }
 }
 
@@ -254,11 +318,7 @@ mod tests {
     use rqs_storage::OpKind;
 
     fn small_sim() -> KvSim {
-        KvSim::new(
-            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
-            8,
-            2,
-        )
+        KvSim::new(ThresholdConfig::crash_fast(5, 1).build().unwrap(), 8, 2)
     }
 
     #[test]
@@ -313,11 +373,7 @@ mod tests {
 
     #[test]
     fn byzantine_server_tolerated() {
-        let mut sim = KvSim::new(
-            ThresholdConfig::byzantine_fast(1).build().unwrap(),
-            16,
-            4,
-        );
+        let mut sim = KvSim::new(ThresholdConfig::byzantine_fast(1).build().unwrap(), 16, 4);
         sim.make_byzantine(0, ByzantineMode::Forge);
         let cfg = WorkloadConfig::mixed(16, 4, 96, 9);
         let stats = sim.run_workload(&generate(&cfg), 4);
@@ -327,14 +383,25 @@ mod tests {
 
     #[test]
     fn mute_byzantine_server_tolerated() {
-        let mut sim = KvSim::new(
-            ThresholdConfig::byzantine_fast(1).build().unwrap(),
-            8,
-            2,
-        );
+        let mut sim = KvSim::new(ThresholdConfig::byzantine_fast(1).build().unwrap(), 8, 2);
         sim.make_byzantine(3, ByzantineMode::Mute);
         let cfg = WorkloadConfig::mixed(8, 2, 40, 13);
         let stats = sim.run_workload(&generate(&cfg), 2);
+        assert_eq!(stats.ops, 40);
+        sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn scenario_byzantine_swap_in() {
+        let scenario = Scenario::named("byz0").with_byzantine(0);
+        let mut sim = KvSim::with_scenario(
+            ThresholdConfig::byzantine_fast(1).build().unwrap(),
+            8,
+            2,
+            scenario,
+        );
+        let cfg = WorkloadConfig::mixed(8, 2, 40, 21);
+        let stats = sim.run_workload(&generate(&cfg), 4);
         assert_eq!(stats.ops, 40);
         sim.check_atomicity().unwrap();
     }
@@ -347,5 +414,28 @@ mod tests {
         let trace = sim.op_trace();
         assert_eq!(trace.len(), 10);
         assert!(trace.iter().all(|l| l.starts_with('c')));
+    }
+
+    #[test]
+    fn threaded_kv_roundtrip() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        let cfg = WorkloadConfig::mixed(8, 2, 24, 17);
+        let stats = kv.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 24);
+        assert!(stats.throughput() > 0.0);
+        assert!(stats.envelopes > 0, "runtime now counts envelopes too");
+        kv.check_atomicity().unwrap();
+        kv.shutdown();
+    }
+
+    #[test]
+    fn threaded_kv_byzantine_universe() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 4, 2, Duration::from_millis(1));
+        let cfg = WorkloadConfig::mixed(4, 2, 12, 23);
+        let stats = kv.run_workload(&generate(&cfg), 2);
+        assert_eq!(stats.ops, 12);
+        kv.shutdown();
     }
 }

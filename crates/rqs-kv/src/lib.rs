@@ -13,10 +13,10 @@
 //! - [`object`] — [`ObjectId`] and the [`ShardMap`]: keys hash to
 //!   objects; each object is owned (written) by exactly one client, so
 //!   the SWMR assumption holds per object;
-//! - [`messages`] — [`KvBatch`]: every envelope carries all the
-//!   object-tagged protocol messages one step produced for one
-//!   destination, so `B` concurrent operations cost far fewer than `B×`
-//!   envelopes;
+//! - [`messages`] — [`KvBatch`] and the shared [`BatchAccumulator`]:
+//!   every envelope carries all the object-tagged protocol messages one
+//!   step produced for one destination, so `B` concurrent operations
+//!   cost far fewer than `B×` envelopes;
 //! - [`server`] — [`KvServer`]: per-object benign server state behind one
 //!   node id, plus Byzantine variants for fault injection;
 //! - [`client`] — [`KvClient`]: multiplexes per-object writers/readers,
@@ -25,9 +25,11 @@
 //!   mix, hot-set skew);
 //! - [`metrics`] — throughput, round histograms, fast-path ratio,
 //!   envelopes-per-operation;
-//! - [`sim`] — [`KvSim`]: deterministic simulated deployment with
-//!   per-object atomicity checking;
-//! - [`rt`] — [`RtKv`]: the same automata on real threads.
+//! - [`deploy`] — [`KvDeployment`], the **one** deployment driver,
+//!   generic over [`Substrate`](rqs_sim::Substrate): [`KvSim`] (the
+//!   deterministic world) and [`RtKv`] (the threaded runtime) are
+//!   aliases of it, and declarative [`Scenario`](rqs_sim::Scenario)
+//!   fault injection works identically on both.
 //!
 //! ## Quick start
 //!
@@ -49,19 +51,17 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod deploy;
 pub mod messages;
 pub mod metrics;
 pub mod object;
-pub mod rt;
 pub mod server;
-pub mod sim;
 pub mod workload;
 
 pub use client::{KvClient, KvOp, KvOutcome};
-pub use messages::{KvBatch, KvItem, Lane};
+pub use deploy::{KvAtomicityViolation, KvDeployment, KvSim, RtKv};
+pub use messages::{BatchAccumulator, KvBatch, KvItem, Lane};
 pub use metrics::{KvRunStats, RoundHistogram};
 pub use object::{ObjectId, ShardMap};
-pub use rt::RtKv;
 pub use server::{ByzantineMode, KvByzantineServer, KvServer};
-pub use sim::{KvAtomicityViolation, KvSim};
 pub use workload::{WorkloadConfig, WorkloadOp};

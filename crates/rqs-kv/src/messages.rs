@@ -9,7 +9,9 @@
 
 use crate::object::ObjectId;
 use core::fmt;
+use rqs_sim::{Context, NodeId};
 use rqs_storage::StorageMsg;
+use std::collections::BTreeMap;
 
 /// Which client-side automaton a message belongs to.
 ///
@@ -77,9 +79,106 @@ impl fmt::Display for KvBatch {
     }
 }
 
+/// Per-destination envelope re-batching, shared by [`KvClient`] and
+/// [`KvServer`]: inner protocol messages are tagged and buffered per
+/// destination, then everything bound for one node leaves as a single
+/// [`KvBatch`] — the coalescing that makes `B` concurrent operations cost
+/// far fewer than `B×` envelopes.
+///
+/// [`KvClient`]: crate::KvClient
+/// [`KvServer`]: crate::KvServer
+#[derive(Clone, Debug, Default)]
+pub struct BatchAccumulator {
+    pending: BTreeMap<NodeId, Vec<KvItem>>,
+}
+
+impl BatchAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BatchAccumulator::default()
+    }
+
+    /// Buffers one object-tagged message bound for `to`.
+    pub fn push(&mut self, to: NodeId, object: ObjectId, lane: Lane, msg: StorageMsg) {
+        self.pending
+            .entry(to)
+            .or_default()
+            .push(KvItem { object, lane, msg });
+    }
+
+    /// Buffers every message of an inner automaton's outbox under one
+    /// `(object, lane)` tag.
+    pub fn absorb(
+        &mut self,
+        object: ObjectId,
+        lane: Lane,
+        outbox: impl IntoIterator<Item = (NodeId, StorageMsg)>,
+    ) {
+        for (to, msg) in outbox {
+            self.push(to, object, lane, msg);
+        }
+    }
+
+    /// `true` iff nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Sends every buffered item as one batch per destination and resets
+    /// the accumulator.
+    pub fn flush(&mut self, ctx: &mut Context<KvBatch>) {
+        for (to, items) in std::mem::take(&mut self.pending) {
+            ctx.send(to, KvBatch(items));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rqs_sim::Time;
+
+    #[test]
+    fn accumulator_coalesces_per_destination() {
+        let mut acc = BatchAccumulator::new();
+        assert!(acc.is_empty());
+        acc.push(
+            NodeId(1),
+            ObjectId(0),
+            Lane::Writer,
+            StorageMsg::WrAck { ts: 1, rnd: 1 },
+        );
+        acc.push(
+            NodeId(2),
+            ObjectId(0),
+            Lane::Writer,
+            StorageMsg::WrAck { ts: 1, rnd: 1 },
+        );
+        acc.absorb(
+            ObjectId(3),
+            Lane::Reader,
+            vec![(NodeId(1), StorageMsg::WrAck { ts: 2, rnd: 1 })],
+        );
+        assert!(!acc.is_empty());
+        let mut ctx: Context<KvBatch> = Context::new(NodeId(0), Time::ZERO, 0);
+        acc.flush(&mut ctx);
+        assert!(acc.is_empty());
+        // Two destinations → two envelopes; node 1 carries both its items.
+        assert_eq!(ctx.sent().len(), 2);
+        let (to, batch) = &ctx.sent()[0];
+        assert_eq!(*to, NodeId(1));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.0[1].object, ObjectId(3));
+        assert_eq!(batch.0[1].lane, Lane::Reader);
+    }
+
+    #[test]
+    fn flush_of_empty_accumulator_sends_nothing() {
+        let mut acc = BatchAccumulator::new();
+        let mut ctx: Context<KvBatch> = Context::new(NodeId(0), Time::ZERO, 0);
+        acc.flush(&mut ctx);
+        assert!(ctx.sent().is_empty());
+    }
 
     #[test]
     fn batch_display_is_compact() {

@@ -72,10 +72,10 @@ pub struct KvRunStats {
     /// Duration of the run: simulated ticks (sim) or wall-clock
     /// microseconds (threaded runtime).
     pub duration_units: u64,
-    /// Network envelopes sent (simulator only; 0 on the runtime, which
-    /// has no global message counter).
+    /// Network envelopes sent (on either substrate; the runtime counts
+    /// them on its outbound network path).
     pub envelopes: usize,
-    /// Protocol messages carried inside those envelopes (simulator only).
+    /// Protocol messages carried inside those envelopes.
     pub items: usize,
 }
 
@@ -130,7 +130,10 @@ mod tests {
         assert_eq!(h.fast(), 2);
         assert!((h.fast_path_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(h.render(), "1r:2 2r:1 3r:1");
-        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(1, 2), (2, 1), (3, 1)]);
+        assert_eq!(
+            h.buckets().collect::<Vec<_>>(),
+            vec![(1, 2), (2, 1), (3, 1)]
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! batch of `B` writes costs one request envelope and one reply envelope
 //! instead of `2B`.
 
-use crate::messages::{KvBatch, KvItem};
+use crate::messages::{BatchAccumulator, KvBatch, KvItem};
 use crate::object::ObjectId;
 use rqs_sim::{Automaton, Context, NodeId};
 use rqs_storage::history::History;
@@ -45,24 +45,16 @@ impl Automaton<KvBatch> for KvServer {
     fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
         // Per-destination reply buffer: everything this step produces for
         // one destination leaves as a single batch.
-        let mut replies: BTreeMap<NodeId, Vec<KvItem>> = BTreeMap::new();
+        let mut replies = BatchAccumulator::new();
         for item in batch.0 {
             let server = self.objects.entry(item.object).or_default();
             let mut inner: Context<StorageMsg> = Context::new(ctx.me(), ctx.now(), 0);
             server.on_message(from, item.msg, &mut inner);
             let (outbox, timers, _cancelled) = inner.into_outputs();
             debug_assert!(timers.is_empty(), "benign servers never arm timers");
-            for (to, msg) in outbox {
-                replies.entry(to).or_default().push(KvItem {
-                    object: item.object,
-                    lane: item.lane,
-                    msg,
-                });
-            }
+            replies.absorb(item.object, item.lane, outbox);
         }
-        for (to, items) in replies {
-            ctx.send(to, KvBatch(items));
-        }
+        replies.flush(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -184,7 +176,9 @@ mod tests {
         let (to, reply) = &c.sent()[0];
         assert_eq!(*to, NodeId(9));
         assert_eq!(reply.len(), 3);
-        assert!(s.history(ObjectId(1)).stores(&TsVal::new(1, Value::from(11u64)), 1));
+        assert!(s
+            .history(ObjectId(1))
+            .stores(&TsVal::new(1, Value::from(11u64)), 1));
         assert!(s.history(ObjectId(7)).is_empty());
     }
 
@@ -193,7 +187,9 @@ mod tests {
         let mut s = KvServer::new();
         let mut c = test_ctx();
         s.on_message(NodeId(3), KvBatch(vec![wr(4, Lane::Writer, 5, 50)]), &mut c);
-        assert!(s.history(ObjectId(4)).stores(&TsVal::new(5, Value::from(50u64)), 1));
+        assert!(s
+            .history(ObjectId(4))
+            .stores(&TsVal::new(5, Value::from(50u64)), 1));
         assert!(s.history(ObjectId(5)).is_empty());
     }
 

@@ -206,11 +206,11 @@ mod tests {
             ..WorkloadConfig::mixed(100, 4, 1000, 5)
         };
         let ops = generate(&cfg);
-        let hot_hits = ops
-            .iter()
-            .filter(|o| o.op.object().index() < 10)
-            .count();
-        assert!(hot_hits > 700, "expected hot-set concentration, got {hot_hits}");
+        let hot_hits = ops.iter().filter(|o| o.op.object().index() < 10).count();
+        assert!(
+            hot_hits > 700,
+            "expected hot-set concentration, got {hot_hits}"
+        );
     }
 
     #[test]
@@ -226,10 +226,19 @@ mod tests {
         use crate::ObjectId;
         use std::collections::VecDeque;
         let mut q: VecDeque<KvOp> = VecDeque::from(vec![
-            KvOp::Read { object: ObjectId(0) },
-            KvOp::Write { object: ObjectId(0), value: Value::from(1u64) },
-            KvOp::Read { object: ObjectId(0) }, // same (object, lane) as #1
-            KvOp::Read { object: ObjectId(1) },
+            KvOp::Read {
+                object: ObjectId(0),
+            },
+            KvOp::Write {
+                object: ObjectId(0),
+                value: Value::from(1u64),
+            },
+            KvOp::Read {
+                object: ObjectId(0),
+            }, // same (object, lane) as #1
+            KvOp::Read {
+                object: ObjectId(1),
+            },
         ]);
         let wave = take_wave(&mut q, 8);
         // Read o0 + write o0 are distinct lanes; the second read of o0
@@ -246,7 +255,9 @@ mod tests {
     fn per_client_rejects_out_of_range_client() {
         let ops = vec![WorkloadOp {
             client: 5,
-            op: KvOp::Read { object: ObjectId(0) },
+            op: KvOp::Read {
+                object: ObjectId(0),
+            },
         }];
         per_client(2, &ops);
     }

@@ -22,7 +22,11 @@ fn same_seed_byte_identical_traces() {
     let a = run_trace(42, 4, false);
     let b = run_trace(42, 4, false);
     assert!(!a.is_empty());
-    assert_eq!(a.join("\n"), b.join("\n"), "traces must match byte-for-byte");
+    assert_eq!(
+        a.join("\n"),
+        b.join("\n"),
+        "traces must match byte-for-byte"
+    );
 }
 
 #[test]

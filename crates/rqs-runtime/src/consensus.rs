@@ -1,20 +1,17 @@
-//! Threaded deployment of the RQS consensus.
+//! Threaded deployment of the RQS consensus: a thin wall-clock wrapper
+//! around the substrate-generic
+//! [`ConsensusDeployment`](rqs_consensus::ConsensusDeployment),
+//! instantiated on [`Runtime`].
 
-use crate::runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
-use rqs_consensus::{
-    Acceptor, ConsensusConfig, ConsensusMsg, Learner, ProposalValue, Proposer,
-};
-use rqs_core::{ProcessId, Rqs};
-use rqs_crypto::{KeyRegistry, SignerId};
-use rqs_sim::NodeId;
-use std::sync::Arc;
+use crate::runtime::{Runtime, DEFAULT_TICK};
+use rqs_consensus::{ConsensusDeployment, ConsensusMsg, ProposalValue};
+use rqs_core::Rqs;
+use rqs_sim::Scenario;
 use std::time::{Duration, Instant};
 
 /// A consensus deployment over real threads and channels.
 pub struct RtConsensus {
-    rt: Runtime<ConsensusMsg>,
-    cfg: ConsensusConfig,
-    op_timeout: Duration,
+    dep: ConsensusDeployment<Runtime<ConsensusMsg>>,
 }
 
 impl RtConsensus {
@@ -25,36 +22,25 @@ impl RtConsensus {
 
     /// Deploys with an explicit tick length.
     pub fn with_tick(rqs: Rqs, proposers: usize, learners: usize, tick: Duration) -> Self {
-        let n = rqs.universe_size();
-        let rqs = Arc::new(rqs);
-        let registry = KeyRegistry::new(n, 0xFEED);
-        let cfg = ConsensusConfig {
-            rqs,
-            registry: registry.clone(),
-            acceptors: (0..n).map(NodeId).collect(),
-            proposers: (n..n + proposers).map(NodeId).collect(),
-            learners: (n + proposers..n + proposers + learners).map(NodeId).collect(),
-        };
-        let mut builder = RuntimeBuilder::new().tick(tick);
-        for i in 0..n {
-            builder = builder.node(Box::new(Acceptor::new(
-                cfg.clone(),
-                ProcessId(i),
-                registry.signer(SignerId(i)),
-            )));
-        }
-        for i in 0..proposers {
-            let me = cfg.proposers[i];
-            builder = builder.node(Box::new(Proposer::new(cfg.clone(), me)));
-        }
-        for _ in 0..learners {
-            builder = builder.node(Box::new(Learner::new(cfg.clone())));
-        }
+        Self::with_scenario(rqs, proposers, learners, Scenario::default(), tick)
+    }
+
+    /// Deploys under a fault scenario.
+    pub fn with_scenario(
+        rqs: Rqs,
+        proposers: usize,
+        learners: usize,
+        scenario: Scenario,
+        tick: Duration,
+    ) -> Self {
         RtConsensus {
-            rt: builder.start(),
-            cfg,
-            op_timeout: Duration::from_secs(30),
+            dep: ConsensusDeployment::with_setup(rqs, proposers, learners, scenario, tick),
         }
+    }
+
+    /// The substrate-generic deployment driver underneath.
+    pub fn deployment(&mut self) -> &mut ConsensusDeployment<Runtime<ConsensusMsg>> {
+        &mut self.dep
     }
 
     /// Proposer `i` proposes `value`; returns the wall-clock latency until
@@ -62,33 +48,22 @@ impl RtConsensus {
     ///
     /// # Panics
     ///
-    /// Panics if learning does not complete within 30 s.
-    pub fn propose_and_learn(&self, i: usize, value: ProposalValue) -> Duration {
+    /// Panics if learning does not complete within the operation timeout.
+    pub fn propose_and_learn(&mut self, i: usize, value: ProposalValue) -> Duration {
         let start = Instant::now();
-        self.rt
-            .invoke::<Proposer>(self.cfg.proposers[i], move |p, ctx| p.propose(value, ctx));
-        for &l in &self.cfg.learners {
-            let ok = self.rt.wait_for::<Learner>(
-                l,
-                |lr| lr.learned().is_some(),
-                self.op_timeout,
-            );
-            assert!(ok, "learner did not learn");
-        }
+        self.dep.propose(i, value);
+        assert!(self.dep.run_until_learned(0), "learners did not learn");
         start.elapsed()
     }
 
     /// Learned value of learner `i`.
     pub fn learned(&self, i: usize) -> Option<ProposalValue> {
-        self.rt
-            .inspect::<Learner, Option<ProposalValue>>(self.cfg.learners[i], |l| {
-                l.learned().map(|(v, _)| v)
-            })
+        self.dep.learned(i)
     }
 
     /// Stops all threads.
     pub fn shutdown(&mut self) {
-        self.rt.shutdown();
+        self.dep.shutdown();
     }
 }
 

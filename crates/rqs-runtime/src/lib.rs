@@ -6,6 +6,12 @@
 //! behind the wall-clock benchmarks (experiment E11): identical protocol
 //! logic, real concurrency and latency.
 //!
+//! [`Runtime`] implements [`rqs_sim::Substrate`], so the substrate-generic
+//! deployment drivers (`StorageDeployment`, `ConsensusDeployment`,
+//! `KvDeployment`) run here unchanged, including declarative
+//! [`rqs_sim::Scenario`] fault injection (compiled to an interposed
+//! message-filter thread plus a fault scheduler).
+//!
 //! - [`runtime`] — the generic node-per-thread executor;
 //! - [`storage`] — [`RtStorage`], a threaded atomic-storage deployment;
 //! - [`consensus`] — [`RtConsensus`], a threaded consensus deployment.

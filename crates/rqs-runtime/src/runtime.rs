@@ -6,17 +6,29 @@
 //! ticks) are mapped to wall-clock durations by a configurable tick
 //! length. This is the deployment used by the wall-clock benchmarks
 //! (experiment E11): same protocol code, real channels and real time.
+//!
+//! The runtime implements [`Substrate`], so every deployment driver
+//! written against that trait runs here unchanged. Fault scenarios
+//! ([`Scenario`]) compile to an **interposed message-filter thread**
+//! (drops, delays, duplication, partition-and-heal — the wall-clock
+//! analogue of the simulator's fate policy) plus a **fault scheduler
+//! thread** that crashes and restarts nodes at their scheduled ticks.
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use rqs_sim::{
+    Automaton, Context, LinkDecision, NodeId, Scenario, ScenarioNet, Substrate, SubstrateConfig,
+    SubstrateStats, Time, TimerToken, DEFAULT_OP_TIMEOUT,
+};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Default wall-clock length of one protocol tick (`Δ`).
-pub const DEFAULT_TICK: Duration = Duration::from_millis(2);
+pub const DEFAULT_TICK: Duration = rqs_sim::DEFAULT_TICK;
 
 enum Event<M> {
     Msg {
@@ -26,6 +38,9 @@ enum Event<M> {
     Timer(TimerToken),
     #[allow(clippy::type_complexity)]
     Call(Box<dyn FnOnce(&mut dyn Automaton<M>, &mut Context<M>) + Send>),
+    Crash,
+    Restart,
+    Replace(Box<dyn Automaton<M> + Send>),
     Shutdown,
 }
 
@@ -59,9 +74,117 @@ struct TimerWheel {
     shutdown: Mutex<bool>,
 }
 
+/// Message counters shared between node threads and the runtime handle.
+#[derive(Default)]
+struct Counters {
+    envelopes: AtomicU64,
+    items: AtomicU64,
+}
+
+/// The outbound network path every node send goes through: counts
+/// envelopes/items, then either hands the message to the interposer
+/// thread (when a scenario shapes the links) or delivers it directly
+/// into the destination inbox.
+struct NetOut<M> {
+    senders: Vec<Sender<Event<M>>>,
+    interposer: Option<Sender<Outbound<M>>>,
+    counters: Counters,
+    sizer: fn(&M) -> u64,
+    started: Instant,
+    tick: Duration,
+}
+
+impl<M> NetOut<M> {
+    fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.counters.envelopes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .items
+            .fetch_add((self.sizer)(&msg), Ordering::Relaxed);
+        if let Some(tx) = &self.interposer {
+            // Stamp the send tick here: windowed link rules must key on
+            // when the message was sent (the simulator's `env.sent_at`),
+            // not on when the interposer dequeues it.
+            let sent_tick = started_ticks(self.started, self.tick);
+            let _ = tx.send(Outbound {
+                from,
+                to,
+                msg,
+                sent_tick,
+            });
+        } else if let Some(tx) = self.senders.get(to.0) {
+            let _ = tx.send(Event::Msg { from, msg });
+        }
+    }
+}
+
+/// A message travelling through the interposer.
+struct Outbound<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    sent_tick: u64,
+}
+
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    out: Outbound<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Shutdown latch for the helper threads (interposer, fault scheduler).
+struct Latch {
+    closed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            closed: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        *self.closed.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until the latch closes or `deadline` passes; returns `true`
+    /// iff the latch closed.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut guard = self.closed.lock();
+        while !*guard {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.cv.wait_until(&mut guard, deadline);
+        }
+        true
+    }
+}
+
 /// A running threaded deployment.
 ///
-/// Build with [`RuntimeBuilder`]; interact through [`Runtime::send`],
+/// Build with [`RuntimeBuilder`] (or generically through
+/// [`Substrate::build`]); interact through [`Runtime::send`],
 /// [`Runtime::invoke`] and [`Runtime::inspect`]; shut down with
 /// [`Runtime::shutdown`] (also runs on drop).
 pub struct Runtime<M: Send + 'static> {
@@ -69,14 +192,22 @@ pub struct Runtime<M: Send + 'static> {
     handles: Vec<JoinHandle<()>>,
     timer_thread: Option<JoinHandle<()>>,
     wheel: Arc<TimerWheel>,
+    net: Option<Arc<NetOut<M>>>,
+    interposer_thread: Option<JoinHandle<()>>,
+    fault_thread: Option<JoinHandle<()>>,
+    latch: Arc<Latch>,
     started: Instant,
     tick: Duration,
+    op_timeout: Duration,
 }
 
-/// Builder collecting the node automatons.
+/// Builder collecting the node automatons and the deployment shape.
 pub struct RuntimeBuilder<M: Send + 'static> {
     nodes: Vec<Box<dyn Automaton<M> + Send>>,
     tick: Duration,
+    op_timeout: Duration,
+    scenario: Scenario,
+    sizer: fn(&M) -> u64,
 }
 
 impl<M: Send + Clone + 'static> Default for RuntimeBuilder<M> {
@@ -91,12 +222,35 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
         RuntimeBuilder {
             nodes: Vec::new(),
             tick: DEFAULT_TICK,
+            op_timeout: DEFAULT_OP_TIMEOUT,
+            scenario: Scenario::default(),
+            sizer: |_| 1,
         }
     }
 
     /// Overrides the wall-clock duration of one protocol tick.
     pub fn tick(mut self, tick: Duration) -> Self {
         self.tick = tick;
+        self
+    }
+
+    /// Overrides the [`Runtime::wait_for`] timeout used by generic
+    /// substrate awaits.
+    pub fn op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Installs a fault scenario: link rules run in an interposer thread
+    /// between the node inboxes; crash plans run on a fault scheduler.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Installs a payload sizer for the message statistics.
+    pub fn sizer(mut self, sizer: fn(&M) -> u64) -> Self {
+        self.sizer = sizer;
         self
     }
 
@@ -107,7 +261,8 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
         self
     }
 
-    /// Spawns all node threads and the timer wheel.
+    /// Spawns all node threads, the timer wheel, and (when the scenario
+    /// calls for them) the interposer and fault scheduler threads.
     pub fn start(self) -> Runtime<M> {
         let started = Instant::now();
         let tick = self.tick;
@@ -123,6 +278,64 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             heap: Mutex::new(BinaryHeap::new()),
             cv: Condvar::new(),
             shutdown: Mutex::new(false),
+        });
+        let latch = Latch::new();
+
+        // Interposer: the wall-clock compilation of the scenario's link
+        // rules. Every node send is routed through it; it decides each
+        // message's fate with the same ScenarioNet core the simulator's
+        // fate policy uses, mapping tick delays onto wall-clock instants.
+        let (interposer_tx, interposer_thread) = if self.scenario.links.is_empty() {
+            (None, None)
+        } else {
+            let (tx, rx) = unbounded::<Outbound<M>>();
+            let net = self.scenario.network();
+            let senders = senders.clone();
+            let handle =
+                std::thread::spawn(move || run_interposer(rx, senders, net, started, tick));
+            (Some(tx), Some(handle))
+        };
+
+        // Fault scheduler: crashes and restarts nodes at their scheduled
+        // ticks, mapped to wall-clock via the tick length.
+        let fault_thread = if self.scenario.crashes.is_empty() {
+            None
+        } else {
+            let mut plan: Vec<(u64, usize, bool)> = Vec::new();
+            for c in &self.scenario.crashes {
+                plan.push((c.at, c.node, false));
+                if let Some(r) = c.restart_at {
+                    plan.push((r, c.node, true));
+                }
+            }
+            plan.sort_unstable();
+            let senders = senders.clone();
+            let latch = latch.clone();
+            Some(std::thread::spawn(move || {
+                for (at, node, is_restart) in plan {
+                    let due = started + ticks_to_wall(tick, at);
+                    if latch.wait_until(due) {
+                        return; // shutdown
+                    }
+                    let event = if is_restart {
+                        Event::Restart
+                    } else {
+                        Event::Crash
+                    };
+                    if let Some(tx) = senders.get(node) {
+                        let _ = tx.send(event);
+                    }
+                }
+            }))
+        };
+
+        let net = Arc::new(NetOut {
+            senders: senders.clone(),
+            interposer: interposer_tx,
+            counters: Counters::default(),
+            sizer: self.sizer,
+            started,
+            tick,
         });
 
         // Timer thread: fires due timers into node inboxes.
@@ -165,31 +378,41 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
         // Node threads.
         let mut handles = Vec::with_capacity(n);
         for (i, (mut node, rx)) in self.nodes.into_iter().zip(receivers).enumerate() {
-            let senders = senders.clone();
+            let net = net.clone();
             let wheel = wheel.clone();
             let handle = std::thread::spawn(move || {
                 let me = NodeId(i);
                 let mut timer_counter: u64 = (i as u64) << 32;
                 let mut cancelled: Vec<TimerToken> = Vec::new();
+                let mut crashed = false;
                 // Start hook, mirroring World::start.
                 {
                     let mut ctx: Context<M> = Context::new(me, Time(0), timer_counter);
                     node.on_start(&mut ctx);
-                    timer_counter = drain_context(
-                        ctx,
-                        me,
-                        &senders,
-                        &wheel,
-                        &mut cancelled,
-                        started,
-                        tick,
-                    );
+                    timer_counter = drain_context(ctx, me, &net, &wheel, &mut cancelled, tick);
                 }
                 for event in rx.iter() {
                     let now_ticks = started_ticks(started, tick);
                     let mut ctx: Context<M> = Context::new(me, Time(now_ticks), timer_counter);
                     match event {
                         Event::Shutdown => return,
+                        Event::Crash => {
+                            crashed = true;
+                            continue;
+                        }
+                        Event::Restart => {
+                            crashed = false;
+                            continue;
+                        }
+                        Event::Replace(new_node) => {
+                            node = new_node;
+                            continue;
+                        }
+                        // A crashed node neither receives nor fires
+                        // timers (messages arriving meanwhile are lost,
+                        // like the simulator's crashed-receiver drops);
+                        // Call still runs so inspection keeps working.
+                        Event::Msg { .. } | Event::Timer(_) if crashed => continue,
                         Event::Msg { from, msg } => node.on_message(from, msg, &mut ctx),
                         Event::Timer(token) => {
                             if let Some(pos) = cancelled.iter().position(|&t| t == token) {
@@ -200,15 +423,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                         }
                         Event::Call(f) => f(node.as_mut(), &mut ctx),
                     }
-                    timer_counter = drain_context(
-                        ctx,
-                        me,
-                        &senders,
-                        &wheel,
-                        &mut cancelled,
-                        started,
-                        tick,
-                    );
+                    timer_counter = drain_context(ctx, me, &net, &wheel, &mut cancelled, tick);
                 }
             });
             handles.push(handle);
@@ -219,8 +434,13 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             handles,
             timer_thread: Some(timer_thread),
             wheel,
+            net: Some(net),
+            interposer_thread,
+            fault_thread,
+            latch,
             started,
             tick,
+            op_timeout: self.op_timeout,
         }
     }
 }
@@ -229,27 +449,98 @@ fn started_ticks(started: Instant, tick: Duration) -> u64 {
     (started.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64
 }
 
+/// `t` ticks as wall-clock time, without the u32 truncation of
+/// `Duration * u32` (far-future scenario ticks saturate at ~584 years
+/// instead of silently wrapping to "almost now").
+fn ticks_to_wall(tick: Duration, t: u64) -> Duration {
+    Duration::from_nanos((tick.as_nanos() as u64).saturating_mul(t))
+}
+
+/// The interposer loop: applies the scenario's link schedule to every
+/// in-flight message. Held/delayed messages wait in a local heap keyed by
+/// wall-clock due time; the loop exits when every sender is gone.
+fn run_interposer<M: Send + Clone + 'static>(
+    rx: Receiver<Outbound<M>>,
+    senders: Vec<Sender<Event<M>>>,
+    mut net: ScenarioNet,
+    started: Instant,
+    tick: Duration,
+) {
+    let mut heap: BinaryHeap<Reverse<Delayed<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let deliver = |out: Outbound<M>| {
+        if let Some(tx) = senders.get(out.to.0) {
+            let _ = tx.send(Event::Msg {
+                from: out.from,
+                msg: out.msg,
+            });
+        }
+    };
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.due <= now) {
+            let Reverse(d) = heap.pop().expect("peeked");
+            deliver(d.out);
+        }
+        let timeout = heap
+            .peek()
+            .map(|Reverse(d)| d.due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50));
+        let out = match rx.recv_timeout(timeout) {
+            Ok(out) => out,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut hold =
+            |due: Instant, out: Outbound<M>, heap: &mut BinaryHeap<Reverse<Delayed<M>>>| {
+                seq += 1;
+                heap.push(Reverse(Delayed { due, seq, out }));
+            };
+        match net.decide(out.from, out.to, out.sent_tick) {
+            LinkDecision::Deliver { extra: 0 } => deliver(out),
+            LinkDecision::Deliver { extra } => {
+                hold(Instant::now() + ticks_to_wall(tick, extra), out, &mut heap);
+            }
+            LinkDecision::DeliverAtTick(t) => {
+                hold(started + ticks_to_wall(tick, t), out, &mut heap);
+            }
+            LinkDecision::Drop => {}
+            LinkDecision::Duplicate { lag } => {
+                let copy = Outbound {
+                    from: out.from,
+                    to: out.to,
+                    msg: out.msg.clone(),
+                    sent_tick: out.sent_tick,
+                };
+                deliver(out);
+                hold(
+                    Instant::now() + ticks_to_wall(tick, lag.max(1)),
+                    copy,
+                    &mut heap,
+                );
+            }
+        }
+    }
+}
+
 fn drain_context<M: Send + Clone + 'static>(
     ctx: Context<M>,
     me: NodeId,
-    senders: &[Sender<Event<M>>],
+    net: &NetOut<M>,
     wheel: &TimerWheel,
     cancelled: &mut Vec<TimerToken>,
-    _started: Instant,
     tick: Duration,
 ) -> u64 {
     let counter = ctx.timer_counter_snapshot();
     let (outbox, timers, newly_cancelled) = ctx.into_outputs();
     for (to, msg) in outbox {
-        if let Some(tx) = senders.get(to.0) {
-            let _ = tx.send(Event::Msg { from: me, msg });
-        }
+        net.send(me, to, msg);
     }
     if !timers.is_empty() {
         let mut heap = wheel.heap.lock();
         for (delay, token) in timers {
             heap.push(TimerReq {
-                due: Instant::now() + tick * (delay as u32),
+                due: Instant::now() + ticks_to_wall(tick, delay),
                 node: me.0,
                 token,
             });
@@ -261,9 +552,12 @@ fn drain_context<M: Send + Clone + 'static>(
 }
 
 impl<M: Send + Clone + 'static> Runtime<M> {
-    /// Injects a message into `to`'s inbox, attributed to `from`.
+    /// Injects a message into `to`'s inbox, attributed to `from`, subject
+    /// to the scenario's link schedule.
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
-        let _ = self.senders[to.0].send(Event::Msg { from, msg });
+        if let Some(net) = &self.net {
+            net.send(from, to, msg);
+        }
     }
 
     /// Runs a closure on the node's automaton (typed), on its own thread.
@@ -301,7 +595,8 @@ impl<M: Send + Clone + 'static> Runtime<M> {
     }
 
     /// Blocks until `pred` over the node holds (polling), or the timeout
-    /// elapses; returns whether it held.
+    /// elapses; returns whether it held. The blocking analogue of the
+    /// simulator's `run_until`.
     pub fn wait_for<T: 'static>(
         &self,
         id: NodeId,
@@ -322,6 +617,34 @@ impl<M: Send + Clone + 'static> Runtime<M> {
         }
     }
 
+    /// Crashes the node: it stops processing messages and timers (they
+    /// are lost) until [`Runtime::restart_node`].
+    pub fn crash_node(&self, id: NodeId) {
+        let _ = self.senders[id.0].send(Event::Crash);
+    }
+
+    /// Restarts a crashed node with its retained state.
+    pub fn restart_node(&self, id: NodeId) {
+        let _ = self.senders[id.0].send(Event::Restart);
+    }
+
+    /// Replaces the automaton at `id` (Byzantine behaviour injection).
+    /// The new automaton's `on_start` is *not* called.
+    pub fn swap_node(&self, id: NodeId, node: Box<dyn Automaton<M> + Send>) {
+        let _ = self.senders[id.0].send(Event::Replace(node));
+    }
+
+    /// Envelope/item counts since start.
+    pub fn message_stats(&self) -> SubstrateStats {
+        match &self.net {
+            Some(net) => SubstrateStats {
+                envelopes: net.counters.envelopes.load(Ordering::Relaxed),
+                items: net.counters.items.load(Ordering::Relaxed),
+            },
+            None => SubstrateStats::default(),
+        }
+    }
+
     /// Elapsed wall-clock since start.
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
@@ -332,10 +655,18 @@ impl<M: Send + Clone + 'static> Runtime<M> {
         self.tick
     }
 
+    /// The await timeout used by generic substrate awaits.
+    pub fn op_timeout(&self) -> Duration {
+        self.op_timeout
+    }
+}
+
+impl<M: Send + 'static> Runtime<M> {
     /// Stops all threads.
     pub fn shutdown(&mut self) {
         *self.wheel.shutdown.lock() = true;
         self.wheel.cv.notify_one();
+        self.latch.close();
         for tx in &self.senders {
             let _ = tx.send(Event::Shutdown);
         }
@@ -343,6 +674,15 @@ impl<M: Send + Clone + 'static> Runtime<M> {
             let _ = h.join();
         }
         if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.fault_thread.take() {
+            let _ = t.join();
+        }
+        // Dropping the last NetOut (ours; node threads are gone) closes
+        // the interposer's inbound channel and ends its loop.
+        self.net = None;
+        if let Some(t) = self.interposer_thread.take() {
             let _ = t.join();
         }
     }
@@ -350,23 +690,88 @@ impl<M: Send + Clone + 'static> Runtime<M> {
 
 impl<M: Send + 'static> Drop for Runtime<M> {
     fn drop(&mut self) {
-        *self.wheel.shutdown.lock() = true;
-        self.wheel.cv.notify_one();
-        for tx in &self.senders {
-            let _ = tx.send(Event::Shutdown);
+        self.shutdown();
+    }
+}
+
+impl<M: Send + Clone + 'static> Substrate<M> for Runtime<M> {
+    const NAME: &'static str = "threaded";
+    const DETERMINISTIC: bool = false;
+
+    fn build(config: SubstrateConfig<M>) -> Self {
+        let mut builder = RuntimeBuilder::new()
+            .tick(config.tick)
+            .op_timeout(config.op_timeout)
+            .scenario(config.scenario)
+            .sizer(config.sizer);
+        for node in config.nodes {
+            builder = builder.node(node);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-        if let Some(t) = self.timer_thread.take() {
-            let _ = t.join();
-        }
+        builder.start()
+    }
+
+    fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        Runtime::send(self, from, to, msg);
+    }
+
+    fn invoke_on<T: 'static>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<M>) + Send + 'static,
+    ) {
+        self.invoke::<T>(id, f);
+    }
+
+    fn inspect_on<T: 'static, R: Send + 'static>(
+        &self,
+        id: NodeId,
+        f: impl Fn(&T) -> R + Send + Sync + 'static,
+    ) -> R {
+        self.inspect::<T, R>(id, f)
+    }
+
+    fn await_on<T: 'static>(
+        &mut self,
+        id: NodeId,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
+        _max_steps: usize,
+    ) -> bool {
+        self.wait_for::<T>(id, pred, self.op_timeout)
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.crash_node(id);
+    }
+
+    fn restart(&mut self, id: NodeId) {
+        self.restart_node(id);
+    }
+
+    fn replace_node(&mut self, id: NodeId, node: Box<dyn Automaton<M> + Send>) {
+        self.swap_node(id, node);
+    }
+
+    fn stats(&self) -> SubstrateStats {
+        self.message_stats()
+    }
+
+    fn now_ticks(&self) -> Time {
+        Time(started_ticks(self.started, self.tick))
+    }
+
+    fn elapsed_units(&self) -> u64 {
+        (self.started.elapsed().as_micros() as u64).max(1)
+    }
+
+    fn shutdown(&mut self) {
+        Runtime::shutdown(self);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rqs_sim::{LinkEffect, LinkRule, Selector};
     use std::any::Any;
 
     #[derive(Default)]
@@ -404,6 +809,8 @@ mod tests {
         assert!(done, "ping-pong should converge");
         let got0 = rt.inspect::<Echo, Vec<u32>>(NodeId(0), |e| e.got.clone());
         assert_eq!(got0, vec![3, 1]);
+        // 1 injected + 4 replies
+        assert_eq!(rt.message_stats().envelopes, 5);
         rt.shutdown();
     }
 
@@ -467,5 +874,152 @@ mod tests {
         rt.shutdown();
         rt.shutdown();
         drop(rt);
+    }
+
+    #[test]
+    fn crash_drops_messages_restart_resumes() {
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.crash_node(NodeId(1));
+        rt.send(NodeId(0), NodeId(1), 0);
+        assert!(!rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_millis(100),
+        ));
+        rt.restart_node(NodeId(1));
+        rt.send(NodeId(0), NodeId(1), 0);
+        assert!(rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_secs(5),
+        ));
+        rt.shutdown();
+    }
+
+    /// A node that swallows everything (Byzantine-mute stand-in).
+    #[derive(Default)]
+    struct Mute;
+
+    impl Automaton<u32> for Mute {
+        fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Context<u32>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn swap_node_changes_behaviour() {
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.swap_node(NodeId(1), Box::new(Mute));
+        rt.send(NodeId(0), NodeId(1), 3);
+        // The mute replacement never replies, so node 0 sees nothing.
+        assert!(!rt.wait_for::<Echo>(
+            NodeId(0),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_millis(100),
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scenario_partition_drops_then_heals() {
+        let scenario = Scenario::named("cut").link(
+            LinkRule::every(LinkEffect::Drop)
+                .to(Selector::Is(NodeId(1)))
+                .during(0, 50),
+        );
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .scenario(scenario)
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.send(NodeId(0), NodeId(1), 0);
+        assert!(!rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_millis(20),
+        ));
+        // After tick 50 (= 50 ms) the partition heals.
+        std::thread::sleep(Duration::from_millis(60));
+        rt.send(NodeId(0), NodeId(1), 7);
+        assert!(rt.wait_for::<Echo>(
+            NodeId(1),
+            // The partitioned-away 0 stays lost; the post-heal 7 arrives.
+            |e: &Echo| e.got.first() == Some(&7),
+            Duration::from_secs(5),
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scenario_duplicate_delivers_twice() {
+        let scenario =
+            Scenario::named("dup").link(LinkRule::every(LinkEffect::Duplicate { lag: 2 }));
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .scenario(scenario)
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Mute))
+            .start();
+        rt.send(NodeId(0), NodeId(0), 0);
+        assert!(rt.wait_for::<Echo>(
+            NodeId(0),
+            |e: &Echo| e.got.len() >= 2,
+            Duration::from_secs(5),
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scenario_crash_plan_fires_on_schedule() {
+        let scenario = Scenario::named("cr").crash_restart(1, 0, 40);
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .scenario(scenario)
+            .node(Box::new(Echo::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        // Give the scheduler a beat to crash node 1 at tick 0.
+        std::thread::sleep(Duration::from_millis(10));
+        rt.send(NodeId(0), NodeId(1), 0);
+        assert!(!rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_millis(15),
+        ));
+        // After the restart at tick 40 the node processes again.
+        std::thread::sleep(Duration::from_millis(50));
+        rt.send(NodeId(0), NodeId(1), 0);
+        assert!(rt.wait_for::<Echo>(
+            NodeId(1),
+            |e: &Echo| !e.got.is_empty(),
+            Duration::from_secs(5),
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn substrate_trait_drives_runtime() {
+        let nodes: Vec<Box<dyn Automaton<u32> + Send>> =
+            vec![Box::new(Echo::default()), Box::new(Echo::default())];
+        let cfg = SubstrateConfig::new(nodes).tick(Duration::from_millis(1));
+        let mut sub: Runtime<u32> = Substrate::build(cfg);
+        Substrate::post(&mut sub, NodeId(0), NodeId(1), 4);
+        assert!(sub.await_on::<Echo>(NodeId(1), |e| e.got.len() >= 3, 0));
+        assert_eq!(<Runtime<u32> as Substrate<u32>>::NAME, "threaded");
+        assert!(Substrate::stats(&sub).envelopes >= 5);
+        Substrate::shutdown(&mut sub);
     }
 }

@@ -1,22 +1,18 @@
-//! Threaded deployment of the RQS atomic storage.
+//! Threaded deployment of the RQS atomic storage: a thin wall-clock
+//! wrapper around the substrate-generic
+//! [`StorageDeployment`](rqs_storage::StorageDeployment), instantiated on
+//! [`Runtime`]. Same automatons and driver code as the simulator harness,
+//! real wall-clock latency.
 
-use crate::runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
+use crate::runtime::{Runtime, DEFAULT_TICK};
 use rqs_core::Rqs;
-use rqs_sim::NodeId;
-use rqs_storage::reader::Reader;
-use rqs_storage::writer::Writer;
-use rqs_storage::{ReadOutcome, Server, StorageMsg, Value, WriteOutcome};
-use std::sync::Arc;
+use rqs_sim::Scenario;
+use rqs_storage::{ReadOutcome, StorageDeployment, StorageMsg, Value, WriteOutcome};
 use std::time::{Duration, Instant};
 
 /// A storage deployment over real threads and channels.
-///
-/// Same automatons as the simulator harness, real wall-clock latency.
 pub struct RtStorage {
-    rt: Runtime<StorageMsg>,
-    writer: NodeId,
-    readers: Vec<NodeId>,
-    op_timeout: Duration,
+    dep: StorageDeployment<Runtime<StorageMsg>>,
 }
 
 impl RtStorage {
@@ -28,52 +24,31 @@ impl RtStorage {
 
     /// Deploys with an explicit tick length.
     pub fn with_tick(rqs: Rqs, readers: usize, tick: Duration) -> Self {
-        let rqs = Arc::new(rqs);
-        let n = rqs.universe_size();
-        let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let mut builder = RuntimeBuilder::new().tick(tick);
-        for _ in 0..n {
-            builder = builder.node(Box::new(Server::new()));
-        }
-        builder = builder.node(Box::new(Writer::new(rqs.clone(), server_ids.clone())));
-        for _ in 0..readers {
-            builder = builder.node(Box::new(Reader::new(rqs.clone(), server_ids.clone())));
-        }
-        let rt = builder.start();
+        Self::with_scenario(rqs, readers, Scenario::default(), tick)
+    }
+
+    /// Deploys under a fault scenario (compiled to an interposed
+    /// message-filter thread plus a fault scheduler).
+    pub fn with_scenario(rqs: Rqs, readers: usize, scenario: Scenario, tick: Duration) -> Self {
         RtStorage {
-            rt,
-            writer: NodeId(n),
-            readers: (n + 1..n + 1 + readers).map(NodeId).collect(),
-            op_timeout: Duration::from_secs(30),
+            dep: StorageDeployment::with_setup(rqs, readers, scenario, tick),
         }
+    }
+
+    /// The substrate-generic deployment driver underneath.
+    pub fn deployment(&mut self) -> &mut StorageDeployment<Runtime<StorageMsg>> {
+        &mut self.dep
     }
 
     /// Performs a complete write and returns `(outcome, wall_latency)`.
     ///
     /// # Panics
     ///
-    /// Panics if the write does not complete within 30 s.
-    pub fn write(&self, v: Value) -> (WriteOutcome, Duration) {
-        let before = self
-            .rt
-            .inspect::<Writer, usize>(self.writer, |w| w.outcomes().len());
+    /// Panics if the write does not complete within the operation timeout.
+    pub fn write(&mut self, v: Value) -> (WriteOutcome, Duration) {
         let start = Instant::now();
-        self.rt
-            .invoke::<Writer>(self.writer, move |w, ctx| w.start_write(v, ctx));
-        let target = before + 1;
-        let ok = self.rt.wait_for::<Writer>(
-            self.writer,
-            move |w| w.outcomes().len() >= target,
-            self.op_timeout,
-        );
-        assert!(ok, "write did not complete");
-        let wall = start.elapsed();
-        let out =
-            self.rt
-                .inspect::<Writer, WriteOutcome>(self.writer, move |w| {
-                    w.outcomes()[target - 1].clone()
-                });
-        (out, wall)
+        let out = self.dep.write(v);
+        (out, start.elapsed())
     }
 
     /// Performs a complete read by reader `i`; returns
@@ -81,31 +56,16 @@ impl RtStorage {
     ///
     /// # Panics
     ///
-    /// Panics if the read does not complete within 30 s.
-    pub fn read(&self, i: usize) -> (ReadOutcome, Duration) {
-        let node = self.readers[i];
-        let before = self
-            .rt
-            .inspect::<Reader, usize>(node, |r| r.outcomes().len());
+    /// Panics if the read does not complete within the operation timeout.
+    pub fn read(&mut self, i: usize) -> (ReadOutcome, Duration) {
         let start = Instant::now();
-        self.rt.invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
-        let target = before + 1;
-        let ok = self.rt.wait_for::<Reader>(
-            node,
-            move |r| r.outcomes().len() >= target,
-            self.op_timeout,
-        );
-        assert!(ok, "read did not complete");
-        let wall = start.elapsed();
-        let out = self
-            .rt
-            .inspect::<Reader, ReadOutcome>(node, move |r| r.outcomes()[target - 1].clone());
-        (out, wall)
+        let out = self.dep.read(i);
+        (out, start.elapsed())
     }
 
     /// Stops all threads.
     pub fn shutdown(&mut self) {
-        self.rt.shutdown();
+        self.dep.shutdown();
     }
 }
 
@@ -139,6 +99,8 @@ mod tests {
             assert_eq!(r0.returned.val, v.into());
             assert_eq!(r1.returned.val, v.into());
         }
+        // The generic driver checks atomicity on the runtime too.
+        st.deployment().check_atomicity().unwrap();
         st.shutdown();
     }
 }

@@ -46,11 +46,18 @@
 
 pub mod network;
 pub mod node;
+pub mod scenario;
+pub mod substrate;
 pub mod time;
 pub mod world;
 
 pub use network::{Envelope, Fate, FatePolicy, NetworkScript, Rule, Selector};
 pub use node::{Automaton, Context, NodeId, TimerToken};
+pub use scenario::{CrashPlan, LinkDecision, LinkEffect, LinkRule, Scenario, ScenarioNet};
+pub use substrate::{
+    Substrate, SubstrateConfig, SubstrateStats, DEFAULT_AWAIT_STEPS, DEFAULT_OP_TIMEOUT,
+    DEFAULT_TICK,
+};
 pub use time::Time;
 pub use world::{TraceEntry, World, WorldStats};
 

@@ -49,6 +49,15 @@ pub enum Fate {
     Hold(u32),
     /// Never deliver.
     Drop,
+    /// Deliver two copies, after `first` and `second` ticks respectively
+    /// (each normalized to at least 1). Models duplicating channels; the
+    /// quorum automata are idempotent, so duplicates must be harmless.
+    Duplicate {
+        /// Delay of the first copy, in ticks.
+        first: u64,
+        /// Delay of the second copy, in ticks.
+        second: u64,
+    },
 }
 
 impl Fate {
@@ -297,12 +306,15 @@ mod tests {
 
     #[test]
     fn window_filtering() {
-        let mut s = NetworkScript::synchronous()
-            .rule(Rule::always(Fate::Drop).between(Time(5), Time(10)));
+        let mut s =
+            NetworkScript::synchronous().rule(Rule::always(Fate::Drop).between(Time(5), Time(10)));
         assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 4)), Fate::DEFAULT);
         assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 5)), Fate::Drop);
         assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 9)), Fate::Drop);
-        assert_eq!(FatePolicy::<u8>::fate(&mut s, &env(0, 1, 10)), Fate::DEFAULT);
+        assert_eq!(
+            FatePolicy::<u8>::fate(&mut s, &env(0, 1, 10)),
+            Fate::DEFAULT
+        );
     }
 
     #[test]

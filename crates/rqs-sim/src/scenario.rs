@@ -1,0 +1,440 @@
+//! Declarative fault scenarios, portable across substrates.
+//!
+//! A [`Scenario`] describes *what goes wrong* in an execution — link
+//! partitions with heal times, per-link delay/jitter/drop/duplication
+//! schedules, crash-and-restart plans, Byzantine swap-ins — without
+//! committing to an execution substrate. The same description drives both
+//! deployments:
+//!
+//! - on the deterministic simulator it compiles to a fate policy
+//!   ([`ScenarioNet`] implements [`FatePolicy`]), and crash plans become
+//!   scheduled [`crash_at`](crate::World::crash_at) /
+//!   [`restart_at`](crate::World::restart_at) events;
+//! - on the threaded runtime the very same [`ScenarioNet::decide`] core
+//!   runs inside an interposed message-filter thread, and crash plans
+//!   become a wall-clock fault scheduler.
+//!
+//! All times are protocol ticks: one tick is one synchronous message
+//! delay on the simulator, one configured tick length on the runtime.
+
+use crate::network::{Envelope, Fate, FatePolicy, Selector};
+use crate::node::NodeId;
+use crate::time::Time;
+
+/// One scripted link effect: what happens to messages matching the
+/// selectors inside the tick window.
+#[derive(Clone, Debug)]
+pub struct LinkRule {
+    /// Sender filter.
+    pub from: Selector,
+    /// Receiver filter.
+    pub to: Selector,
+    /// First tick (inclusive) the rule applies to.
+    pub from_tick: u64,
+    /// First tick the rule no longer applies to (`None` = forever).
+    pub until_tick: Option<u64>,
+    /// The effect applied to matching messages.
+    pub effect: LinkEffect,
+}
+
+impl LinkRule {
+    /// A rule applying `effect` to every message, forever.
+    pub fn every(effect: LinkEffect) -> Self {
+        LinkRule {
+            from: Selector::Any,
+            to: Selector::Any,
+            from_tick: 0,
+            until_tick: None,
+            effect,
+        }
+    }
+
+    /// Restricts the sender.
+    pub fn from(mut self, sel: Selector) -> Self {
+        self.from = sel;
+        self
+    }
+
+    /// Restricts the receiver.
+    pub fn to(mut self, sel: Selector) -> Self {
+        self.to = sel;
+        self
+    }
+
+    /// Restricts the send-tick window to `[start, end)`.
+    pub fn during(mut self, start: u64, end: u64) -> Self {
+        self.from_tick = start;
+        self.until_tick = Some(end);
+        self
+    }
+
+    fn matches(&self, from: NodeId, to: NodeId, sent_tick: u64) -> bool {
+        sent_tick >= self.from_tick
+            && self.until_tick.is_none_or(|e| sent_tick < e)
+            && self.from.matches(from)
+            && self.to.matches(to)
+    }
+}
+
+/// What a matching [`LinkRule`] does to a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEffect {
+    /// Drop every matching message (a hard partition).
+    Drop,
+    /// Drop every `n`-th matching message; the rest *fall through* to
+    /// later rules, so lossiness composes with delay/duplication.
+    DropEvery(u64),
+    /// Add a fixed extra delivery delay, in ticks.
+    Delay(u64),
+    /// Deterministic jitter: extra delay cycles through
+    /// `base ..= base + spread` per matching message.
+    Jitter {
+        /// Minimum extra delay.
+        base: u64,
+        /// Peak-to-peak jitter width.
+        spread: u64,
+    },
+    /// Deliver the message twice; the second copy lags by `lag` ticks.
+    Duplicate {
+        /// Extra delay of the duplicate copy.
+        lag: u64,
+    },
+    /// Park matching messages until the rule's window closes, then
+    /// deliver them (a partition whose in-flight traffic survives the
+    /// heal). With no window end this is equivalent to [`Drop`].
+    ///
+    /// [`Drop`]: LinkEffect::Drop
+    HoldUntilHeal,
+}
+
+/// A scheduled crash (and optional restart), in ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Node index (deployments place servers first, at `0..n`).
+    pub node: usize,
+    /// Tick at which the node stops processing.
+    pub at: u64,
+    /// Tick at which it resumes with its retained state (`None` = never).
+    pub restart_at: Option<u64>,
+}
+
+/// A declarative, substrate-independent fault scenario.
+///
+/// # Examples
+///
+/// ```
+/// use rqs_sim::{LinkEffect, LinkRule, Scenario, Selector, NodeId};
+///
+/// // Partition server 3 for the first 30 ticks, duplicate all traffic,
+/// // and crash-restart server 0.
+/// let scenario = Scenario::named("demo")
+///     .partition(vec![3], 0, 30)
+///     .link(LinkRule::every(LinkEffect::Duplicate { lag: 2 }))
+///     .crash_restart(0, 10, 60);
+/// assert_eq!(scenario.crashes.len(), 1);
+/// assert!(!scenario.is_benign());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Scenario {
+    /// Human-readable name (experiment tables, traces).
+    pub name: String,
+    /// Link effects, in priority order (first terminal match wins;
+    /// [`LinkEffect::DropEvery`] falls through when it does not drop).
+    pub links: Vec<LinkRule>,
+    /// Crash / crash-restart plans.
+    pub crashes: Vec<CrashPlan>,
+    /// Node indices to replace with the deployment's canonical forging
+    /// Byzantine automaton before the run starts.
+    pub byzantine: Vec<usize>,
+}
+
+impl Scenario {
+    /// An empty (fault-free) scenario with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// `true` iff the scenario injects no faults at all.
+    pub fn is_benign(&self) -> bool {
+        self.links.is_empty() && self.crashes.is_empty() && self.byzantine.is_empty()
+    }
+
+    /// Appends a link rule (earlier rules win).
+    pub fn link(mut self, rule: LinkRule) -> Self {
+        self.links.push(rule);
+        self
+    }
+
+    /// Schedules a permanent crash of `node` at tick `at`.
+    pub fn crash(mut self, node: usize, at: u64) -> Self {
+        self.crashes.push(CrashPlan {
+            node,
+            at,
+            restart_at: None,
+        });
+        self
+    }
+
+    /// Schedules a crash of `node` at `at` and a restart at `restart`.
+    pub fn crash_restart(mut self, node: usize, at: u64, restart: u64) -> Self {
+        assert!(restart > at, "restart must follow the crash");
+        self.crashes.push(CrashPlan {
+            node,
+            at,
+            restart_at: Some(restart),
+        });
+        self
+    }
+
+    /// Marks `node` for Byzantine substitution at deployment time.
+    pub fn with_byzantine(mut self, node: usize) -> Self {
+        self.byzantine.push(node);
+        self
+    }
+
+    /// Cuts `group` off from the rest of the system (messages dropped in
+    /// both directions) during `[start, heal)`.
+    pub fn partition(self, group: Vec<usize>, start: u64, heal: u64) -> Self {
+        let ids: Vec<NodeId> = group.into_iter().map(NodeId).collect();
+        self.link(
+            LinkRule::every(LinkEffect::Drop)
+                .from(Selector::In(ids.clone()))
+                .to(Selector::NotIn(ids.clone()))
+                .during(start, heal),
+        )
+        .link(
+            LinkRule::every(LinkEffect::Drop)
+                .from(Selector::NotIn(ids.clone()))
+                .to(Selector::In(ids))
+                .during(start, heal),
+        )
+    }
+
+    /// Makes every link touching `targets` lossy (every `drop_every`-th
+    /// message lost); messages that survive fall through to later rules.
+    pub fn lossy_towards(self, targets: Vec<usize>, drop_every: u64) -> Self {
+        assert!(drop_every >= 2, "DropEvery(1) would drop everything");
+        let ids: Vec<NodeId> = targets.into_iter().map(NodeId).collect();
+        self.link(
+            LinkRule::every(LinkEffect::DropEvery(drop_every)).from(Selector::In(ids.clone())),
+        )
+        .link(LinkRule::every(LinkEffect::DropEvery(drop_every)).to(Selector::In(ids)))
+    }
+
+    /// Compiles the link rules into their shared decision engine.
+    pub fn network(&self) -> ScenarioNet {
+        ScenarioNet::new(self)
+    }
+}
+
+/// The routing decision shared by both substrate compilations; all delays
+/// are *extra* ticks on top of the substrate's base delivery latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkDecision {
+    /// Deliver after `extra` additional ticks (0 = promptly).
+    Deliver {
+        /// Extra delay beyond the base latency.
+        extra: u64,
+    },
+    /// Deliver at an absolute tick (partition heal).
+    DeliverAtTick(u64),
+    /// Never deliver.
+    Drop,
+    /// Deliver promptly and again after `lag` extra ticks.
+    Duplicate {
+        /// Extra delay of the duplicate.
+        lag: u64,
+    },
+}
+
+/// The compiled link schedule: [`Scenario::links`] plus per-rule counters
+/// (for `DropEvery` / `Jitter` determinism). Implements [`FatePolicy`] so
+/// a [`World`](crate::World) can route through it directly; the threaded
+/// runtime calls [`ScenarioNet::decide`] from its interposer thread.
+#[derive(Clone, Debug)]
+pub struct ScenarioNet {
+    rules: Vec<(LinkRule, u64)>,
+}
+
+impl ScenarioNet {
+    /// Compiles `scenario`'s link rules.
+    pub fn new(scenario: &Scenario) -> Self {
+        ScenarioNet {
+            rules: scenario.links.iter().map(|r| (r.clone(), 0)).collect(),
+        }
+    }
+
+    /// An empty schedule (every message delivered promptly).
+    pub fn benign() -> Self {
+        ScenarioNet { rules: Vec::new() }
+    }
+
+    /// Decides the fate of one message sent from `from` to `to` at
+    /// `sent_tick`. Deterministic given the sequence of calls.
+    pub fn decide(&mut self, from: NodeId, to: NodeId, sent_tick: u64) -> LinkDecision {
+        for (rule, counter) in &mut self.rules {
+            if !rule.matches(from, to, sent_tick) {
+                continue;
+            }
+            match rule.effect {
+                LinkEffect::Drop => return LinkDecision::Drop,
+                LinkEffect::DropEvery(n) => {
+                    *counter += 1;
+                    if *counter % n.max(1) == 0 {
+                        return LinkDecision::Drop;
+                    }
+                    // else: fall through to later rules
+                }
+                LinkEffect::Delay(extra) => return LinkDecision::Deliver { extra },
+                LinkEffect::Jitter { base, spread } => {
+                    *counter += 1;
+                    return LinkDecision::Deliver {
+                        extra: base + *counter % (spread + 1),
+                    };
+                }
+                LinkEffect::Duplicate { lag } => return LinkDecision::Duplicate { lag },
+                LinkEffect::HoldUntilHeal => {
+                    return match rule.until_tick {
+                        Some(heal) => LinkDecision::DeliverAtTick(heal),
+                        None => LinkDecision::Drop,
+                    };
+                }
+            }
+        }
+        LinkDecision::Deliver { extra: 0 }
+    }
+}
+
+impl<M> FatePolicy<M> for ScenarioNet {
+    fn fate(&mut self, env: &Envelope<M>) -> Fate {
+        match self.decide(env.from, env.to, env.sent_at.ticks()) {
+            LinkDecision::Deliver { extra } => Fate::Deliver { delay: 1 + extra },
+            LinkDecision::DeliverAtTick(t) => Fate::DeliverAt(Time(t)),
+            LinkDecision::Drop => Fate::Drop,
+            LinkDecision::Duplicate { lag } => Fate::Duplicate {
+                first: 1,
+                second: 1 + lag,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_scenario_delivers_everything() {
+        let mut net = Scenario::named("clean").network();
+        assert_eq!(
+            net.decide(NodeId(0), NodeId(1), 5),
+            LinkDecision::Deliver { extra: 0 }
+        );
+    }
+
+    #[test]
+    fn partition_drops_both_directions_until_heal() {
+        let mut net = Scenario::named("p").partition(vec![2], 10, 20).network();
+        assert_eq!(net.decide(NodeId(2), NodeId(0), 15), LinkDecision::Drop);
+        assert_eq!(net.decide(NodeId(0), NodeId(2), 15), LinkDecision::Drop);
+        // inside the group, outside the window, unrelated links: delivered
+        assert_eq!(
+            net.decide(NodeId(0), NodeId(1), 15),
+            LinkDecision::Deliver { extra: 0 }
+        );
+        assert_eq!(
+            net.decide(NodeId(2), NodeId(0), 20),
+            LinkDecision::Deliver { extra: 0 }
+        );
+        assert_eq!(
+            net.decide(NodeId(2), NodeId(0), 9),
+            LinkDecision::Deliver { extra: 0 }
+        );
+    }
+
+    #[test]
+    fn drop_every_is_periodic_and_falls_through() {
+        let scenario = Scenario::named("lossy+dup")
+            .lossy_towards(vec![1], 3)
+            .link(LinkRule::every(LinkEffect::Duplicate { lag: 2 }));
+        let mut net = scenario.network();
+        let mut fates = Vec::new();
+        for _ in 0..6 {
+            fates.push(net.decide(NodeId(0), NodeId(1), 0));
+        }
+        let drops = fates.iter().filter(|f| **f == LinkDecision::Drop).count();
+        assert_eq!(drops, 2, "every 3rd of 6 messages dropped");
+        // Survivors fell through to the duplication rule.
+        assert!(fates
+            .iter()
+            .all(|f| *f == LinkDecision::Drop || *f == LinkDecision::Duplicate { lag: 2 }));
+        // Messages not touching node 1 are duplicated only.
+        assert_eq!(
+            net.decide(NodeId(0), NodeId(2), 0),
+            LinkDecision::Duplicate { lag: 2 }
+        );
+    }
+
+    #[test]
+    fn jitter_cycles_deterministically() {
+        let mut net = Scenario::named("j")
+            .link(LinkRule::every(LinkEffect::Jitter { base: 1, spread: 2 }))
+            .network();
+        let extras: Vec<u64> = (0..6)
+            .map(|_| match net.decide(NodeId(0), NodeId(1), 0) {
+                LinkDecision::Deliver { extra } => extra,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(extras, vec![2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn hold_until_heal_parks_until_window_close() {
+        let mut net = Scenario::named("h")
+            .link(
+                LinkRule::every(LinkEffect::HoldUntilHeal)
+                    .to(Selector::Is(NodeId(1)))
+                    .during(0, 25),
+            )
+            .network();
+        assert_eq!(
+            net.decide(NodeId(0), NodeId(1), 3),
+            LinkDecision::DeliverAtTick(25)
+        );
+        assert_eq!(
+            net.decide(NodeId(0), NodeId(1), 30),
+            LinkDecision::Deliver { extra: 0 }
+        );
+    }
+
+    #[test]
+    fn fate_policy_compilation() {
+        let mut net = Scenario::named("d")
+            .link(LinkRule::every(LinkEffect::Delay(4)))
+            .network();
+        let env = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            msg: 0u8,
+            sent_at: Time(2),
+        };
+        assert_eq!(net.fate(&env), Fate::Deliver { delay: 5 });
+    }
+
+    #[test]
+    fn crash_restart_builder_validates() {
+        let s = Scenario::named("cr").crash_restart(0, 10, 60).crash(1, 5);
+        assert_eq!(s.crashes[0].restart_at, Some(60));
+        assert_eq!(s.crashes[1].restart_at, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must follow")]
+    fn restart_before_crash_rejected() {
+        let _ = Scenario::named("bad").crash_restart(0, 10, 10);
+    }
+}

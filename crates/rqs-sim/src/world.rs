@@ -17,6 +17,7 @@ enum Event<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, token: TimerToken },
     Crash { node: NodeId },
+    Restart { node: NodeId },
 }
 
 struct Queued<M> {
@@ -64,6 +65,10 @@ pub struct WorldStats {
     pub timers_fired: usize,
     /// Steps executed.
     pub steps: usize,
+    /// Payload items carried by sent messages, as measured by the sizer
+    /// installed with [`World::set_sizer`] (equals `messages_sent` when no
+    /// sizer is installed — every message counts as one item).
+    pub items_sent: usize,
 }
 
 /// The deterministic simulation world.
@@ -103,6 +108,7 @@ pub struct World<M> {
     timer_counter: u64,
     policy: Box<dyn FatePolicy<M>>,
     default_delay: u64,
+    sizer: Option<fn(&M) -> u64>,
     stats: WorldStats,
     trace: Option<Vec<TraceEntry>>,
     trace_fmt: Option<fn(&M) -> String>,
@@ -122,6 +128,7 @@ impl<M: Clone + 'static> World<M> {
             timer_counter: 0,
             policy: Box::new(policy),
             default_delay: 1,
+            sizer: None,
             stats: WorldStats::default(),
             trace: None,
             trace_fmt: None,
@@ -131,6 +138,14 @@ impl<M: Clone + 'static> World<M> {
     /// Replaces the fate policy mid-run (e.g. to end a synchronous period).
     pub fn set_policy(&mut self, policy: impl FatePolicy<M> + 'static) {
         self.policy = Box::new(policy);
+    }
+
+    /// Installs a payload sizer: every sent message contributes
+    /// `sizer(&msg)` to [`WorldStats::items_sent`] (batched message types
+    /// report their inner item count; without a sizer each message counts
+    /// as one item). Survives [`World::set_policy`] swaps.
+    pub fn set_sizer(&mut self, sizer: fn(&M) -> u64) {
+        self.sizer = Some(sizer);
     }
 
     /// Enables the execution trace; `fmt` renders message payloads.
@@ -215,6 +230,14 @@ impl<M: Clone + 'static> World<M> {
         self.push(t, Event::Crash { node });
     }
 
+    /// Schedules a restart: from time `t` the node processes messages and
+    /// timers again, resuming with the state it held when it crashed (the
+    /// node's state plays the role of stable storage). Messages delivered
+    /// while it was crashed stay lost.
+    pub fn restart_at(&mut self, node: NodeId, t: Time) {
+        self.push(t, Event::Restart { node });
+    }
+
     /// Invokes an operation on a node immediately (at the current time):
     /// the closure plays the role of an external invocation step (e.g.
     /// `write(v)` arriving at a client). Outputs are routed as usual.
@@ -289,6 +312,10 @@ impl<M: Clone + 'static> World<M> {
             Event::Crash { node } => {
                 self.crashed[node.0] = true;
                 self.log(format!("{node} crashed"));
+            }
+            Event::Restart { node } => {
+                self.crashed[node.0] = false;
+                self.log(format!("{node} restarted"));
             }
             Event::Deliver { from, to, msg } => {
                 if self.crashed[to.0] {
@@ -438,6 +465,7 @@ impl<M: Clone + 'static> World<M> {
 
     fn route(&mut self, env: Envelope<M>) {
         self.stats.messages_sent += 1;
+        self.stats.items_sent += self.sizer.map_or(1, |s| s(&env.msg)) as usize;
         match self.policy.fate(&env) {
             Fate::Deliver { delay } => {
                 let at = self.now + delay.max(1);
@@ -454,6 +482,23 @@ impl<M: Clone + 'static> World<M> {
                 let at = if t <= self.now { self.now + 1 } else { t };
                 self.push(
                     at,
+                    Event::Deliver {
+                        from: env.from,
+                        to: env.to,
+                        msg: env.msg,
+                    },
+                );
+            }
+            Fate::Duplicate { first, second } => {
+                let copy = Event::Deliver {
+                    from: env.from,
+                    to: env.to,
+                    msg: env.msg.clone(),
+                };
+                self.push(self.now + first.max(1), copy);
+                self.log(format!("{} → {}: duplicated", env.from, env.to));
+                self.push(
+                    self.now + second.max(1),
                     Event::Deliver {
                         from: env.from,
                         to: env.to,
@@ -564,10 +609,51 @@ mod tests {
     }
 
     #[test]
+    fn restart_resumes_processing_with_retained_state() {
+        let (mut w, a, b) = two_node_world();
+        w.crash_at(b, Time(2));
+        w.restart_at(b, Time(10));
+        w.post(a, b, 0);
+        w.run_to_quiescence();
+        // b got msg 0 before crashing; the t3 delivery was lost.
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0]);
+        assert!(!w.is_crashed(b));
+        // After restart, b processes again — state intact.
+        w.post(a, b, 7);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![0, 7]);
+    }
+
+    #[test]
+    fn duplicate_fate_delivers_twice() {
+        let mut w: World<u32> = World::new(|_e: &Envelope<u32>| Fate::Duplicate {
+            first: 1,
+            second: 3,
+        });
+        let a = w.add_node(Box::new(PingPong::new(0)));
+        let b = w.add_node(Box::new(PingPong::new(0)));
+        w.post(a, b, 9);
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![9, 9]);
+        assert_eq!(w.stats().messages_sent, 1);
+        assert_eq!(w.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    fn sizer_counts_payload_items() {
+        let (mut w, a, b) = two_node_world();
+        w.set_sizer(|m| (*m as u64) + 1);
+        w.post(a, b, 3); // b replies 4, which hits the limit
+        w.run_to_quiescence();
+        // two messages: sizes 4 and 5 → 9 items
+        assert_eq!(w.stats().messages_sent, 2);
+        assert_eq!(w.stats().items_sent, 9);
+    }
+
+    #[test]
     fn drop_rule() {
         let mut w = World::new(
-            NetworkScript::synchronous()
-                .rule(Rule::always(Fate::Drop).to(Selector::Is(NodeId(0)))),
+            NetworkScript::synchronous().rule(Rule::always(Fate::Drop).to(Selector::Is(NodeId(0)))),
         );
         let a = w.add_node(Box::new(PingPong::new(9)));
         let b = w.add_node(Box::new(PingPong::new(9)));
@@ -598,8 +684,7 @@ mod tests {
 
     #[test]
     fn deliver_at_absolute_time() {
-        let mut w: World<u32> =
-            World::new(|_e: &Envelope<u32>| Fate::DeliverAt(Time(50)));
+        let mut w: World<u32> = World::new(|_e: &Envelope<u32>| Fate::DeliverAt(Time(50)));
         let a = w.add_node(Box::new(PingPong::new(0)));
         let b = w.add_node(Box::new(PingPong::new(0)));
         w.post(a, b, 1);

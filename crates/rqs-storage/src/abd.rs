@@ -209,9 +209,14 @@ impl Automaton<AbdMsg> for AbdClient {
             return;
         };
         match (&mut self.state, msg) {
-            (ClientState::Writing { pair, acks, invoked_at }, AbdMsg::WriteAck { ts })
-                if ts == pair.ts =>
-            {
+            (
+                ClientState::Writing {
+                    pair,
+                    acks,
+                    invoked_at,
+                },
+                AbdMsg::WriteAck { ts },
+            ) if ts == pair.ts => {
                 acks.insert(rqs_core::ProcessId(idx));
                 if acks.len() >= self.majority {
                     let outcome = AbdOutcome {
@@ -225,8 +230,16 @@ impl Automaton<AbdMsg> for AbdClient {
                 }
             }
             (
-                ClientState::ReadCollect { read_no, acks, best, invoked_at },
-                AbdMsg::ReadAck { read_no: echo, pair },
+                ClientState::ReadCollect {
+                    read_no,
+                    acks,
+                    best,
+                    invoked_at,
+                },
+                AbdMsg::ReadAck {
+                    read_no: echo,
+                    pair,
+                },
             ) if echo == *read_no => {
                 acks.insert(rqs_core::ProcessId(idx));
                 if pair.ts > best.ts {
@@ -244,7 +257,11 @@ impl Automaton<AbdMsg> for AbdClient {
                 }
             }
             (
-                ClientState::ReadWriteback { best, acks, invoked_at },
+                ClientState::ReadWriteback {
+                    best,
+                    acks,
+                    invoked_at,
+                },
                 AbdMsg::WriteAck { ts },
             ) if ts == best.ts => {
                 acks.insert(rqs_core::ProcessId(idx));
@@ -330,12 +347,16 @@ mod tests {
         let mut ctx = Context::new(NodeId(0), Time::ZERO, 0);
         s.on_message(
             NodeId(9),
-            AbdMsg::Write { pair: TsVal::new(2, Value::from(2u64)) },
+            AbdMsg::Write {
+                pair: TsVal::new(2, Value::from(2u64)),
+            },
             &mut ctx,
         );
         s.on_message(
             NodeId(9),
-            AbdMsg::Write { pair: TsVal::new(1, Value::from(1u64)) },
+            AbdMsg::Write {
+                pair: TsVal::new(1, Value::from(1u64)),
+            },
             &mut ctx,
         );
         assert_eq!(s.pair().ts, 2, "older write must not regress the pair");

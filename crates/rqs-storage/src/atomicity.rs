@@ -89,7 +89,10 @@ impl fmt::Display for AtomicityViolation {
                 write!(f, "fabricated value: {read} returned a never-written pair")
             }
             AtomicityViolation::StaleRead { earlier, later } => {
-                write!(f, "stale result: {later} follows {earlier} but has a lower timestamp")
+                write!(
+                    f,
+                    "stale result: {later} follows {earlier} but has a lower timestamp"
+                )
             }
             AtomicityViolation::Inconsistent { detail } => write!(f, "inconsistent: {detail}"),
         }
@@ -250,7 +253,10 @@ mod tests {
     fn fabricated_value_detected() {
         let ops = vec![write(1, 10, 0, 5), read(1, 7, 99, 6, 8)];
         let err = check_atomicity(&ops).unwrap_err();
-        assert!(matches!(err, AtomicityViolation::Fabricated { .. }), "{err}");
+        assert!(
+            matches!(err, AtomicityViolation::Fabricated { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -258,21 +264,30 @@ mod tests {
         // Read completes before the write is even invoked.
         let ops = vec![read(1, 1, 10, 0, 2), write(1, 10, 5, 9)];
         let err = check_atomicity(&ops).unwrap_err();
-        assert!(matches!(err, AtomicityViolation::Fabricated { .. }), "{err}");
+        assert!(
+            matches!(err, AtomicityViolation::Fabricated { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn wrong_value_for_timestamp_detected() {
         let ops = vec![write(1, 10, 0, 5), read(1, 1, 11, 6, 8)];
         let err = check_atomicity(&ops).unwrap_err();
-        assert!(matches!(err, AtomicityViolation::Inconsistent { .. }), "{err}");
+        assert!(
+            matches!(err, AtomicityViolation::Inconsistent { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn duplicate_write_timestamps_detected() {
         let ops = vec![write(1, 10, 0, 5), write(1, 11, 6, 9)];
         let err = check_atomicity(&ops).unwrap_err();
-        assert!(matches!(err, AtomicityViolation::Inconsistent { .. }), "{err}");
+        assert!(
+            matches!(err, AtomicityViolation::Inconsistent { .. }),
+            "{err}"
+        );
     }
 
     #[test]

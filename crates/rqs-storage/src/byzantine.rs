@@ -63,10 +63,9 @@ impl ForgedServer {
 impl Automaton<StorageMsg> for ForgedServer {
     fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
         match msg {
-            StorageMsg::Wr { ts, rnd, .. }
-                if self.ack_writes => {
-                    ctx.send(from, StorageMsg::WrAck { ts, rnd });
-                }
+            StorageMsg::Wr { ts, rnd, .. } if self.ack_writes => {
+                ctx.send(from, StorageMsg::WrAck { ts, rnd });
+            }
             StorageMsg::Rd { read_no, rnd } => {
                 ctx.send(
                     from,
@@ -99,9 +98,7 @@ pub struct ScriptedServer {
 
 impl ScriptedServer {
     /// Wraps a behaviour closure.
-    pub fn new(
-        script: impl FnMut(NodeId, StorageMsg, &mut Context<StorageMsg>) + 'static,
-    ) -> Self {
+    pub fn new(script: impl FnMut(NodeId, StorageMsg, &mut Context<StorageMsg>) + 'static) -> Self {
         ScriptedServer {
             script: Box::new(script),
         }
@@ -192,7 +189,14 @@ mod tests {
                 // Equivocate: claim a fabricated pair.
                 let mut h = History::new();
                 h.apply_write(&TsVal::new(99, Value::from(1u64)), &BTreeSet::new(), 1);
-                ctx.send(from, StorageMsg::RdAck { read_no, rnd, history: h });
+                ctx.send(
+                    from,
+                    StorageMsg::RdAck {
+                        read_no,
+                        rnd,
+                        history: h,
+                    },
+                );
             }
         });
         let mut c = ctx();

@@ -1,18 +1,33 @@
-//! End-to-end harness: builds a world with servers, the writer and
-//! readers over a refined quorum system, drives whole operations, and
-//! collects [`OpRecord`]s for atomicity checking and latency reporting.
+//! End-to-end storage deployment, generic over the execution substrate:
+//! builds servers, the writer and readers over a refined quorum system,
+//! drives whole operations, and collects [`OpRecord`]s for atomicity
+//! checking and latency reporting.
+//!
+//! [`StorageDeployment`] is written once against
+//! [`Substrate`](rqs_sim::Substrate) and therefore runs unchanged on the
+//! deterministic simulator ([`StorageHarness`] is the
+//! `StorageDeployment<World<StorageMsg>>` alias, with extra sim-only
+//! scripting methods) and on the threaded runtime
+//! (`rqs_runtime::RtStorage` wraps the same driver). Fault injection goes
+//! through a declarative [`Scenario`], which compiles to a fate policy on
+//! the simulator and an interposed filter thread on the runtime.
 
 use crate::atomicity::{check_atomicity, AtomicityViolation, OpKind, OpRecord};
+use crate::byzantine::ForgedServer;
 use crate::messages::StorageMsg;
 use crate::reader::{ReadOutcome, Reader};
 use crate::server::Server;
 use crate::value::Value;
 use crate::writer::{WriteOutcome, Writer};
 use rqs_core::{ProcessSet, Rqs};
-use rqs_sim::{Automaton, NetworkScript, NodeId, Time, World};
+use rqs_sim::{
+    Automaton, NetworkScript, NodeId, Scenario, Substrate, SubstrateConfig, Time, World,
+    DEFAULT_AWAIT_STEPS,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A built storage deployment inside a simulation world.
+/// A storage deployment on any [`Substrate`].
 ///
 /// # Examples
 ///
@@ -31,8 +46,8 @@ use std::sync::Arc;
 /// h.check_atomicity()?;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct StorageHarness {
-    world: World<StorageMsg>,
+pub struct StorageDeployment<S: Substrate<StorageMsg>> {
+    sub: S,
     rqs: Arc<Rqs>,
     servers: Vec<NodeId>,
     writer: NodeId,
@@ -40,39 +55,56 @@ pub struct StorageHarness {
     ops: Vec<OpRecord>,
 }
 
-impl StorageHarness {
-    /// Builds a synchronous-network deployment with `readers` reader
-    /// clients.
+/// The simulated storage deployment (back-compat alias): the same driver
+/// instantiated on the deterministic [`World`].
+pub type StorageHarness = StorageDeployment<World<StorageMsg>>;
+
+impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
+    /// Builds a fault-free deployment with `readers` reader clients.
     pub fn new(rqs: Rqs, readers: usize) -> Self {
-        Self::with_script(rqs, readers, NetworkScript::synchronous())
+        Self::with_scenario(rqs, readers, Scenario::default())
     }
 
-    /// Builds a deployment with a custom network script (asynchrony,
-    /// partitions, scripted schedules).
-    pub fn with_script(rqs: Rqs, readers: usize, script: NetworkScript) -> Self {
+    /// Builds a deployment under a fault scenario (partitions, lossy or
+    /// duplicating links, crash-restart plans, Byzantine swap-ins — the
+    /// scenario's `byzantine` indices become forging servers).
+    pub fn with_scenario(rqs: Rqs, readers: usize, scenario: Scenario) -> Self {
+        Self::with_setup(rqs, readers, scenario, rqs_sim::DEFAULT_TICK)
+    }
+
+    /// Builds with a scenario and an explicit wall-clock tick length
+    /// (ignored by the simulator).
+    pub fn with_setup(rqs: Rqs, readers: usize, scenario: Scenario, tick: Duration) -> Self {
         let rqs = Arc::new(rqs);
-        let mut world = World::new(script);
-        let servers: Vec<NodeId> = (0..rqs.universe_size())
-            .map(|_| world.add_node(Box::new(Server::new())))
-            .collect();
-        let writer = world.add_node(Box::new(Writer::new(rqs.clone(), servers.clone())));
-        let readers: Vec<NodeId> = (0..readers)
-            .map(|_| world.add_node(Box::new(Reader::new(rqs.clone(), servers.clone()))))
-            .collect();
-        StorageHarness {
-            world,
+        let n = rqs.universe_size();
+        let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let byzantine = scenario.byzantine.clone();
+        let mut nodes: Vec<Box<dyn Automaton<StorageMsg> + Send>> = Vec::new();
+        for _ in 0..n {
+            nodes.push(Box::new(Server::new()));
+        }
+        nodes.push(Box::new(Writer::new(rqs.clone(), server_ids.clone())));
+        for _ in 0..readers {
+            nodes.push(Box::new(Reader::new(rqs.clone(), server_ids.clone())));
+        }
+        let config = SubstrateConfig::new(nodes).scenario(scenario).tick(tick);
+        let mut sub = S::build(config);
+        for idx in byzantine {
+            sub.replace_node(server_ids[idx], Box::new(ForgedServer::initial_state()));
+        }
+        StorageDeployment {
+            sub,
             rqs,
-            servers,
-            writer,
-            readers,
+            servers: server_ids,
+            writer: NodeId(n),
+            readers: (n + 1..n + 1 + readers).map(NodeId).collect(),
             ops: Vec::new(),
         }
     }
 
-    /// The underlying world (for crash injection, Byzantine substitution,
-    /// message release, trace inspection).
-    pub fn world_mut(&mut self) -> &mut World<StorageMsg> {
-        &mut self.world
+    /// The underlying substrate (crash injection, stats, scripting).
+    pub fn substrate(&mut self) -> &mut S {
+        &mut self.sub
     }
 
     /// The refined quorum system in use.
@@ -97,38 +129,39 @@ impl StorageHarness {
 
     /// Crashes a set of servers (given as universe indices) immediately.
     pub fn crash_servers(&mut self, faulty: ProcessSet) {
-        let now = self.world.now();
         for p in faulty.iter() {
-            self.world.crash_at(self.servers[p.index()], now);
+            self.sub.crash(self.servers[p.index()]);
         }
-        // Process the crash events before continuing.
-        self.world.run_before(now + 1);
     }
 
-    /// Replaces a server with a Byzantine automaton.
-    pub fn make_byzantine(&mut self, server_idx: usize, node: Box<dyn Automaton<StorageMsg>>) {
-        self.world.replace_node(self.servers[server_idx], node);
+    /// Restarts a set of crashed servers with their retained state.
+    pub fn restart_servers(&mut self, healed: ProcessSet) {
+        for p in healed.iter() {
+            self.sub.restart(self.servers[p.index()]);
+        }
     }
 
-    /// Runs a complete `write(v)` to quiescence and returns its outcome.
+    /// Runs a complete `write(v)` and returns its outcome.
     ///
     /// # Panics
     ///
     /// Panics if the write cannot complete (no correct quorum).
     pub fn write(&mut self, v: Value) -> WriteOutcome {
-        let before = self
-            .world
-            .node_as::<Writer>(self.writer)
-            .outcomes()
-            .len();
-        self.world
-            .invoke::<Writer>(self.writer, |w, ctx| w.start_write(v, ctx));
         let writer = self.writer;
-        let done = self
-            .world
-            .run_until(|w| w.node_as::<Writer>(writer).outcomes().len() > before);
+        let before = self
+            .sub
+            .inspect_on::<Writer, usize>(writer, |w| w.outcomes().len());
+        self.sub
+            .invoke_on::<Writer>(writer, move |w, ctx| w.start_write(v, ctx));
+        let done = self.sub.await_on::<Writer>(
+            writer,
+            move |w| w.outcomes().len() > before,
+            DEFAULT_AWAIT_STEPS,
+        );
         assert!(done, "write did not complete (no correct quorum?)");
-        let out = self.world.node_as::<Writer>(self.writer).outcomes()[before].clone();
+        let out = self
+            .sub
+            .inspect_on::<Writer, WriteOutcome>(writer, move |w| w.outcomes()[before].clone());
         self.ops.push(OpRecord {
             kind: OpKind::Write,
             client: self.writer.index(),
@@ -139,21 +172,27 @@ impl StorageHarness {
         out
     }
 
-    /// Runs a complete `read()` by reader `i` to quiescence.
+    /// Runs a complete `read()` by reader `i`.
     ///
     /// # Panics
     ///
     /// Panics if the read cannot complete.
     pub fn read(&mut self, i: usize) -> ReadOutcome {
         let node = self.readers[i];
-        let before = self.world.node_as::<Reader>(node).outcomes().len();
-        self.world
-            .invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
-        let done = self
-            .world
-            .run_until(|w| w.node_as::<Reader>(node).outcomes().len() > before);
+        let before = self
+            .sub
+            .inspect_on::<Reader, usize>(node, |r| r.outcomes().len());
+        self.sub
+            .invoke_on::<Reader>(node, |r, ctx| r.start_read(ctx));
+        let done = self.sub.await_on::<Reader>(
+            node,
+            move |r| r.outcomes().len() > before,
+            DEFAULT_AWAIT_STEPS,
+        );
         assert!(done, "read did not complete (no correct quorum?)");
-        let out = self.world.node_as::<Reader>(node).outcomes()[before].clone();
+        let out = self
+            .sub
+            .inspect_on::<Reader, ReadOutcome>(node, move |r| r.outcomes()[before].clone());
         self.ops.push(OpRecord {
             kind: OpKind::Read,
             client: node.index(),
@@ -167,22 +206,15 @@ impl StorageHarness {
     /// Starts a write without waiting for completion (for contention /
     /// partial-write scenarios).
     pub fn start_write(&mut self, v: Value) {
-        self.world
-            .invoke::<Writer>(self.writer, |w, ctx| w.start_write(v, ctx));
+        self.sub
+            .invoke_on::<Writer>(self.writer, move |w, ctx| w.start_write(v, ctx));
     }
 
     /// Starts a read without waiting for completion.
     pub fn start_read(&mut self, i: usize) {
         let node = self.readers[i];
-        self.world
-            .invoke::<Reader>(node, |r, ctx| r.start_read(ctx));
-    }
-
-    /// Runs the world until quiescence and harvests any operations that
-    /// completed since the last harvest.
-    pub fn settle(&mut self) {
-        self.world.run_to_quiescence();
-        self.harvest();
+        self.sub
+            .invoke_on::<Reader>(node, |r, ctx| r.start_read(ctx));
     }
 
     /// Collects completed-but-unrecorded operations into the op log.
@@ -191,8 +223,10 @@ impl StorageHarness {
     /// response time: concurrent reads may legitimately return its value,
     /// and the checker must know the value was genuinely written.
     pub fn harvest(&mut self) {
-        if let Some((ts, val, invoked_at)) =
-            self.world.node_as::<Writer>(self.writer).in_progress()
+        let writer = self.writer;
+        if let Some((ts, val, invoked_at)) = self
+            .sub
+            .inspect_on::<Writer, Option<(u64, Value, Time)>>(writer, |w| w.in_progress())
         {
             let already = self
                 .ops
@@ -208,15 +242,14 @@ impl StorageHarness {
                 });
             }
         }
-        let writer_outs: Vec<WriteOutcome> = self
-            .world
-            .node_as::<Writer>(self.writer)
-            .outcomes()
-            .to_vec();
+        let writer_outs = self
+            .sub
+            .inspect_on::<Writer, Vec<WriteOutcome>>(writer, |w| w.outcomes().to_vec());
         for out in writer_outs {
-            let already = self.ops.iter().any(|o| {
-                o.kind == OpKind::Write && o.pair.ts == out.ts
-            });
+            let already = self
+                .ops
+                .iter()
+                .any(|o| o.kind == OpKind::Write && o.pair.ts == out.ts);
             if !already {
                 self.ops.push(OpRecord {
                     kind: OpKind::Write,
@@ -228,8 +261,9 @@ impl StorageHarness {
             }
         }
         for &node in &self.readers.clone() {
-            let outs: Vec<ReadOutcome> =
-                self.world.node_as::<Reader>(node).outcomes().to_vec();
+            let outs = self
+                .sub
+                .inspect_on::<Reader, Vec<ReadOutcome>>(node, |r| r.outcomes().to_vec());
             for out in outs {
                 let already = self.ops.iter().any(|o| {
                     o.kind == OpKind::Read
@@ -265,9 +299,48 @@ impl StorageHarness {
         check_atomicity(&self.ops)
     }
 
+    /// Stops the substrate (a no-op on the simulator).
+    pub fn shutdown(&mut self) {
+        self.sub.shutdown();
+    }
+}
+
+/// Simulator-only scripting surface: direct [`World`] access, scripted
+/// network policies, Byzantine substitution with non-`Send` scripted
+/// automatons, and quiescence-based settling.
+impl StorageHarness {
+    /// Builds a deployment with a custom network script (asynchrony,
+    /// partitions, scripted schedules).
+    pub fn with_script(rqs: Rqs, readers: usize, script: NetworkScript) -> Self {
+        let mut h = Self::new(rqs, readers);
+        h.world_mut().set_policy(script);
+        h
+    }
+
+    /// The underlying world (crash injection, Byzantine substitution,
+    /// message release, trace inspection).
+    pub fn world_mut(&mut self) -> &mut World<StorageMsg> {
+        &mut self.sub
+    }
+
+    /// Replaces a server with a Byzantine automaton (simulator only: the
+    /// scripted forgers need not be `Send`; on other substrates use a
+    /// [`Scenario`]'s `byzantine` list or `Substrate::replace_node`).
+    pub fn make_byzantine(&mut self, server_idx: usize, node: Box<dyn Automaton<StorageMsg>>) {
+        let id = self.servers[server_idx];
+        self.sub.replace_node(id, node);
+    }
+
+    /// Runs the world until quiescence and harvests any operations that
+    /// completed since the last harvest.
+    pub fn settle(&mut self) {
+        self.sub.run_to_quiescence();
+        self.harvest();
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Time {
-        self.world.now()
+        self.sub.now()
     }
 }
 
@@ -318,6 +391,17 @@ mod tests {
     }
 
     #[test]
+    fn crash_then_restart_restores_fast_path() {
+        let mut h = five_server();
+        h.crash_servers(ProcessSet::from_indices([3, 4]));
+        assert_eq!(h.write(Value::from(1u64)).rounds, 2);
+        h.restart_servers(ProcessSet::from_indices([3, 4]));
+        // All 5 back: class-1 quorum (4 acks) available again.
+        assert_eq!(h.write(Value::from(2u64)).rounds, 1);
+        h.check_atomicity().unwrap();
+    }
+
+    #[test]
     fn byzantine_threshold_system_runs() {
         // n = 3t+1 = 4, k = t = 1.
         let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
@@ -326,6 +410,17 @@ mod tests {
         assert_eq!(w.rounds, 1, "all 4 servers correct: class-1 fast path");
         let r = h.read(0);
         assert_eq!(r.returned.val, Value::from(77u64));
+        h.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn scenario_byzantine_swap_in_tolerated() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let scenario = Scenario::named("byz").with_byzantine(0);
+        let mut h = StorageHarness::with_scenario(rqs, 1, scenario);
+        h.write(Value::from(5u64));
+        let r = h.read(0);
+        assert_eq!(r.returned.val, Value::from(5u64));
         h.check_atomicity().unwrap();
     }
 

@@ -91,12 +91,7 @@ impl History {
     /// # Panics
     ///
     /// Panics if `rnd ∉ {1, 2, 3}`.
-    pub fn apply_write(
-        &mut self,
-        pair: &TsVal,
-        sets: &BTreeSet<QuorumId>,
-        rnd: usize,
-    ) -> bool {
+    pub fn apply_write(&mut self, pair: &TsVal, sets: &BTreeSet<QuorumId>, rnd: usize) -> bool {
         assert!((1..=SLOTS).contains(&rnd), "round slot must be 1..=3");
         let slots = self.entries.entry(pair.ts).or_default();
         let mut changed = false;

@@ -57,12 +57,12 @@ pub mod value;
 pub mod writer;
 
 pub use atomicity::{check_atomicity, AtomicityViolation, OpKind, OpRecord};
-pub use harness::StorageHarness;
+pub use harness::{StorageDeployment, StorageHarness};
 pub use history::{History, Slot};
 pub use messages::StorageMsg;
 pub use predicates::ReadView;
 pub use reader::{ReadOutcome, Reader};
-pub use regular::{check_regularity, RegularReader, RegularReadOutcome, RegularityViolation};
+pub use regular::{check_regularity, RegularReadOutcome, RegularReader, RegularityViolation};
 pub use server::Server;
 pub use value::{Timestamp, TsVal, Value};
 pub use writer::{WriteOutcome, Writer, CLIENT_TIMEOUT};

@@ -215,9 +215,14 @@ impl Automaton<NaiveMsg> for NaiveClient {
             return;
         };
         match (&mut self.state, msg) {
-            (State::Writing { pair, acks, invoked_at }, NaiveMsg::WriteAck { ts })
-                if ts == pair.ts =>
-            {
+            (
+                State::Writing {
+                    pair,
+                    acks,
+                    invoked_at,
+                },
+                NaiveMsg::WriteAck { ts },
+            ) if ts == pair.ts => {
                 acks.insert(rqs_core::ProcessId(idx));
                 if acks.len() >= self.threshold {
                     let outcome = NaiveOutcome {
@@ -231,8 +236,16 @@ impl Automaton<NaiveMsg> for NaiveClient {
                 }
             }
             (
-                State::Reading { read_no, acks, best, invoked_at },
-                NaiveMsg::ReadAck { read_no: echo, pair },
+                State::Reading {
+                    read_no,
+                    acks,
+                    best,
+                    invoked_at,
+                },
+                NaiveMsg::ReadAck {
+                    read_no: echo,
+                    pair,
+                },
             ) if echo == *read_no => {
                 acks.insert(rqs_core::ProcessId(idx));
                 if pair.ts > best.ts {
@@ -319,12 +332,11 @@ mod tests {
 
         // r1 reads; replies from {s3,s4,s5} arrive, {s1,s2} delayed.
         world.set_policy(
-            NetworkScript::synchronous()
-                .rule(
-                    Rule::always(Fate::Drop)
-                        .from(Selector::In(vec![servers[0], servers[1]]))
-                        .to(Selector::Is(r1)),
-                ),
+            NetworkScript::synchronous().rule(
+                Rule::always(Fate::Drop)
+                    .from(Selector::In(vec![servers[0], servers[1]]))
+                    .to(Selector::Is(r1)),
+            ),
         );
         world.invoke::<NaiveClient>(r1, |c, ctx| c.start_read(ctx));
         world.run_to_quiescence();
@@ -343,7 +355,10 @@ mod tests {
         let rd2 = &world.node_as::<NaiveClient>(r2).outcomes()[0];
         // Atomicity violated: rd2 follows rd1 (which returned v) but
         // returns the initial value.
-        assert!(rd2.pair.is_initial(), "r2 cannot see v — atomicity violated");
+        assert!(
+            rd2.pair.is_initial(),
+            "r2 cannot see v — atomicity violated"
+        );
         assert!(rd2.invoked_at > rd1.completed_at);
     }
 }

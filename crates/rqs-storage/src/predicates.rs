@@ -247,7 +247,15 @@ mod tests {
         let rqs = rqs();
         let c = pair(1, 42);
         // 4 servers store c in slot 1 (a completed 1-round write).
-        let hs = histories_with(5, &[(0, c.clone(), 1), (1, c.clone(), 1), (2, c.clone(), 1), (3, c.clone(), 1)]);
+        let hs = histories_with(
+            5,
+            &[
+                (0, c.clone(), 1),
+                (1, c.clone(), 1),
+                (2, c.clone(), 1),
+                (3, c.clone(), 1),
+            ],
+        );
         let responded = rqs.quorums_within(ProcessSet::universe(5));
         let view = ReadView {
             rqs: &rqs,

@@ -183,10 +183,7 @@ impl Reader {
     }
 
     fn server_index(&self, node: NodeId) -> Option<ProcessId> {
-        self.servers
-            .iter()
-            .position(|&s| s == node)
-            .map(ProcessId)
+        self.servers.iter().position(|&s| s == node).map(ProcessId)
     }
 
     fn try_finish_phase1_round(&mut self, ctx: &mut Context<StorageMsg>) {
@@ -358,7 +355,11 @@ impl Automaton<StorageMsg> for Reader {
             return;
         };
         match msg {
-            StorageMsg::RdAck { read_no, rnd, history } => {
+            StorageMsg::RdAck {
+                read_no,
+                rnd,
+                history,
+            } => {
                 if read_no != self.read_no {
                     return; // ack for an older read
                 }

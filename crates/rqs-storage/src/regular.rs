@@ -147,7 +147,12 @@ impl RegularReader {
             return;
         }
         if ip.read_rnd == 1 {
-            ip.highest_ts = ip.histories.iter().map(|h| h.highest_ts()).max().unwrap_or(0);
+            ip.highest_ts = ip
+                .histories
+                .iter()
+                .map(|h| h.highest_ts())
+                .max()
+                .unwrap_or(0);
             ip.qc2_prime = self.rqs.class2_within(ip.acks_this_round);
         }
         let responded = self.rqs.quorums_within(ip.responded_all);
@@ -189,7 +194,12 @@ impl Automaton<StorageMsg> for RegularReader {
         let Some(sender) = self.server_index(from) else {
             return;
         };
-        let StorageMsg::RdAck { read_no, rnd, history } = msg else {
+        let StorageMsg::RdAck {
+            read_no,
+            rnd,
+            history,
+        } = msg
+        else {
             return;
         };
         if read_no != self.read_no {
@@ -248,9 +258,7 @@ impl std::error::Error for RegularityViolation {}
 /// # Errors
 ///
 /// Returns the first violation found.
-pub fn check_regularity(
-    ops: &[crate::atomicity::OpRecord],
-) -> Result<(), RegularityViolation> {
+pub fn check_regularity(ops: &[crate::atomicity::OpRecord]) -> Result<(), RegularityViolation> {
     use crate::atomicity::OpKind;
     let writes: Vec<_> = ops.iter().filter(|o| o.kind == OpKind::Write).collect();
     for read in ops.iter().filter(|o| o.kind == OpKind::Read) {
@@ -312,7 +320,13 @@ mod tests {
 
     fn build(
         readers: usize,
-    ) -> (World<StorageMsg>, Vec<NodeId>, NodeId, Vec<NodeId>, Arc<Rqs>) {
+    ) -> (
+        World<StorageMsg>,
+        Vec<NodeId>,
+        NodeId,
+        Vec<NodeId>,
+        Arc<Rqs>,
+    ) {
         let rqs = Arc::new(
             ThresholdConfig::new(7, 2, 1)
                 .with_class1(0)
@@ -380,7 +394,10 @@ mod tests {
             completed_at: Time(resp),
         };
         let ops = vec![w(1, 0, 3), w(2, 5, 20), r(2, 6, 8), r(1, 9, 11)];
-        assert!(crate::atomicity::check_atomicity(&ops).is_err(), "atomic: inversion");
+        assert!(
+            crate::atomicity::check_atomicity(&ops).is_err(),
+            "atomic: inversion"
+        );
         assert!(check_regularity(&ops).is_ok(), "regular: inversion allowed");
     }
 
@@ -426,7 +443,12 @@ mod tests {
         for v in 1..=3u64 {
             world.invoke::<Writer>(writer, move |w, ctx| w.start_write(Value::from(v), ctx));
             world.run_to_quiescence();
-            let out = world.node_as::<Writer>(writer).outcomes().last().unwrap().clone();
+            let out = world
+                .node_as::<Writer>(writer)
+                .outcomes()
+                .last()
+                .unwrap()
+                .clone();
             ops.push(OpRecord {
                 kind: OpKind::Write,
                 client: 0,

@@ -110,7 +110,11 @@ mod tests {
         let mut c2 = ctx();
         s.on_message(NodeId(8), StorageMsg::Rd { read_no: 4, rnd: 1 }, &mut c2);
         match &c2.sent()[0].1 {
-            StorageMsg::RdAck { read_no, rnd, history } => {
+            StorageMsg::RdAck {
+                read_no,
+                rnd,
+                history,
+            } => {
                 assert_eq!((*read_no, *rnd), (4, 1));
                 assert!(history.stores(&TsVal::new(2, Value::from(7u64)), 2));
             }

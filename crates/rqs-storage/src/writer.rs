@@ -193,7 +193,11 @@ impl Writer {
                 if acked_from_qc2_prime {
                     self.complete(2, ctx);
                 } else {
-                    self.current.as_mut().expect("in progress").qc2_prime.clear();
+                    self.current
+                        .as_mut()
+                        .expect("in progress")
+                        .qc2_prime
+                        .clear();
                     self.enter_round(3, ctx);
                 }
             }
@@ -217,10 +221,7 @@ impl Writer {
     }
 
     fn server_index(&self, node: NodeId) -> Option<ProcessId> {
-        self.servers
-            .iter()
-            .position(|&s| s == node)
-            .map(ProcessId)
+        self.servers.iter().position(|&s| s == node).map(ProcessId)
     }
 }
 
@@ -430,7 +431,14 @@ mod tests {
             let timer = ctx.armed_timers()[0].1;
             for i in 0..4 {
                 let mut c = new_ctx(2);
-                w.on_message(NodeId(i), StorageMsg::WrAck { ts: expect_ts, rnd: 1 }, &mut c);
+                w.on_message(
+                    NodeId(i),
+                    StorageMsg::WrAck {
+                        ts: expect_ts,
+                        rnd: 1,
+                    },
+                    &mut c,
+                );
             }
             let mut c = new_ctx(3);
             w.on_timer(timer, &mut c);

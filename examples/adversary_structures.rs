@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nderived refined quorum system:\n{rqs}");
 
     println!("load: {:.3}", load(rqs.quorums(), 6));
-    for class in [QuorumClass::Class1, QuorumClass::Class2, QuorumClass::Class3] {
+    for class in [
+        QuorumClass::Class1,
+        QuorumClass::Class2,
+        QuorumClass::Class3,
+    ] {
         println!(
             "availability of {class} at p_fail = 0.05: {:.4}",
             class_availability(&rqs, class, 0.05)

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // n = 7 acceptors/servers, t = 2 may fail, k = 1 may be Byzantine,
     // class-1 quorums need all 7, class-2 quorums need 6.
     let config = ThresholdConfig::new(7, 2, 1).with_class1(0).with_class2(1);
-    println!("configuration: {config} (feasible: {})", config.is_feasible());
+    println!(
+        "configuration: {config} (feasible: {})",
+        config.is_feasible()
+    );
     let rqs = config.build()?;
     println!(
         "{} quorums; {} class-1, {} class-2",

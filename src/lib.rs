@@ -12,18 +12,27 @@
 //!
 //! - [`core`] ([`rqs_core`]) — process sets, adversary structures,
 //!   quorum classes, Properties 1–3, threshold constructions, analysis;
-//! - [`sim`] ([`rqs_sim`]) — the deterministic discrete-event simulator;
+//! - [`sim`] ([`rqs_sim`]) — the deterministic discrete-event simulator,
+//!   plus the [`Substrate`](rqs_sim::Substrate) abstraction every
+//!   deployment driver is generic over and the declarative
+//!   [`Scenario`](rqs_sim::Scenario) fault engine (partitions with heal
+//!   times, lossy/duplicating links, crash-restart, Byzantine swap-in)
+//!   that runs identically on both substrates;
 //! - [`crypto`] ([`rqs_crypto`]) — simulated unforgeable signatures;
 //! - [`storage`] ([`rqs_storage`]) — the SWMR atomic storage (Figs. 5–7)
-//!   plus ABD and naive baselines;
+//!   plus ABD and naive baselines, deployed by the substrate-generic
+//!   `StorageDeployment`;
 //! - [`consensus`] ([`rqs_consensus`]) — the consensus algorithm
-//!   (Figs. 9–15) with its `choose()` safety core and election module;
-//! - [`runtime`] ([`rqs_runtime`]) — node-per-thread deployment over
-//!   crossbeam channels;
+//!   (Figs. 9–15) with its `choose()` safety core, deployed by the
+//!   substrate-generic `ConsensusDeployment`;
+//! - [`runtime`] ([`rqs_runtime`]) — the node-per-thread
+//!   [`Substrate`](rqs_sim::Substrate) implementation over crossbeam
+//!   channels (scenarios compile to an interposed message-filter thread);
 //! - [`kv`] ([`rqs_kv`]) — the sharded, batched multi-object KV service:
 //!   many SWMR registers multiplexed over one server set, with
-//!   per-object atomicity checking, a seeded workload generator, and
-//!   deployments on both the simulator and the threaded runtime.
+//!   per-object atomicity checking, a seeded workload generator, and one
+//!   substrate-generic `KvDeployment` driver (`KvSim`/`RtKv` are its
+//!   aliases).
 //!
 //! ## Two results in two dozen lines
 //!

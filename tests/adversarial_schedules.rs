@@ -40,9 +40,7 @@ fn slot2_fabrication_forces_extra_read_rounds() {
                     history: forged_history.clone(),
                 },
             ),
-            StorageMsg::Wr { ts, rnd, .. } => {
-                ctx.send(from, StorageMsg::WrAck { ts, rnd })
-            }
+            StorageMsg::Wr { ts, rnd, .. } => ctx.send(from, StorageMsg::WrAck { ts, rnd }),
             _ => {}
         })),
     );
@@ -80,19 +78,20 @@ fn consensus_terminates_after_gst() {
         let gst = Time(25);
         // Deterministic pseudo-random pre-GST drops (~40%).
         let mut state = seed;
-        h.world_mut().set_policy(move |e: &Envelope<rqs::consensus::ConsensusMsg>| {
-            if e.sent_at >= gst {
-                return Fate::DEFAULT;
-            }
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            if (state >> 33) % 10 < 4 {
-                Fate::Drop
-            } else {
-                Fate::DEFAULT
-            }
-        });
+        h.world_mut()
+            .set_policy(move |e: &Envelope<rqs::consensus::ConsensusMsg>| {
+                if e.sent_at >= gst {
+                    return Fate::DEFAULT;
+                }
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33) % 10 < 4 {
+                    Fate::Drop
+                } else {
+                    Fate::DEFAULT
+                }
+            });
         h.propose(0, 1);
         h.propose(1, 2);
         assert!(
@@ -175,7 +174,14 @@ fn value_swapping_server_cannot_poison_reads() {
                 // Swap: claim ts1 stored value 999.
                 let mut hist = History::new();
                 hist.apply_write(&TsVal::new(1, Value::from(999u64)), &BTreeSet::new(), 2);
-                ctx.send(from, StorageMsg::RdAck { read_no, rnd, history: hist });
+                ctx.send(
+                    from,
+                    StorageMsg::RdAck {
+                        read_no,
+                        rnd,
+                        history: hist,
+                    },
+                );
             }
             StorageMsg::Wr { ts, rnd, .. } => ctx.send(from, StorageMsg::WrAck { ts, rnd }),
             _ => {}

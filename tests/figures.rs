@@ -6,7 +6,10 @@ use bench::{exp_fig1, exp_fig16, exp_fig4, exp_fig8, exp_latency, exp_sweep};
 #[test]
 fn e1_figure1_naive_violates_rqs_safe() {
     let naive = exp_fig1::run_naive();
-    assert!(naive.violated, "Figure 1: naive fast storage must violate atomicity");
+    assert!(
+        naive.violated,
+        "Figure 1: naive fast storage must violate atomicity"
+    );
     assert_eq!(naive.rd1_rounds, 1);
     let rqs = exp_fig1::run_rqs();
     assert!(!rqs.violated, "the §1.2 refined variant must stay atomic");

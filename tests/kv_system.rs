@@ -49,13 +49,16 @@ fn batching_reduces_messages_per_operation() {
         b8.envelopes_per_op(),
         b1.envelopes_per_op()
     );
-    assert!(b8.batching_factor() > 1.5, "envelopes must actually coalesce");
+    assert!(
+        b8.batching_factor() > 1.5,
+        "envelopes must actually coalesce"
+    );
 }
 
 #[test]
 fn threaded_substrate_runs_the_same_workload() {
     let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
-    let kv = RtKv::with_tick(rqs, 16, 4, Duration::from_millis(1));
+    let mut kv = RtKv::with_tick(rqs, 16, 4, Duration::from_millis(1));
     let cfg = WorkloadConfig::mixed(16, 4, 48, 7);
     let stats = kv.run_workload(&workload::generate(&cfg), 4);
     assert_eq!(stats.ops, 48);

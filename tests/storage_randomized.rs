@@ -121,13 +121,14 @@ fn contended_read_with_stalled_write_is_atomic() {
     // two (no quorum): the write stays open.
     let writer = h.writer_id();
     let keep: Vec<_> = h.servers()[..2].to_vec();
-    h.world_mut().set_policy(move |e: &Envelope<rqs::storage::StorageMsg>| {
-        if e.from == writer && !keep.contains(&e.to) {
-            Fate::Drop
-        } else {
-            Fate::DEFAULT
-        }
-    });
+    h.world_mut()
+        .set_policy(move |e: &Envelope<rqs::storage::StorageMsg>| {
+            if e.from == writer && !keep.contains(&e.to) {
+                Fate::Drop
+            } else {
+                Fate::DEFAULT
+            }
+        });
     h.start_write(Value::from(2u64));
     h.world_mut().run_to_quiescence();
     let r1 = h.read(0);

@@ -1,0 +1,99 @@
+//! Cross-substrate equivalence: the same seeded KV workload, run through
+//! the *same* generic `KvDeployment` driver on the deterministic
+//! simulator and on the threaded runtime, completes the same operation
+//! multiset — and per-object atomicity holds on both.
+//!
+//! Interleavings (and therefore read results and round counts) are
+//! substrate-dependent; the multiset of operations each client performs
+//! is not, and neither is safety.
+
+use rqs::core::threshold::ThresholdConfig;
+use rqs::kv::{workload, KvBatch, KvDeployment, WorkloadConfig};
+use rqs::sim::{Substrate, World};
+use std::time::Duration;
+
+/// One completed operation, reduced to its substrate-independent part:
+/// client, kind, object, and the written pair for writes (read results
+/// are timing-dependent and excluded).
+fn op_multiset<S: Substrate<KvBatch>>(kv: &KvDeployment<S>) -> Vec<String> {
+    let mut ops: Vec<String> = kv
+        .completed()
+        .iter()
+        .map(|(ci, o)| match o.kind {
+            rqs::storage::OpKind::Write => format!("c{ci} W {} {}", o.object, o.pair),
+            rqs::storage::OpKind::Read => format!("c{ci} R {}", o.object),
+        })
+        .collect();
+    ops.sort();
+    ops
+}
+
+fn run_on<S: Substrate<KvBatch>>(seed: u64) -> Vec<String> {
+    let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+    let mut kv = KvDeployment::<S>::with_setup(
+        rqs,
+        12,
+        3,
+        rqs::sim::Scenario::default(),
+        Duration::from_millis(1),
+    );
+    let cfg = WorkloadConfig::mixed(12, 3, 72, seed);
+    let stats = kv.run_workload(&workload::generate(&cfg), 4);
+    assert_eq!(stats.ops, 72, "every operation completes on {}", S::NAME);
+    kv.check_atomicity()
+        .unwrap_or_else(|v| panic!("atomicity violated on {}: {v}", S::NAME));
+    let ops = op_multiset(&kv);
+    kv.shutdown();
+    ops
+}
+
+#[test]
+fn same_workload_same_operation_multiset_on_both_substrates() {
+    let seed = 0xE0;
+    let sim_ops = run_on::<World<KvBatch>>(seed);
+    let rt_ops = run_on::<rqs::runtime::Runtime<KvBatch>>(seed);
+    assert_eq!(sim_ops.len(), 72);
+    assert_eq!(
+        sim_ops, rt_ops,
+        "sim and threaded substrates must complete the same operation multiset"
+    );
+}
+
+#[test]
+fn equivalence_holds_under_a_byzantine_server() {
+    let run = |byz: bool| {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let seed = 0xB1;
+        let sim = {
+            let mut kv = KvDeployment::<World<KvBatch>>::new(rqs.clone(), 8, 2);
+            if byz {
+                kv.make_byzantine(0, rqs::kv::ByzantineMode::Forge);
+            }
+            let cfg = WorkloadConfig::mixed(8, 2, 40, seed);
+            kv.run_workload(&workload::generate(&cfg), 4);
+            kv.check_atomicity().unwrap();
+            op_multiset(&kv)
+        };
+        let rt = {
+            let mut kv = KvDeployment::<rqs::runtime::Runtime<KvBatch>>::with_setup(
+                rqs,
+                8,
+                2,
+                rqs::sim::Scenario::default(),
+                Duration::from_millis(1),
+            );
+            if byz {
+                kv.make_byzantine(0, rqs::kv::ByzantineMode::Forge);
+            }
+            let cfg = WorkloadConfig::mixed(8, 2, 40, seed);
+            kv.run_workload(&workload::generate(&cfg), 4);
+            kv.check_atomicity().unwrap();
+            let ops = op_multiset(&kv);
+            kv.shutdown();
+            ops
+        };
+        assert_eq!(sim, rt);
+    };
+    run(false);
+    run(true);
+}
