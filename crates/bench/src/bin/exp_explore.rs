@@ -1,0 +1,17 @@
+//! E17: schedule exploration (model checking) over the deterministic
+//! world. Exits non-zero if any exploration reports a violation, so CI
+//! can use it as a safety smoke check.
+
+use bench::cli::ExpArgs;
+use bench::exp_explore;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let report = exp_explore::report(args.seed, args.quick);
+    let violations = exp_explore::violation_count(&report);
+    args.emit(&[report]);
+    if violations > 0 {
+        eprintln!("error: exploration found {violations} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@
 //! | E14 | §5 best-case message complexity | [`exp_scale`] |
 //! | E15 | multi-object KV service (batching + substrates) | [`exp_kv`] |
 //! | E16 | scenario engine × substrates | [`exp_scenarios`] |
+//! | E17 | schedule exploration (model checking) | [`exp_explore`] |
 //!
 //! Every binary accepts `--seed N`, `--json` and `--quick`
 //! (see [`cli::ExpArgs`]).
@@ -33,6 +34,7 @@
 pub mod cli;
 pub mod exp_analysis;
 pub mod exp_classic;
+pub mod exp_explore;
 pub mod exp_fig1;
 pub mod exp_fig16;
 pub mod exp_fig16_full;
@@ -82,5 +84,6 @@ pub fn all_reports_seeded(seed: u64, quick: bool) -> Vec<Report> {
     reports.push(exp_kv::batching_report(seed, quick));
     reports.push(exp_kv::substrate_report_sim(seed, quick));
     reports.push(exp_scenarios::report_sim(seed, quick));
+    reports.push(exp_explore::report(seed, quick));
     reports
 }

@@ -1,0 +1,242 @@
+//! Run control: the scripted scheduler and the per-run record.
+//!
+//! One *run* of a model is fully determined by a choice script: at choice
+//! point `i` the [`ChoiceScheduler`] applies `script[i]`, and beyond the
+//! script a tail policy takes over — canonical (the default deterministic
+//! order, [`Tail::Canonical`]) or a seeded random walk
+//! ([`Tail::Random`]). Everything the scheduler decides, the option sets
+//! it decided among, and the world-state fingerprints at each point are
+//! written into the shared [`RunRecord`], which the explorer reads back
+//! to branch, deduplicate and shrink.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rqs_sim::{PendingEvent, SchedDecision, Scheduler, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything recorded about one controlled run.
+#[derive(Clone, Debug, Default)]
+pub struct RunRecord {
+    /// The decision actually applied at each choice point.
+    pub choices: Vec<SchedDecision>,
+    /// The pending-event views the scheduler chose among, per point.
+    pub options: Vec<Vec<PendingEvent>>,
+    /// World-state fingerprint *before* each choice point.
+    pub fingerprints: Vec<u64>,
+}
+
+impl RunRecord {
+    /// `true` iff every decision was the canonical earliest-event one —
+    /// i.e. the run is exactly the default synchronous schedule.
+    pub fn is_canonical(&self) -> bool {
+        self.choices.iter().all(|c| *c == SchedDecision::CANONICAL)
+    }
+
+    /// Number of injected faults (drops + crashes) in the run.
+    pub fn fault_count(&self) -> usize {
+        self.choices
+            .iter()
+            .filter(|c| matches!(c, SchedDecision::Drop(_) | SchedDecision::Crash(_)))
+            .count()
+    }
+}
+
+/// Tuning of the random tail policy used by walk-mode exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkOpts {
+    /// Probability (percent) of injecting a message drop at a choice
+    /// point, while the drop budget lasts.
+    pub drop_pct: u8,
+    /// Probability (percent) of picking among the *newest* few pending
+    /// events instead of uniformly — a LIFO-ish adversarial bias that
+    /// starves old in-flight messages (where reordering bugs live).
+    pub newest_pct: u8,
+    /// Maximum scheduler-injected drops per run.
+    pub max_drops: usize,
+}
+
+impl Default for WalkOpts {
+    fn default() -> Self {
+        WalkOpts {
+            drop_pct: 10,
+            newest_pct: 50,
+            max_drops: 4,
+        }
+    }
+}
+
+/// What the scheduler does beyond the scripted prefix.
+#[derive(Clone, Copy, Debug)]
+pub enum Tail {
+    /// Follow the canonical `(time, sequence)` order — deterministic.
+    Canonical,
+    /// Seeded random walk over delivery choices and drops.
+    Random {
+        /// Walk seed (each seed is one reproducible schedule).
+        seed: u64,
+        /// Walk tuning.
+        opts: WalkOpts,
+    },
+}
+
+/// The scripted scheduler: applies a prefix of decisions, then the tail
+/// policy; records everything into the shared [`RunRecord`].
+pub struct ChoiceScheduler {
+    script: Vec<SchedDecision>,
+    tail: Tail,
+    rng: StdRng,
+    drops_injected: usize,
+    rec: Rc<RefCell<RunRecord>>,
+}
+
+impl ChoiceScheduler {
+    /// Creates the scheduler for one run.
+    pub fn new(script: Vec<SchedDecision>, tail: Tail, rec: Rc<RefCell<RunRecord>>) -> Self {
+        let rng = match tail {
+            Tail::Canonical => StdRng::seed_from_u64(0),
+            Tail::Random { seed, .. } => StdRng::seed_from_u64(seed),
+        };
+        ChoiceScheduler {
+            script,
+            tail,
+            rng,
+            drops_injected: 0,
+            rec,
+        }
+    }
+
+    fn tail_decision(&mut self, pending: &[PendingEvent]) -> SchedDecision {
+        match self.tail {
+            Tail::Canonical => SchedDecision::CANONICAL,
+            Tail::Random { opts, .. } => {
+                let deliverable: Vec<usize> = (0..pending.len())
+                    .filter(|&i| pending[i].kind.is_deliver())
+                    .collect();
+                if !deliverable.is_empty()
+                    && self.drops_injected < opts.max_drops
+                    && self.rng.gen_bool(opts.drop_pct as f64 / 100.0)
+                {
+                    self.drops_injected += 1;
+                    let i = self.rng.gen_range(0..deliverable.len());
+                    return SchedDecision::Drop(deliverable[i]);
+                }
+                if self.rng.gen_bool(opts.newest_pct as f64 / 100.0) {
+                    let window = pending.len().min(3);
+                    let back = self.rng.gen_range(0..window);
+                    SchedDecision::Deliver(pending.len() - 1 - back)
+                } else {
+                    SchedDecision::Deliver(self.rng.gen_range(0..pending.len()))
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for ChoiceScheduler {
+    fn choose(&mut self, pending: &[PendingEvent]) -> SchedDecision {
+        let pos = self.rec.borrow().choices.len();
+        let decision = match self.script.get(pos) {
+            Some(&d) => {
+                if let SchedDecision::Drop(_) = d {
+                    self.drops_injected += 1;
+                }
+                d
+            }
+            None => self.tail_decision(pending),
+        };
+        let mut rec = self.rec.borrow_mut();
+        rec.options.push(pending.to_vec());
+        rec.choices.push(decision);
+        decision
+    }
+}
+
+/// Hands one run of a model to the explorer: the script to follow, the
+/// tail policy, the per-run bounds, and the shared record.
+pub struct RunCtl {
+    /// Decisions to apply at the first `script.len()` choice points.
+    pub script: Vec<SchedDecision>,
+    /// Policy beyond the script.
+    pub tail: Tail,
+    /// Per-run step budget (a run stops when it exceeds this many world
+    /// steps, quiescent or not — safety invariants still apply to the
+    /// partial execution).
+    pub max_steps: usize,
+    /// Collect a rendered event trace (pretty-printed counterexamples).
+    pub collect_trace: bool,
+    /// Record per-choice-point state fingerprints (needed by DFS dedup;
+    /// skipped by replays and shrinking, where digesting every node each
+    /// step is pure overhead).
+    pub collect_fingerprints: bool,
+    /// The shared record the scheduler writes into.
+    pub rec: Rc<RefCell<RunRecord>>,
+}
+
+impl RunCtl {
+    /// A fresh control block for one run.
+    pub fn new(script: Vec<SchedDecision>, tail: Tail, max_steps: usize) -> Self {
+        RunCtl {
+            script,
+            tail,
+            max_steps,
+            collect_trace: false,
+            collect_fingerprints: true,
+            rec: Rc::new(RefCell::new(RunRecord::default())),
+        }
+    }
+
+    /// Builds the scheduler for this run (hand it to
+    /// [`World::set_scheduler`]).
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        Box::new(ChoiceScheduler::new(
+            self.script.clone(),
+            self.tail,
+            self.rec.clone(),
+        ))
+    }
+
+    /// Drives `world` one step under this control block, recording the
+    /// state fingerprint for the choice point the step consumed. Returns
+    /// `false` when the world is quiescent or the step budget is spent.
+    pub fn step<M: Clone + 'static>(
+        &self,
+        world: &mut World<M>,
+        hash_msg: impl Fn(&M) -> u64,
+    ) -> bool {
+        let before = self.rec.borrow().choices.len();
+        if before >= self.max_steps {
+            return false;
+        }
+        let fp = self
+            .collect_fingerprints
+            .then(|| world.digest_with(hash_msg));
+        if !world.step() {
+            return false;
+        }
+        if self.rec.borrow().choices.len() > before {
+            if let Some(fp) = fp {
+                self.rec.borrow_mut().fingerprints.push(fp);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_runs() {
+        let mut rec = RunRecord::default();
+        assert!(rec.is_canonical());
+        rec.choices.push(SchedDecision::Deliver(0));
+        assert!(rec.is_canonical());
+        rec.choices.push(SchedDecision::Drop(1));
+        assert!(!rec.is_canonical());
+        assert_eq!(rec.fault_count(), 1);
+        rec.choices.push(SchedDecision::Crash(0));
+        assert_eq!(rec.fault_count(), 2);
+    }
+}

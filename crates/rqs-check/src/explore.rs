@@ -1,0 +1,464 @@
+//! The explorer: bounded DFS and seeded random walks over schedules,
+//! with state-hash deduplication, fault branching, and counterexample
+//! shrinking.
+//!
+//! Exploration is *stateless* in the Verisoft/CHESS sense: the model is
+//! re-executed from its initial state for every schedule, and a schedule
+//! is identified by its choice script. DFS enumerates scripts by running
+//! one, then branching at every choice point past the frozen prefix —
+//! alternative deliveries up to the branching bound, plus optional drop
+//! and crash faults within their budgets. A state fingerprint taken
+//! before each choice point prunes subtrees already explored from an
+//! identical logical state.
+
+use crate::ctl::{RunCtl, RunRecord, Tail, WalkOpts};
+use crate::model::{Model, RunOutput};
+use rqs_sim::SchedDecision;
+use std::collections::HashSet;
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    /// Choice points eligible for branching: beyond this depth every run
+    /// continues canonically (CHESS-style depth bounding).
+    pub max_choice_depth: usize,
+    /// Alternative deliveries considered per choice point (the first
+    /// `max_branch` pending events in canonical order).
+    pub max_branch: usize,
+    /// Per-run step budget.
+    pub max_steps: usize,
+    /// Total runs the exploration may execute.
+    pub max_runs: usize,
+    /// Scheduler-injected message drops allowed per schedule.
+    pub max_drops: usize,
+    /// Scheduler-injected crashes allowed per schedule.
+    pub max_crashes: usize,
+    /// Crash-branching targets; `None` uses the model's full candidate
+    /// list. Narrowing this focuses the fault budget (and shrinks the
+    /// branching factor) on suspected nodes.
+    pub crash_candidates: Option<Vec<usize>>,
+    /// Deduplicate branching on state fingerprints. Any violation found
+    /// is real either way; pruning assumes the fingerprints capture the
+    /// full logical state, so automata relying on the default
+    /// `state_digest` of `0` (e.g. closure-scripted Byzantine nodes)
+    /// should set this to `false` or an "exhausted" result only covers
+    /// the deduplicated space.
+    pub dedup: bool,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_choice_depth: 6,
+            max_branch: 3,
+            max_steps: 500,
+            max_runs: 50_000,
+            max_drops: 0,
+            max_crashes: 0,
+            crash_candidates: None,
+            dedup: true,
+        }
+    }
+}
+
+impl Bounds {
+    /// Depth/branch-bounded delivery-only exploration (no faults).
+    pub fn delivery(depth: usize, branch: usize) -> Self {
+        Bounds {
+            max_choice_depth: depth,
+            max_branch: branch,
+            ..Bounds::default()
+        }
+    }
+
+    /// Enables drop-fault branching with the given budget.
+    pub fn with_drops(mut self, drops: usize) -> Self {
+        self.max_drops = drops;
+        self
+    }
+
+    /// Enables crash-fault branching with the given budget.
+    pub fn with_crashes(mut self, crashes: usize) -> Self {
+        self.max_crashes = crashes;
+        self
+    }
+
+    /// Focuses crash branching on the given node indices.
+    pub fn with_crash_candidates(mut self, nodes: Vec<usize>) -> Self {
+        self.crash_candidates = Some(nodes);
+        self
+    }
+}
+
+/// Aggregate exploration statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreStats {
+    /// Complete runs executed.
+    pub runs: usize,
+    /// Choice points taken across all runs.
+    pub choice_points: usize,
+    /// Distinct state fingerprints seen at choice points.
+    pub unique_states: usize,
+    /// Longest run, in choice points.
+    pub max_depth: usize,
+    /// `true` iff the bounded space was fully enumerated (the run budget
+    /// was not the stopping reason).
+    pub exhausted: bool,
+}
+
+/// A violation the explorer found.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// Invariant name and detail.
+    pub message: String,
+    /// The full recorded choice script of the failing run.
+    pub script: Vec<SchedDecision>,
+    /// The shrunk script (trailing canonical choices stripped).
+    pub shrunk: Vec<SchedDecision>,
+    /// Pretty-printed event trace of the shrunk run.
+    pub rendered: Vec<String>,
+}
+
+/// The result of one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreOutcome {
+    /// Statistics.
+    pub stats: ExploreStats,
+    /// Violations, in discovery order (exploration stops at the first by
+    /// default — see [`dfs`] / [`random_walks`]).
+    pub violations: Vec<FoundViolation>,
+}
+
+/// Replays one script (canonical beyond it) and returns the record and
+/// output.
+pub fn replay(
+    model: &dyn Model,
+    script: &[SchedDecision],
+    max_steps: usize,
+) -> (RunRecord, RunOutput) {
+    let ctl = RunCtl::new(script.to_vec(), Tail::Canonical, max_steps);
+    let out = model.run(&ctl);
+    let rec = ctl.rec.borrow().clone();
+    (rec, out)
+}
+
+fn rendered_trace(model: &dyn Model, script: &[SchedDecision], max_steps: usize) -> Vec<String> {
+    let mut ctl = RunCtl::new(script.to_vec(), Tail::Canonical, max_steps);
+    ctl.collect_trace = true;
+    ctl.collect_fingerprints = false;
+    model.run(&ctl).trace
+}
+
+/// Does the script still violate an invariant? (Shrinking probe: skips
+/// fingerprint collection, which replays never read.)
+fn still_fails(model: &dyn Model, script: &[SchedDecision], max_steps: usize) -> bool {
+    let mut ctl = RunCtl::new(script.to_vec(), Tail::Canonical, max_steps);
+    ctl.collect_fingerprints = false;
+    model.run(&ctl).violation.is_some()
+}
+
+fn strip_trailing_canonical(mut script: Vec<SchedDecision>) -> Vec<SchedDecision> {
+    while script.last() == Some(&SchedDecision::CANONICAL) {
+        script.pop();
+    }
+    script
+}
+
+/// Delta-debugging shrinker: minimizes a failing script while the run
+/// keeps violating some invariant. Tries chunk deletion (ddmin-style),
+/// pointwise canonicalization, and trailing-default stripping, to a
+/// fixpoint within `budget` replays.
+pub fn shrink(
+    model: &dyn Model,
+    script: Vec<SchedDecision>,
+    max_steps: usize,
+    budget: usize,
+) -> Vec<SchedDecision> {
+    let mut spent = 0usize;
+    let fails = |s: &[SchedDecision], spent: &mut usize| -> bool {
+        *spent += 1;
+        still_fails(model, s, max_steps)
+    };
+    let mut cur = strip_trailing_canonical(script);
+    loop {
+        let before = cur.clone();
+        // Chunk deletion, halving chunk sizes.
+        let mut chunk = cur.len().div_ceil(2).max(1);
+        while chunk >= 1 && spent < budget {
+            let mut i = 0;
+            while i < cur.len() && spent < budget {
+                let mut cand = cur.clone();
+                let end = (i + chunk).min(cand.len());
+                cand.drain(i..end);
+                let cand = strip_trailing_canonical(cand);
+                if fails(&cand, &mut spent) {
+                    cur = cand;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Pointwise canonicalization of surviving non-default choices.
+        let mut i = 0;
+        while i < cur.len() && spent < budget {
+            if cur[i] != SchedDecision::CANONICAL {
+                let mut cand = cur.clone();
+                cand[i] = SchedDecision::CANONICAL;
+                let cand = strip_trailing_canonical(cand);
+                if fails(&cand, &mut spent) {
+                    cur = cand;
+                    continue; // re-check same index (list may have shrunk)
+                }
+            }
+            i += 1;
+        }
+        if cur == before || spent >= budget {
+            return cur;
+        }
+    }
+}
+
+fn found(
+    model: &dyn Model,
+    message: String,
+    script: Vec<SchedDecision>,
+    bounds: &Bounds,
+) -> FoundViolation {
+    let script = strip_trailing_canonical(script);
+    let shrunk = shrink(model, script.clone(), bounds.max_steps, 400);
+    let rendered = rendered_trace(model, &shrunk, bounds.max_steps);
+    FoundViolation {
+        message,
+        script,
+        shrunk,
+        rendered,
+    }
+}
+
+/// Alternatives to branch into at one choice point, given the option set
+/// the recorded run saw there and the fault budget already spent by the
+/// prefix.
+fn alternatives(
+    rec: &RunRecord,
+    p: usize,
+    prefix: &[SchedDecision],
+    bounds: &Bounds,
+    crash_candidates: &[usize],
+) -> Vec<SchedDecision> {
+    let options = &rec.options[p];
+    let taken = rec.choices[p];
+    let mut alts = Vec::new();
+    let reachable = options.len().min(bounds.max_branch);
+    for i in 0..reachable {
+        let d = SchedDecision::Deliver(i);
+        if d != taken {
+            alts.push(d);
+        }
+    }
+    let drops_used = prefix
+        .iter()
+        .filter(|c| matches!(c, SchedDecision::Drop(_)))
+        .count();
+    if drops_used < bounds.max_drops {
+        for (i, opt) in options.iter().take(reachable).enumerate() {
+            if opt.kind.is_deliver() {
+                alts.push(SchedDecision::Drop(i));
+            }
+        }
+    }
+    let crashes_used: Vec<usize> = prefix
+        .iter()
+        .filter_map(|c| match c {
+            SchedDecision::Crash(n) => Some(*n),
+            _ => None,
+        })
+        .collect();
+    if crashes_used.len() < bounds.max_crashes {
+        for &node in crash_candidates {
+            if !crashes_used.contains(&node) {
+                alts.push(SchedDecision::Crash(node));
+            }
+        }
+    }
+    alts
+}
+
+/// Deduplication key for branching at choice point `p`: the world-state
+/// fingerprint alone is not enough, because the *branching behaviour*
+/// from a state also depends on context the fingerprint deliberately
+/// ignores — the canonical order of the events inside the branch window
+/// (the digest hashes pending events as a multiset) and how much of the
+/// fault budget the prefix already spent. Folding those in keeps the
+/// "identical key ⇒ identical subtree" pruning argument sound.
+fn dedup_key(rec: &RunRecord, p: usize, bounds: &Bounds) -> u64 {
+    let mut key = rec.fingerprints[p];
+    for opt in rec.options[p].iter().take(bounds.max_branch) {
+        key = rqs_sim::fnv1a_fold(key, rqs_sim::fnv1a(format!("{:?}", opt.kind).as_bytes()));
+    }
+    let prefix = &rec.choices[..p];
+    let drops_used = prefix
+        .iter()
+        .filter(|c| matches!(c, SchedDecision::Drop(_)))
+        .count();
+    key = rqs_sim::fnv1a_fold(key, drops_used as u64);
+    let mut crashes_used: Vec<usize> = prefix
+        .iter()
+        .filter_map(|c| match c {
+            SchedDecision::Crash(n) => Some(*n),
+            _ => None,
+        })
+        .collect();
+    crashes_used.sort_unstable();
+    for n in crashes_used {
+        key = rqs_sim::fnv1a_fold(key, 1 + n as u64);
+    }
+    key
+}
+
+/// Bounded depth-first exploration. Stops at the first violation when
+/// `stop_at_first` (the shrunk, replayable counterexample is attached);
+/// otherwise collects every violating schedule it encounters.
+pub fn dfs(model: &dyn Model, bounds: &Bounds, stop_at_first: bool) -> ExploreOutcome {
+    let crash_candidates = bounds
+        .crash_candidates
+        .clone()
+        .unwrap_or_else(|| model.crash_candidates());
+    let mut agenda: Vec<Vec<SchedDecision>> = vec![Vec::new()];
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = ExploreOutcome::default();
+    out.stats.exhausted = true;
+    while let Some(script) = agenda.pop() {
+        if out.stats.runs >= bounds.max_runs {
+            out.stats.exhausted = false;
+            break;
+        }
+        let (rec, run_out) = replay(model, &script, bounds.max_steps);
+        out.stats.runs += 1;
+        out.stats.choice_points += rec.choices.len();
+        out.stats.max_depth = out.stats.max_depth.max(rec.choices.len());
+        if let Some(v) = run_out.violation {
+            out.violations
+                .push(found(model, v, rec.choices.clone(), bounds));
+            if stop_at_first {
+                out.stats.exhausted = false;
+                break;
+            }
+            continue;
+        }
+        let horizon = rec.choices.len().min(bounds.max_choice_depth);
+        // Deepest-first push order makes the agenda a true DFS stack.
+        for p in (script.len()..horizon).rev() {
+            if bounds.dedup && !seen.insert(dedup_key(&rec, p, bounds)) {
+                continue; // an identical state already branched here
+            }
+            let prefix = &rec.choices[..p];
+            for alt in alternatives(&rec, p, prefix, bounds, &crash_candidates) {
+                let mut next = rec.choices[..p].to_vec();
+                next.push(alt);
+                agenda.push(next);
+            }
+        }
+    }
+    out.stats.unique_states = seen.len();
+    out
+}
+
+/// Seeded random-walk exploration: `walks` independent runs whose tails
+/// are random schedules (see [`WalkOpts`]). Violations are shrunk exactly
+/// like DFS finds.
+pub fn random_walks(
+    model: &dyn Model,
+    bounds: &Bounds,
+    walks: usize,
+    seed: u64,
+    opts: WalkOpts,
+) -> ExploreOutcome {
+    let mut out = ExploreOutcome::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    out.stats.exhausted = false; // sampling never exhausts
+    for walk in 0..walks {
+        if out.stats.runs >= bounds.max_runs {
+            break;
+        }
+        let walk_seed = seed.wrapping_add(walk as u64).wrapping_mul(0x9e37_79b9);
+        let ctl = RunCtl::new(
+            Vec::new(),
+            Tail::Random {
+                seed: walk_seed,
+                opts,
+            },
+            bounds.max_steps,
+        );
+        let run_out = model.run(&ctl);
+        let rec = ctl.rec.borrow().clone();
+        out.stats.runs += 1;
+        out.stats.choice_points += rec.choices.len();
+        out.stats.max_depth = out.stats.max_depth.max(rec.choices.len());
+        for fp in &rec.fingerprints {
+            seen.insert(*fp);
+        }
+        if let Some(v) = run_out.violation {
+            out.violations
+                .push(found(model, v, rec.choices.clone(), bounds));
+            break;
+        }
+    }
+    out.stats.unique_states = seen.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StorageModel, StorageSystem};
+
+    #[test]
+    fn bounds_builders_compose() {
+        let b = Bounds::delivery(4, 2).with_drops(1).with_crashes(2);
+        assert_eq!(b.max_choice_depth, 4);
+        assert_eq!(b.max_branch, 2);
+        assert_eq!(b.max_drops, 1);
+        assert_eq!(b.max_crashes, 2);
+    }
+
+    #[test]
+    fn strip_trailing_defaults() {
+        let s = vec![
+            SchedDecision::Deliver(2),
+            SchedDecision::CANONICAL,
+            SchedDecision::CANONICAL,
+        ];
+        assert_eq!(strip_trailing_canonical(s), vec![SchedDecision::Deliver(2)]);
+        assert!(strip_trailing_canonical(vec![SchedDecision::CANONICAL]).is_empty());
+    }
+
+    #[test]
+    fn tiny_dfs_exhausts_cleanly() {
+        let model = StorageModel::sequential_fast_path(StorageSystem::CrashFast { n: 5, q: 1 });
+        let outcome = dfs(&model, &Bounds::delivery(2, 2), true);
+        assert!(outcome.stats.exhausted);
+        assert!(outcome.violations.is_empty());
+        assert!(outcome.stats.runs >= 2, "branched at least once");
+    }
+
+    #[test]
+    fn dedup_prunes_runs() {
+        let model = StorageModel::write_read_read(StorageSystem::ByzantineFast { t: 1 });
+        let with = dfs(&model, &Bounds::delivery(3, 2), true);
+        let mut loose = Bounds::delivery(3, 2);
+        loose.dedup = false;
+        let without = dfs(&model, &loose, true);
+        assert!(with.stats.exhausted && without.stats.exhausted);
+        assert!(without.violations.is_empty() && with.violations.is_empty());
+        assert!(
+            with.stats.runs <= without.stats.runs,
+            "dedup must not add runs ({} vs {})",
+            with.stats.runs,
+            without.stats.runs
+        );
+    }
+}

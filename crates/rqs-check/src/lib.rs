@@ -1,0 +1,54 @@
+//! # rqs-check — systematic schedule exploration for RQS protocols
+//!
+//! The deterministic [`World`](rqs_sim::World) executes one delivery
+//! order per scenario; the paper's claims (SWMR atomicity, consensus
+//! agreement/validity, fast-path latency in synchronous runs) quantify
+//! over *all* orders. This crate turns the simulator's
+//! [`Scheduler`](rqs_sim::Scheduler) seam into a small model checker:
+//!
+//! - [`explore::dfs`] — bounded depth-first enumeration of delivery
+//!   choices (CHESS-style depth and branching bounds), with state-hash
+//!   deduplication via [`World::digest_with`](rqs_sim::World::digest_with)
+//!   and optional fault branching (message drops, node crashes);
+//! - [`explore::random_walks`] — seeded random schedules for
+//!   configurations too large to enumerate, with an adversarial
+//!   recency bias and probabilistic drops;
+//! - [`model`] — checkable models ([`StorageModel`], [`ConsensusModel`])
+//!   with pluggable invariants evaluated on world state and
+//!   completed-operation histories (atomicity via
+//!   [`check_atomicity`](rqs_storage::check_atomicity), consensus
+//!   agreement/validity, fast-path round bounds);
+//! - [`explore::shrink`] — delta-debugging minimization of failing
+//!   schedules; every violation carries a replayable choice script;
+//! - [`trace`] — a text format for checked-in counterexamples, replayed
+//!   by the `tests/regressions/` corpus.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rqs_check::explore::{dfs, Bounds};
+//! use rqs_check::model::{StorageModel, StorageSystem};
+//!
+//! // Exhaustively explore a 1-writer/2-reader/4-server model to the
+//! // depth bound: the algorithm is atomic under every schedule.
+//! let model = StorageModel::write_read_read(StorageSystem::ByzantineFast { t: 1 });
+//! let outcome = dfs(&model, &Bounds::delivery(4, 2), true);
+//! assert!(outcome.stats.exhausted);
+//! assert!(outcome.violations.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ctl;
+pub mod explore;
+pub mod model;
+pub mod trace;
+
+pub use ctl::{RunCtl, RunRecord, Tail, WalkOpts};
+pub use explore::{dfs, random_walks, replay, shrink, Bounds, ExploreOutcome, FoundViolation};
+pub use model::{
+    builtin_model, ConsensusInvariant, ConsensusModel, Model, RunOutput, StorageInvariant,
+    StorageModel, StorageOp, StorageSystem,
+};
+pub use trace::{Counterexample, Expectation};

@@ -1,0 +1,151 @@
+//! Counterexample files: a tiny line-based text format for checked-in,
+//! replayable schedules.
+//!
+//! ```text
+//! # free-form comment lines
+//! model: storage-byz4-w2r
+//! expect: pass
+//! deliver 3
+//! drop 2
+//! crash 1
+//! ```
+//!
+//! `model` names a [`builtin_model`](crate::model::builtin_model);
+//! `expect` is `pass` (the schedule must satisfy every invariant — the
+//! regression corpus) or `fail` (the schedule must still violate one —
+//! pinning a reproduced bug). The remaining lines are the choice script.
+
+use rqs_sim::SchedDecision;
+
+/// What replaying a counterexample must produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every invariant holds on this schedule.
+    Pass,
+    /// Some invariant is violated on this schedule.
+    Fail,
+}
+
+/// A parsed counterexample (or regression schedule) file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Name of the built-in model to replay against.
+    pub model: String,
+    /// Expected replay outcome.
+    pub expect: Expectation,
+    /// The choice script (canonical beyond it).
+    pub choices: Vec<SchedDecision>,
+}
+
+impl Counterexample {
+    /// Renders the file format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("model: {}\n", self.model));
+        out.push_str(&format!(
+            "expect: {}\n",
+            match self.expect {
+                Expectation::Pass => "pass",
+                Expectation::Fail => "fail",
+            }
+        ));
+        for c in &self.choices {
+            match c {
+                SchedDecision::Deliver(i) => out.push_str(&format!("deliver {i}\n")),
+                SchedDecision::Drop(i) => out.push_str(&format!("drop {i}\n")),
+                SchedDecision::Crash(n) => out.push_str(&format!("crash {n}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message locating the first malformed line.
+    pub fn parse(text: &str) -> Result<Counterexample, String> {
+        let mut model = None;
+        let mut expect = None;
+        let mut choices = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(m) = line.strip_prefix("model:") {
+                model = Some(m.trim().to_string());
+                continue;
+            }
+            if let Some(e) = line.strip_prefix("expect:") {
+                expect = Some(match e.trim() {
+                    "pass" => Expectation::Pass,
+                    "fail" => Expectation::Fail,
+                    other => {
+                        return Err(format!(
+                            "line {}: unknown expectation {other:?}",
+                            lineno + 1
+                        ))
+                    }
+                });
+                continue;
+            }
+            let (word, arg) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: malformed choice {line:?}", lineno + 1))?;
+            let n: usize = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: not an index: {arg:?}", lineno + 1))?;
+            choices.push(match word {
+                "deliver" => SchedDecision::Deliver(n),
+                "drop" => SchedDecision::Drop(n),
+                "crash" => SchedDecision::Crash(n),
+                other => return Err(format!("line {}: unknown choice {other:?}", lineno + 1)),
+            });
+        }
+        Ok(Counterexample {
+            model: model.ok_or("missing `model:` line")?,
+            expect: expect.ok_or("missing `expect:` line")?,
+            choices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let cex = Counterexample {
+            model: "storage-byz4-w2r".into(),
+            expect: Expectation::Fail,
+            choices: vec![
+                SchedDecision::Deliver(3),
+                SchedDecision::Drop(0),
+                SchedDecision::Crash(2),
+            ],
+        };
+        let text = cex.to_text();
+        assert_eq!(Counterexample::parse(&text).unwrap(), cex);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# found by exp_explore, seed 7\n\nmodel: m\nexpect: pass\n\ndeliver 1\n";
+        let cex = Counterexample::parse(text).unwrap();
+        assert_eq!(cex.model, "m");
+        assert_eq!(cex.expect, Expectation::Pass);
+        assert_eq!(cex.choices, vec![SchedDecision::Deliver(1)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Counterexample::parse("model: m\nexpect: maybe\n").is_err());
+        assert!(Counterexample::parse("model: m\nexpect: pass\nfrobnicate 1\n").is_err());
+        assert!(Counterexample::parse("model: m\nexpect: pass\ndeliver x\n").is_err());
+        assert!(Counterexample::parse("expect: pass\n").is_err());
+        assert!(Counterexample::parse("model: m\n").is_err());
+    }
+}

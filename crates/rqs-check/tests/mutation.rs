@@ -1,0 +1,177 @@
+//! Negative tests for the checker itself: plant known bugs (behind the
+//! `mutants` feature of the protocol crates) and assert the explorer
+//! *finds* each violation within a fixed budget, producing a shrunk,
+//! replayable counterexample.
+
+use rqs_check::explore::{dfs, replay, Bounds};
+use rqs_check::model::{ConsensusModel, StorageModel, StorageSystem};
+use rqs_consensus::byzantine::ScriptedAcceptor;
+use rqs_consensus::learner::Learner;
+use rqs_consensus::types::ConsensusMsg;
+use rqs_storage::reader::Reader;
+use std::rc::Rc;
+
+/// Reader 1 always returns `⟨0,⊥⟩` — a stale-read bug. The canonical
+/// schedule already exposes it, so the explorer finds it on its very
+/// first run and the shrunk trace is empty (the bug is
+/// schedule-independent).
+#[test]
+fn stale_reader_mutant_is_found() {
+    let mut model = StorageModel::write_read_read(StorageSystem::ByzantineFast { t: 1 });
+    model.setup = Some(Rc::new(|h| {
+        let rqs = h.rqs().clone();
+        let servers = h.servers().to_vec();
+        let id = h.reader_id(1);
+        h.world_mut()
+            .replace_node(id, Box::new(Reader::new_mutant_stale(rqs, servers)));
+    }));
+    let outcome = dfs(&model, &Bounds::delivery(4, 2), true);
+    assert_eq!(outcome.violations.len(), 1);
+    let v = &outcome.violations[0];
+    assert!(v.message.contains("atomicity"), "{}", v.message);
+    assert!(v.shrunk.len() <= 2, "shrunk trace: {:?}", v.shrunk);
+    assert!(outcome.stats.runs <= 5, "found almost immediately");
+    // The counterexample replays.
+    let (_, out) = replay(&model, &v.shrunk, 500);
+    assert!(out.violation.is_some());
+}
+
+fn skip_write_back_model() -> StorageModel {
+    let mut model = StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 });
+    model.setup = Some(Rc::new(|h| {
+        let rqs = h.rqs().clone();
+        let servers = h.servers().to_vec();
+        let id = h.reader_id(0);
+        h.world_mut().replace_node(
+            id,
+            Box::new(Reader::new_mutant_skip_write_back(rqs, servers)),
+        );
+    }));
+    model
+}
+
+/// Reader 0 skips the write-back phase — the §1.2 greedy bug. This one is
+/// genuinely schedule-dependent: it only fires when the write reaches a
+/// single server, the skipping reader returns the new value from that
+/// server alone, the server then crashes, and the second reader completes
+/// against the remaining quorum — a new/old inversion. Bounded DFS with
+/// fault branching (3 drops + 1 crash, within budget) must construct that
+/// schedule.
+#[test]
+fn skip_write_back_mutant_is_found_and_shrunk() {
+    let model = skip_write_back_model();
+    let bounds = Bounds::delivery(6, 2)
+        .with_drops(3)
+        .with_crashes(1)
+        .with_crash_candidates(vec![0]);
+    let outcome = dfs(&model, &bounds, true);
+    assert_eq!(
+        outcome.violations.len(),
+        1,
+        "explorer must find the inversion within the budget ({} runs)",
+        outcome.stats.runs
+    );
+    let v = &outcome.violations[0];
+    assert!(v.message.contains("atomicity"), "{}", v.message);
+    assert!(v.message.contains("stale"), "{}", v.message);
+    assert!(
+        v.shrunk.len() <= 8,
+        "shrunk trace must be short, got {}: {:?}",
+        v.shrunk.len(),
+        v.shrunk
+    );
+    assert!(
+        outcome.stats.runs <= 2_000,
+        "budget: {} runs",
+        outcome.stats.runs
+    );
+    // The shrunk counterexample replays to the same violation class.
+    let (_, out) = replay(&model, &v.shrunk, 500);
+    assert!(out.violation.is_some(), "shrunk script must still fail");
+    // And the rendered trace shows the failing execution.
+    assert!(!v.rendered.is_empty());
+}
+
+/// The same planted bug must NOT be reported when the mutant is absent:
+/// identical bounds on the correct algorithm exhaust clean. (Guards
+/// against the checker "finding" violations that are artifacts of fault
+/// branching.)
+#[test]
+fn no_mutant_no_violation_under_same_budget() {
+    let model = StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 });
+    let bounds = Bounds::delivery(6, 2)
+        .with_drops(3)
+        .with_crashes(1)
+        .with_crash_candidates(vec![0]);
+    let outcome = dfs(&model, &bounds, true);
+    assert!(outcome.stats.exhausted);
+    assert!(outcome.violations.is_empty());
+}
+
+/// Learner 0 trusts `decision⟨v⟩` one sender short of a basic subset
+/// (quorum-size off-by-one): a single forged decision from a Byzantine
+/// acceptor makes it learn a never-proposed value — agreement and
+/// validity both break.
+#[test]
+fn one_short_decision_mutant_is_found() {
+    let mut model = ConsensusModel::contention(1);
+    model.setup = Some(Rc::new(|h| {
+        let cfg = h.config().clone();
+        let learners = cfg.learners.clone();
+        h.world_mut()
+            .replace_node(learners[0], Box::new(Learner::new_mutant_one_short(cfg)));
+        let targets = learners;
+        h.make_byzantine(
+            3,
+            Box::new(ScriptedAcceptor::new(move |_from, msg, ctx| {
+                if let ConsensusMsg::Prepare { .. } = msg {
+                    ctx.broadcast(
+                        targets.iter().copied(),
+                        ConsensusMsg::Decision { value: 999 },
+                    );
+                }
+            })),
+        );
+    }));
+    let outcome = dfs(&model, &Bounds::delivery(4, 2), true);
+    assert_eq!(outcome.violations.len(), 1);
+    let v = &outcome.violations[0];
+    assert!(
+        v.message.contains("agreement") || v.message.contains("validity"),
+        "{}",
+        v.message
+    );
+    assert!(v.message.contains("999"), "{}", v.message);
+    assert!(v.shrunk.len() <= 2, "shrunk trace: {:?}", v.shrunk);
+    let (_, out) = replay(&model, &v.shrunk, 20_000);
+    assert!(out.violation.is_some());
+}
+
+/// The correct learner is immune to the same forged decision: a single
+/// Byzantine sender is not a basic subset.
+#[test]
+fn correct_learner_ignores_forged_decision() {
+    let mut model = ConsensusModel::contention(1);
+    model.setup = Some(Rc::new(|h| {
+        let learners = h.config().learners.clone();
+        let targets = learners;
+        h.make_byzantine(
+            3,
+            Box::new(ScriptedAcceptor::new(move |_from, msg, ctx| {
+                if let ConsensusMsg::Prepare { .. } = msg {
+                    ctx.broadcast(
+                        targets.iter().copied(),
+                        ConsensusMsg::Decision { value: 999 },
+                    );
+                }
+            })),
+        );
+    }));
+    let outcome = dfs(&model, &Bounds::delivery(3, 2), true);
+    assert!(outcome.stats.exhausted);
+    assert!(
+        outcome.violations.is_empty(),
+        "{:?}",
+        outcome.violations.first().map(|v| &v.message)
+    );
+}

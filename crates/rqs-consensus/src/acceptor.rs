@@ -513,6 +513,29 @@ impl Acceptor {
 }
 
 impl Automaton<ConsensusMsg> for Acceptor {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a_fold(
+            rqs_sim::fnv1a(
+                format!(
+                    "{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+                    self.view,
+                    self.prep,
+                    self.prep_view,
+                    self.update,
+                    self.update_view,
+                    self.update_q,
+                    self.old,
+                    self.upd_senders,
+                    self.decision_senders,
+                    self.next_view,
+                    self.timer_stopped,
+                )
+                .as_bytes(),
+            ),
+            self.decider.state_digest(),
+        )
+    }
+
     fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
         match msg {
             ConsensusMsg::Prepare {

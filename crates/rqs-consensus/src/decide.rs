@@ -45,6 +45,18 @@ impl DecisionTracker {
         self.decided
     }
 
+    /// Deterministic digest of the tracker's full state, for the state
+    /// fingerprints used by schedule exploration.
+    pub fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a(
+            format!(
+                "{:?},{:?},{:?},{:?}",
+                self.update1, self.update2, self.update3, self.decided
+            )
+            .as_bytes(),
+        )
+    }
+
     /// Forces a decision (used when a basic subset of `decision⟨v⟩`
     /// messages arrives, line 101).
     pub fn force_decide(&mut self, v: ProposalValue) {

@@ -25,6 +25,10 @@ pub struct Learner {
     decision_senders: BTreeMap<ProposalValue, ProcessSet>,
     learned: Option<(ProposalValue, Time)>,
     pull_timer: Option<TimerToken>,
+    /// Planted bug (checker self-tests): trust `decision⟨v⟩` one sender
+    /// short of a basic subset — i.e. from a set that may be entirely
+    /// Byzantine. Always `false` outside the `mutants` feature.
+    one_short_decisions: bool,
 }
 
 impl Learner {
@@ -37,7 +41,32 @@ impl Learner {
             decision_senders: BTreeMap::new(),
             learned: None,
             pull_timer: None,
+            one_short_decisions: false,
         }
+    }
+
+    /// Mutant: a learner whose decision rule is one sender short of the
+    /// required basic subset (quorum-size off-by-one). For checker
+    /// self-tests only.
+    #[cfg(feature = "mutants")]
+    pub fn new_mutant_one_short(cfg: ConsensusConfig) -> Self {
+        let mut l = Learner::new(cfg);
+        l.one_short_decisions = true;
+        l
+    }
+
+    /// `true` iff adding any single extra acceptor to `senders` would
+    /// make it a basic subset — the off-by-one acceptance the mutant uses.
+    fn one_short_of_basic(&self, senders: ProcessSet) -> bool {
+        let n = self.cfg.rqs.universe_size();
+        (0..n).map(rqs_core::ProcessId).any(|p| {
+            if senders.contains(p) {
+                return false;
+            }
+            let mut extended = senders;
+            extended.insert(p);
+            self.cfg.rqs.adversary().is_basic(extended)
+        })
     }
 
     /// The learned value and the time it was learned, if any.
@@ -59,6 +88,13 @@ impl Learner {
 }
 
 impl Automaton<ConsensusMsg> for Learner {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a_fold(
+            rqs_sim::fnv1a(format!("{:?},{:?}", self.decision_senders, self.learned).as_bytes()),
+            self.decider.state_digest(),
+        )
+    }
+
     fn on_start(&mut self, ctx: &mut Context<ConsensusMsg>) {
         // Lines 102–103: learners pull on a timer from the start, so even
         // a learner cut off from all protocol traffic eventually catches
@@ -86,8 +122,13 @@ impl Automaton<ConsensusMsg> for Learner {
             ConsensusMsg::Decision { value } => {
                 let senders = self.decision_senders.entry(value).or_default();
                 senders.insert(sender);
+                let senders = *senders;
                 // Line 101: a basic subset of decisions is trustworthy.
-                if self.cfg.rqs.adversary().is_basic(*senders) {
+                // The one-short mutant accepts a possibly-all-Byzantine
+                // sender set (quorum-size off-by-one).
+                let trusted = self.cfg.rqs.adversary().is_basic(senders)
+                    || (self.one_short_decisions && self.one_short_of_basic(senders));
+                if trusted {
                     self.decider.force_decide(value);
                     self.learn(value, ctx.now());
                 }

@@ -209,6 +209,22 @@ impl Proposer {
 }
 
 impl Automaton<ConsensusMsg> for Proposer {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a(
+            format!(
+                "{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+                self.value,
+                self.view,
+                self.faulty,
+                self.consult_active,
+                self.decision_senders,
+                self.sync_sent,
+                self.halted,
+            )
+            .as_bytes(),
+        )
+    }
+
     fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
         match msg {
             ConsensusMsg::ViewChange(svc)

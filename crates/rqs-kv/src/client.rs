@@ -299,6 +299,19 @@ impl KvClient {
 }
 
 impl Automaton<KvBatch> for KvClient {
+    fn state_digest(&self) -> u64 {
+        let mut acc = rqs_sim::fnv1a(b"kv-client");
+        for (obj, w) in &self.writers {
+            acc = rqs_sim::fnv1a_fold(acc, obj.0);
+            acc = rqs_sim::fnv1a_fold(acc, w.state_digest());
+        }
+        for (obj, r) in &self.readers {
+            acc = rqs_sim::fnv1a_fold(acc, obj.0);
+            acc = rqs_sim::fnv1a_fold(acc, r.state_digest());
+        }
+        rqs_sim::fnv1a_fold(acc, self.in_flight as u64)
+    }
+
     fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
         for item in batch.0 {
             self.dispatch(from, item, ctx);

@@ -42,6 +42,15 @@ impl KvServer {
 }
 
 impl Automaton<KvBatch> for KvServer {
+    fn state_digest(&self) -> u64 {
+        let mut acc = rqs_sim::fnv1a(b"kv-server");
+        for (obj, server) in &self.objects {
+            acc = rqs_sim::fnv1a_fold(acc, obj.0);
+            acc = rqs_sim::fnv1a_fold(acc, server.state_digest());
+        }
+        acc
+    }
+
     fn on_message(&mut self, from: NodeId, batch: KvBatch, ctx: &mut Context<KvBatch>) {
         // Per-destination reply buffer: everything this step produces for
         // one destination leaves as a single batch.

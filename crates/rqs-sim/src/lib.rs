@@ -11,7 +11,10 @@
 //! - scripted network schedules ([`NetworkScript`]) expressive enough to
 //!   reproduce the executions of the paper's Figures 1, 4, 8 and 16,
 //! - deterministic `(time, sequence)` event ordering, so every execution
-//!   is exactly reproducible.
+//!   is exactly reproducible,
+//! - a pluggable [`Scheduler`] seam over the pending-event set, turning
+//!   the same world into an adversarial scheduler for systematic schedule
+//!   exploration (see the `rqs-check` crate).
 //!
 //! One tick of simulated time is one synchronous message delay (`Δ = 1`),
 //! so consensus "message delays" are read directly off the clock and
@@ -47,6 +50,7 @@
 pub mod network;
 pub mod node;
 pub mod scenario;
+pub mod sched;
 pub mod substrate;
 pub mod time;
 pub mod world;
@@ -54,6 +58,7 @@ pub mod world;
 pub use network::{Envelope, Fate, FatePolicy, NetworkScript, Rule, Selector};
 pub use node::{Automaton, Context, NodeId, TimerToken};
 pub use scenario::{CrashPlan, LinkDecision, LinkEffect, LinkRule, Scenario, ScenarioNet};
+pub use sched::{fnv1a, fnv1a_fold, PendingEvent, PendingKind, SchedDecision, Scheduler};
 pub use substrate::{
     Substrate, SubstrateConfig, SubstrateStats, DEFAULT_AWAIT_STEPS, DEFAULT_OP_TIMEOUT,
     DEFAULT_TICK,

@@ -60,6 +60,22 @@ pub trait Automaton<M>: Any {
     /// Fires a timer previously set through [`Context::set_timer`].
     fn on_timer(&mut self, _timer: TimerToken, _ctx: &mut Context<M>) {}
 
+    /// A hash of the automaton's protocol-relevant state, used by
+    /// [`World::digest_with`](crate::World::digest_with) to deduplicate
+    /// logically identical states during schedule exploration. Any
+    /// violation found under deduplication is real regardless of this
+    /// digest, but the default (`0`) makes states differing only in this
+    /// node collide, so the explorer may *prune schedules it should have
+    /// run* (an "exhausted" claim then only covers the deduplicated
+    /// space). Protocol automata that participate in model checking
+    /// should override it with a deterministic digest of their state
+    /// (see `rqs_sim::sched::fnv1a`); for automata that cannot (e.g.
+    /// closure-scripted Byzantine nodes with hidden state), disable
+    /// deduplication in the explorer instead.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+
     /// Upcast for harness-side state inspection.
     fn as_any(&self) -> &dyn Any;
 

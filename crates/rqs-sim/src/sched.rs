@@ -1,0 +1,178 @@
+//! The scheduler seam: pluggable control over event-delivery order.
+//!
+//! By default the [`World`](crate::World) executes events in deterministic
+//! `(time, sequence)` order — one schedule per scenario. A [`Scheduler`]
+//! installed with [`World::set_scheduler`](crate::World::set_scheduler)
+//! instead sees *every* pending event at each step and picks which one
+//! executes next, which turns the simulator into the adversarial scheduler
+//! of the asynchronous model: any pending message may be delivered next,
+//! regardless of when it was sent. Model checkers (`rqs-check`) drive this
+//! seam to enumerate delivery interleavings; they may additionally inject
+//! faults at choice points ([`SchedDecision::Drop`],
+//! [`SchedDecision::Crash`]).
+//!
+//! Schedulers are payload-agnostic: they see [`PendingEvent`] views
+//! (endpoints and kinds, not message contents), so one scheduler
+//! implementation drives every protocol and a recorded choice list replays
+//! against a rebuilt world.
+
+use crate::node::NodeId;
+use crate::time::Time;
+
+/// What kind of event a pending queue entry is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PendingKind {
+    /// A message delivery.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A timer expiration.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The timer token (for display/diagnostics).
+        token: u64,
+    },
+    /// A scheduled crash.
+    Crash {
+        /// The node that crashes.
+        node: NodeId,
+    },
+    /// A scheduled restart.
+    Restart {
+        /// The node that restarts.
+        node: NodeId,
+    },
+}
+
+impl PendingKind {
+    /// `true` iff this is a message delivery (the only kind a scheduler
+    /// may drop).
+    pub fn is_deliver(&self) -> bool {
+        matches!(self, PendingKind::Deliver { .. })
+    }
+}
+
+/// A scheduler's view of one pending event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PendingEvent {
+    /// When the event would execute under the default schedule.
+    pub at: Time,
+    /// Enqueue sequence number (the default-order tiebreak).
+    pub seq: u64,
+    /// What the event is.
+    pub kind: PendingKind,
+}
+
+/// A scheduler's decision at one choice point.
+///
+/// Indices refer to the `pending` slice passed to [`Scheduler::choose`],
+/// which is sorted in canonical `(time, sequence)` order — so
+/// `Deliver(0)` always reproduces the default deterministic schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedDecision {
+    /// Execute pending event `i` next. Out-of-range indices are clamped
+    /// to the last pending event (robust replay of shrunk schedules).
+    Deliver(usize),
+    /// Discard pending event `i` — a message loss injected by the
+    /// scheduler. Non-delivery events cannot be dropped; the decision
+    /// degrades to `Deliver(i)`.
+    Drop(usize),
+    /// Crash node `i` (a raw node index) at this choice point, without
+    /// consuming a pending event. Unknown indices are ignored.
+    Crash(usize),
+}
+
+impl SchedDecision {
+    /// The canonical decision: execute the earliest pending event, i.e.
+    /// exactly what the default scheduler-less world would do.
+    pub const CANONICAL: SchedDecision = SchedDecision::Deliver(0);
+}
+
+/// Chooses which pending event executes next.
+///
+/// Installed with [`World::set_scheduler`](crate::World::set_scheduler);
+/// the world calls [`Scheduler::choose`] once per [`step`](crate::World::step)
+/// with the canonically-sorted pending events (no-op events — cancelled
+/// timers, deliveries to crashed nodes — are purged first).
+pub trait Scheduler {
+    /// Pick the next decision given the pending events (never empty).
+    fn choose(&mut self, pending: &[PendingEvent]) -> SchedDecision;
+}
+
+impl<F> Scheduler for F
+where
+    F: FnMut(&[PendingEvent]) -> SchedDecision,
+{
+    fn choose(&mut self, pending: &[PendingEvent]) -> SchedDecision {
+        self(pending)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice: the stable, dependency-free hash used
+/// for state fingerprinting (deduplication in schedule exploration).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds a word into an FNV-1a accumulator (order-sensitive combine).
+pub fn fnv1a_fold(acc: u64, word: u64) -> u64 {
+    let mut h = acc;
+    for &b in &word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_deliver_zero() {
+        assert_eq!(SchedDecision::CANONICAL, SchedDecision::Deliver(0));
+    }
+
+    #[test]
+    fn pending_kind_deliver_query() {
+        let d = PendingKind::Deliver {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        assert!(d.is_deliver());
+        assert!(!PendingKind::Timer {
+            node: NodeId(0),
+            token: 3
+        }
+        .is_deliver());
+        assert!(!PendingKind::Crash { node: NodeId(0) }.is_deliver());
+        assert!(!PendingKind::Restart { node: NodeId(0) }.is_deliver());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a_fold(fnv1a(b"x"), 1), fnv1a_fold(fnv1a(b"x"), 2));
+    }
+
+    #[test]
+    fn closures_implement_scheduler() {
+        let mut s = |pending: &[PendingEvent]| SchedDecision::Deliver(pending.len() - 1);
+        let events = [PendingEvent {
+            at: Time(1),
+            seq: 0,
+            kind: PendingKind::Crash { node: NodeId(2) },
+        }];
+        assert_eq!(s.choose(&events), SchedDecision::Deliver(0));
+    }
+}

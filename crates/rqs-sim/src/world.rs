@@ -7,6 +7,7 @@
 
 use crate::network::{Envelope, Fate, FatePolicy};
 use crate::node::{Automaton, Context, NodeId, TimerToken};
+use crate::sched::{fnv1a_fold, PendingEvent, PendingKind, SchedDecision, Scheduler};
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -24,6 +25,29 @@ struct Queued<M> {
     at: Time,
     seq: u64,
     event: Event<M>,
+}
+
+impl<M> Queued<M> {
+    /// Payload-free view handed to schedulers.
+    fn view(&self) -> PendingEvent {
+        let kind = match &self.event {
+            Event::Deliver { from, to, .. } => PendingKind::Deliver {
+                from: *from,
+                to: *to,
+            },
+            Event::Timer { node, token } => PendingKind::Timer {
+                node: *node,
+                token: token.0,
+            },
+            Event::Crash { node } => PendingKind::Crash { node: *node },
+            Event::Restart { node } => PendingKind::Restart { node: *node },
+        };
+        PendingEvent {
+            at: self.at,
+            seq: self.seq,
+            kind,
+        }
+    }
 }
 
 impl<M> PartialEq for Queued<M> {
@@ -107,6 +131,7 @@ pub struct World<M> {
     seq: u64,
     timer_counter: u64,
     policy: Box<dyn FatePolicy<M>>,
+    scheduler: Option<Box<dyn Scheduler>>,
     default_delay: u64,
     sizer: Option<fn(&M) -> u64>,
     stats: WorldStats,
@@ -127,6 +152,7 @@ impl<M: Clone + 'static> World<M> {
             seq: 0,
             timer_counter: 0,
             policy: Box::new(policy),
+            scheduler: None,
             default_delay: 1,
             sizer: None,
             stats: WorldStats::default(),
@@ -138,6 +164,67 @@ impl<M: Clone + 'static> World<M> {
     /// Replaces the fate policy mid-run (e.g. to end a synchronous period).
     pub fn set_policy(&mut self, policy: impl FatePolicy<M> + 'static) {
         self.policy = Box::new(policy);
+    }
+
+    /// Installs a [`Scheduler`]: from the next [`World::step`] on, the
+    /// scheduler — not the `(time, sequence)` queue order — decides which
+    /// pending event executes next (the adversarial-scheduler seam used
+    /// by `rqs-check`). Without a scheduler the behaviour is exactly the
+    /// historical deterministic order.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Removes the scheduler, restoring the default deterministic order.
+    pub fn clear_scheduler(&mut self) {
+        self.scheduler = None;
+    }
+
+    /// A logical-state fingerprint for schedule-exploration deduplication:
+    /// hashes every node's [`state_digest`](Automaton::state_digest), the
+    /// crash flags, and the multiset of pending events — deliveries via
+    /// `hash_msg`, timers by `(node, token)` — while deliberately ignoring
+    /// delivery *times* and sequence numbers, so two executions that
+    /// reached the same protocol state by different schedules collide.
+    pub fn digest_with(&self, hash_msg: impl Fn(&M) -> u64) -> u64 {
+        let mut events: Vec<u64> = Vec::with_capacity(self.queue.len() + self.held.len());
+        for Reverse(q) in self.queue.iter() {
+            let h = match &q.event {
+                Event::Deliver { from, to, msg } => fnv1a_fold(
+                    fnv1a_fold(fnv1a_fold(1, from.0 as u64), to.0 as u64),
+                    hash_msg(msg),
+                ),
+                Event::Timer { node, token } => {
+                    if self.cancelled_timers.contains(&(node.0, token.0)) {
+                        continue; // semantically already gone
+                    }
+                    fnv1a_fold(fnv1a_fold(2, node.0 as u64), token.0)
+                }
+                Event::Crash { node } => fnv1a_fold(3, node.0 as u64),
+                Event::Restart { node } => fnv1a_fold(4, node.0 as u64),
+            };
+            events.push(h);
+        }
+        for (tag, env) in &self.held {
+            events.push(fnv1a_fold(
+                fnv1a_fold(
+                    fnv1a_fold(fnv1a_fold(5, *tag as u64), env.from.0 as u64),
+                    env.to.0 as u64,
+                ),
+                hash_msg(&env.msg),
+            ));
+        }
+        events.sort_unstable();
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in events {
+            acc = fnv1a_fold(acc, e);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let d = node.as_ref().map_or(0, |n| n.state_digest());
+            acc = fnv1a_fold(acc, d);
+            acc = fnv1a_fold(acc, self.crashed[i] as u64);
+        }
+        acc
     }
 
     /// Installs a payload sizer: every sent message contributes
@@ -204,12 +291,22 @@ impl<M: Clone + 'static> World<M> {
     ///
     /// Panics if the id is unknown or the concrete type does not match.
     pub fn node_as<T: 'static>(&self, id: NodeId) -> &T {
-        self.nodes[id.0]
-            .as_ref()
+        let Some(slot) = self.nodes.get(id.0) else {
+            panic!(
+                "{id}: unknown node id ({} nodes registered)",
+                self.nodes.len()
+            );
+        };
+        slot.as_ref()
             .expect("node is mid-step")
             .as_any()
             .downcast_ref::<T>()
-            .expect("node type mismatch")
+            .unwrap_or_else(|| {
+                panic!(
+                    "{id}: expected automaton of type {}, found a different type",
+                    std::any::type_name::<T>()
+                )
+            })
     }
 
     /// Calls the automaton's `on_start` hooks, in id order.
@@ -246,11 +343,18 @@ impl<M: Clone + 'static> World<M> {
     ///
     /// Panics if the id is unknown or the concrete type does not match.
     pub fn invoke<T: 'static>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut Context<M>)) {
+        assert!(
+            id.0 < self.nodes.len(),
+            "{id}: unknown node id ({} nodes registered)",
+            self.nodes.len()
+        );
         self.step_node(id, |node, ctx| {
-            let concrete = node
-                .as_any_mut()
-                .downcast_mut::<T>()
-                .expect("node type mismatch");
+            let concrete = node.as_any_mut().downcast_mut::<T>().unwrap_or_else(|| {
+                panic!(
+                    "{id}: expected automaton of type {}, found a different type",
+                    std::any::type_name::<T>()
+                )
+            });
             f(concrete, ctx);
         });
     }
@@ -301,14 +405,100 @@ impl<M: Clone + 'static> World<M> {
     }
 
     /// Executes a single event; returns `false` when the queue is empty.
+    ///
+    /// Without a scheduler, events execute in deterministic
+    /// `(time, sequence)` order. With one (see [`World::set_scheduler`]),
+    /// the scheduler picks among all pending events and the clock only
+    /// moves forward (delivering a "late" event early keeps the current
+    /// time — the adversarial asynchronous semantics).
     pub fn step(&mut self) -> bool {
+        if self.scheduler.is_some() {
+            return self.step_scheduled();
+        }
         let Some(Reverse(q)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(q.at >= self.now, "time went backwards");
         self.now = q.at;
         self.stats.steps += 1;
-        match q.event {
+        self.dispatch(q.event);
+        true
+    }
+
+    /// One scheduler-controlled step: purge no-op events, present the
+    /// pending set in canonical order, apply the scheduler's decision.
+    fn step_scheduled(&mut self) -> bool {
+        // Drain the heap: pops come out in (time, sequence) order, which
+        // is exactly the canonical order schedulers index into.
+        let mut pending: Vec<Queued<M>> = Vec::with_capacity(self.queue.len());
+        while let Some(Reverse(q)) = self.queue.pop() {
+            pending.push(q);
+        }
+        // Purge events that would be no-ops anyway (cancelled timers,
+        // timers of crashed nodes, deliveries to crashed nodes) so the
+        // explorer does not branch over them.
+        let crashed = &self.crashed;
+        let cancelled = &mut self.cancelled_timers;
+        pending.retain(|q| match &q.event {
+            Event::Timer { node, token } => {
+                !crashed[node.0] && !cancelled.remove(&(node.0, token.0))
+            }
+            Event::Deliver { to, .. } => !crashed[to.0],
+            _ => true,
+        });
+        if pending.is_empty() {
+            return false;
+        }
+        let views: Vec<PendingEvent> = pending.iter().map(Queued::view).collect();
+        let mut decision = self
+            .scheduler
+            .as_mut()
+            .expect("scheduler present")
+            .choose(&views);
+        // Only deliveries may be dropped; degrade to Deliver.
+        if let SchedDecision::Drop(i) = decision {
+            if !views[i.min(views.len() - 1)].kind.is_deliver() {
+                decision = SchedDecision::Deliver(i);
+            }
+        }
+        self.stats.steps += 1;
+        match decision {
+            SchedDecision::Deliver(i) => {
+                let q = pending.swap_remove(i.min(views.len() - 1));
+                self.requeue(pending);
+                if q.at > self.now {
+                    self.now = q.at;
+                }
+                self.dispatch(q.event);
+            }
+            SchedDecision::Drop(i) => {
+                let q = pending.swap_remove(i.min(views.len() - 1));
+                self.requeue(pending);
+                if let Event::Deliver { from, to, .. } = q.event {
+                    self.stats.messages_dropped += 1;
+                    self.log(format!("{from} → {to}: dropped by scheduler"));
+                }
+            }
+            SchedDecision::Crash(node) => {
+                self.requeue(pending);
+                if node < self.crashed.len() {
+                    self.crashed[node] = true;
+                    self.log(format!("n{node} crashed by scheduler"));
+                }
+            }
+        }
+        true
+    }
+
+    fn requeue(&mut self, pending: Vec<Queued<M>>) {
+        for q in pending {
+            self.queue.push(Reverse(q));
+        }
+    }
+
+    /// Executes one dequeued event at the current time.
+    fn dispatch(&mut self, event: Event<M>) {
+        match event {
             Event::Crash { node } => {
                 self.crashed[node.0] = true;
                 self.log(format!("{node} crashed"));
@@ -320,7 +510,7 @@ impl<M: Clone + 'static> World<M> {
             Event::Deliver { from, to, msg } => {
                 if self.crashed[to.0] {
                     self.log(format!("{from} → {to}: dropped (receiver crashed)"));
-                    return true;
+                    return;
                 }
                 self.stats.messages_delivered += 1;
                 if let Some(fmt) = self.trace_fmt {
@@ -330,14 +520,13 @@ impl<M: Clone + 'static> World<M> {
             }
             Event::Timer { node, token } => {
                 if self.crashed[node.0] || self.cancelled_timers.remove(&(node.0, token.0)) {
-                    return true;
+                    return;
                 }
                 self.stats.timers_fired += 1;
                 self.log(format!("{node}: timer {} fired", token.0));
                 self.step_node(node, |node, ctx| node.on_timer(token, ctx));
             }
         }
-        true
     }
 
     /// Runs until the queue is empty or `max_steps` events executed;
@@ -778,6 +967,189 @@ mod tests {
         let trace = w.trace();
         assert!(!trace.is_empty());
         assert!(trace.iter().any(|e| e.what.contains("ping(0)")));
+    }
+
+    #[test]
+    #[should_panic(expected = "n1: expected automaton of type")]
+    fn node_as_panic_names_node_and_type() {
+        struct Other;
+        impl Automaton<u32> for Other {
+            fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Context<u32>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let (mut w, _a, b) = two_node_world();
+        w.replace_node(b, Box::new(Other));
+        let _ = w.node_as::<PingPong>(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n7: unknown node id (2 nodes registered)")]
+    fn node_as_panic_names_unknown_id() {
+        let (w, _a, _b) = two_node_world();
+        let _ = w.node_as::<PingPong>(NodeId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "n0: expected automaton of type")]
+    fn invoke_panic_names_node_and_type() {
+        struct Other;
+        impl Automaton<u32> for Other {
+            fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Context<u32>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w: World<u32> = World::new(NetworkScript::synchronous());
+        let a = w.add_node(Box::new(Other));
+        w.invoke::<PingPong>(a, |_n, _c| {});
+    }
+
+    /// A scheduler driven by a scripted decision list, canonical beyond it.
+    struct Scripted {
+        script: Vec<SchedDecision>,
+        pos: usize,
+        seen: Vec<usize>,
+    }
+
+    impl Scheduler for Scripted {
+        fn choose(&mut self, pending: &[PendingEvent]) -> SchedDecision {
+            self.seen.push(pending.len());
+            let d = self
+                .script
+                .get(self.pos)
+                .copied()
+                .unwrap_or(SchedDecision::CANONICAL);
+            self.pos += 1;
+            d
+        }
+    }
+
+    #[test]
+    fn canonical_scheduler_reproduces_default_run() {
+        let run_default = || {
+            let (mut w, a, b) = two_node_world();
+            w.enable_trace(|m| format!("{m}"));
+            w.post(a, b, 0);
+            w.run_to_quiescence();
+            let trace: Vec<String> = w.trace().iter().map(|e| format!("{e:?}")).collect();
+            (w.now(), w.stats().messages_delivered, trace)
+        };
+        let run_scheduled = || {
+            let (mut w, a, b) = two_node_world();
+            w.enable_trace(|m| format!("{m}"));
+            w.set_scheduler(Box::new(Scripted {
+                script: vec![],
+                pos: 0,
+                seen: vec![],
+            }));
+            w.post(a, b, 0);
+            w.run_to_quiescence();
+            let trace: Vec<String> = w.trace().iter().map(|e| format!("{e:?}")).collect();
+            (w.now(), w.stats().messages_delivered, trace)
+        };
+        assert_eq!(run_default(), run_scheduled());
+    }
+
+    #[test]
+    fn scheduler_reorders_pending_events() {
+        // a sends two messages to b in one invoke; the scheduler delivers
+        // the second first.
+        let (mut w, a, b) = two_node_world();
+        w.invoke::<PingPong>(a, |_n, ctx| {
+            ctx.send(NodeId(1), 10);
+            ctx.send(NodeId(1), 20);
+        });
+        w.set_scheduler(Box::new(Scripted {
+            script: vec![SchedDecision::Deliver(1)],
+            pos: 0,
+            seen: vec![],
+        }));
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![20, 10]);
+        let _ = a;
+    }
+
+    #[test]
+    fn scheduler_drop_and_crash_decisions() {
+        let (mut w, a, b) = two_node_world();
+        w.invoke::<PingPong>(a, |_n, ctx| {
+            ctx.send(NodeId(1), 10);
+            ctx.send(NodeId(1), 20);
+        });
+        // Drop the first message, then crash node 0 (the sender), then
+        // deliver the rest canonically.
+        w.set_scheduler(Box::new(Scripted {
+            script: vec![SchedDecision::Drop(0), SchedDecision::Crash(0)],
+            pos: 0,
+            seen: vec![],
+        }));
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![20]);
+        assert!(w.is_crashed(a));
+        assert_eq!(w.stats().messages_dropped, 1);
+        // b's reply (21) to the crashed a was purged, not delivered.
+        assert!(w.node_as::<PingPong>(a).received.is_empty());
+    }
+
+    #[test]
+    fn scheduler_deliver_index_clamped() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, 3);
+        w.set_scheduler(Box::new(Scripted {
+            script: vec![SchedDecision::Deliver(99)],
+            pos: 0,
+            seen: vec![],
+        }));
+        w.run_to_quiescence();
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![3]);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards_under_scheduler() {
+        let mut w: World<u32> = World::new(NetworkScript::with_delay(1));
+        let a = w.add_node(Box::new(PingPong::new(0)));
+        let b = w.add_node(Box::new(PingPong::new(0)));
+        // Two posts; deliver the later-sequenced one first, then the other.
+        w.post(a, b, 1);
+        w.post(a, b, 2);
+        w.set_scheduler(Box::new(Scripted {
+            script: vec![SchedDecision::Deliver(1), SchedDecision::Deliver(0)],
+            pos: 0,
+            seen: vec![],
+        }));
+        let t_before = w.now();
+        w.run_to_quiescence();
+        assert!(w.now() >= t_before);
+        assert_eq!(w.node_as::<PingPong>(b).received, vec![2, 1]);
+    }
+
+    #[test]
+    fn digest_ignores_schedule_but_sees_state() {
+        let hash = |m: &u32| *m as u64;
+        let (mut w1, a1, b1) = two_node_world();
+        w1.post(a1, b1, 0);
+        let (mut w2, a2, b2) = two_node_world();
+        w2.post(a2, b2, 0);
+        assert_eq!(w1.digest_with(hash), w2.digest_with(hash));
+        // Executing the pending delivery changes the digest (message is
+        // consumed, a reply becomes pending).
+        let before = w1.digest_with(hash);
+        w1.step();
+        assert_ne!(before, w1.digest_with(hash));
+        // Crashing a node changes the digest too.
+        let before = w2.digest_with(hash);
+        let now = w2.now();
+        w2.crash_at(b2, now);
+        w2.step();
+        assert_ne!(before, w2.digest_with(hash));
     }
 
     #[test]

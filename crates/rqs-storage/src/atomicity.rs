@@ -291,6 +291,79 @@ mod tests {
     }
 
     #[test]
+    fn new_old_inversion_across_three_readers_detected() {
+        // w2 is concurrent with all three reads; r1 sees the new value,
+        // r2 (strictly after r1) sees the old one — inversion — and r3
+        // sees the new one again. The oracle must flag the r1/r2 pair.
+        let ops = vec![
+            write(1, 10, 0, 2),
+            write(2, 20, 3, 30), // long write, concurrent with every read
+            read(1, 2, 20, 4, 6),
+            read(2, 1, 10, 7, 9), // after r1 but older timestamp
+            read(3, 2, 20, 10, 12),
+        ];
+        let err = check_atomicity(&ops).unwrap_err();
+        match &err {
+            AtomicityViolation::StaleRead { earlier, later } => {
+                assert!(earlier.contains("client 1"), "{err}");
+                assert!(later.contains("client 2"), "{err}");
+            }
+            other => panic!("expected StaleRead, got {other:?}"),
+        }
+        // Without the inverted read the same history is atomic.
+        let fixed = vec![
+            ops[0].clone(),
+            ops[1].clone(),
+            ops[2].clone(),
+            read(2, 2, 20, 7, 9),
+            ops[4].clone(),
+        ];
+        assert!(check_atomicity(&fixed).is_ok());
+    }
+
+    #[test]
+    fn read_overlapping_two_writes_may_return_either_but_not_older() {
+        // The read overlaps w3 and w4. Returning w2 (completed before the
+        // read was invoked) would be fine; returning w1 — superseded by
+        // w2 before the read began — is stale.
+        let w1 = write(1, 10, 0, 3);
+        let w2 = write(2, 20, 5, 8);
+        let w3 = write(3, 30, 9, 15);
+        let w4 = write(4, 40, 16, 20);
+        for ts in [2u64, 3, 4] {
+            let ops = vec![
+                w1.clone(),
+                w2.clone(),
+                w3.clone(),
+                w4.clone(),
+                read(1, ts, ts * 10, 10, 17),
+            ];
+            assert!(
+                check_atomicity(&ops).is_ok(),
+                "ts {ts} is concurrent-or-current: allowed"
+            );
+        }
+        let stale = vec![w1, w2, w3, w4, read(1, 1, 10, 10, 17)];
+        let err = check_atomicity(&stale).unwrap_err();
+        assert!(matches!(err, AtomicityViolation::StaleRead { .. }), "{err}");
+    }
+
+    #[test]
+    fn incomplete_write_value_is_not_fabricated() {
+        // A write that never completes (crashed writer) is recorded with a
+        // far-future response; a concurrent read returning it is legal.
+        let pending = OpRecord {
+            kind: OpKind::Write,
+            client: 0,
+            pair: TsVal::new(1, Value::from(10u64)),
+            invoked_at: Time(0),
+            completed_at: Time::FAR_FUTURE,
+        };
+        let ops = vec![pending, read(1, 1, 10, 2, 4)];
+        assert!(check_atomicity(&ops).is_ok());
+    }
+
+    #[test]
     fn violation_displays() {
         let ops = vec![write(1, 10, 0, 5), read(9, 0, 0, 6, 8)];
         let err = check_atomicity(&ops).unwrap_err();

@@ -88,6 +88,20 @@ enum State {
     Writeback(Writeback),
 }
 
+/// Deliberately planted bugs, used by the `rqs-check` mutation tests to
+/// prove the explorer finds real violations. All flags are `false` in
+/// every normal build; the constructors that set them only exist behind
+/// the (default-off) `mutants` cargo feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Mutations {
+    /// Return `⟨0,⊥⟩` instead of the selected candidate (stale reads).
+    stale_select: bool,
+    /// Return the selected candidate without the write-back phase (the
+    /// §1.2 greedy bug: a concurrent read can expose a value that a later
+    /// read then misses — new/old inversion).
+    skip_write_back: bool,
+}
+
 /// A reader client (Fig. 7).
 ///
 /// Drive with [`Reader::start_read`] via
@@ -100,6 +114,7 @@ pub struct Reader {
     read_no: u64,
     state: State,
     outcomes: Vec<ReadOutcome>,
+    muts: Mutations,
 }
 
 impl Reader {
@@ -121,7 +136,28 @@ impl Reader {
             read_no: 0,
             state: State::Idle,
             outcomes: Vec::new(),
+            muts: Mutations::default(),
         }
+    }
+
+    /// Mutant: a reader that always returns the initial pair `⟨0,⊥⟩`
+    /// regardless of what the servers report (a stale-read bug). For
+    /// checker self-tests only.
+    #[cfg(feature = "mutants")]
+    pub fn new_mutant_stale(rqs: Arc<Rqs>, servers: Vec<NodeId>) -> Self {
+        let mut r = Reader::new(rqs, servers);
+        r.muts.stale_select = true;
+        r
+    }
+
+    /// Mutant: a reader that skips the write-back phase and returns the
+    /// selected candidate directly (the §1.2 greedy bug). For checker
+    /// self-tests only.
+    #[cfg(feature = "mutants")]
+    pub fn new_mutant_skip_write_back(rqs: Arc<Rqs>, servers: Vec<NodeId>) -> Self {
+        let mut r = Reader::new(rqs, servers);
+        r.muts.skip_write_back = true;
+        r
     }
 
     /// Completed reads, in completion order.
@@ -220,6 +256,24 @@ impl Reader {
         // Write-back part (lines 40–49).
         let read_rnd = p1.read_rnd;
         let invoked_at = p1.invoked_at;
+        if self.muts.stale_select || self.muts.skip_write_back {
+            // Planted bugs (checker self-tests): complete after the
+            // regular part, returning a stale pair or skipping write-back.
+            let returned = if self.muts.stale_select {
+                TsVal::initial()
+            } else {
+                csel
+            };
+            self.state = State::Idle;
+            self.outcomes.push(ReadOutcome {
+                read_no: self.read_no,
+                returned,
+                rounds: read_rnd,
+                invoked_at,
+                completed_at: ctx.now(),
+            });
+            return;
+        }
         if read_rnd == 1 {
             // Line 40: BCD(csel, 1, ·) → 1-round read, no write-back.
             if (1..=3).any(|r| view.bcd1(&csel, r)) {
@@ -350,6 +404,12 @@ impl Reader {
 }
 
 impl Automaton<StorageMsg> for Reader {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a(
+            format!("{:?},{:?},{:?}", self.read_no, self.state, self.outcomes).as_bytes(),
+        )
+    }
+
     fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
         let Some(sender) = self.server_index(from) else {
             return;

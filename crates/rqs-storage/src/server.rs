@@ -30,6 +30,10 @@ impl Server {
 }
 
 impl Automaton<StorageMsg> for Server {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a(format!("{:?}", self.history).as_bytes())
+    }
+
     fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
         match msg {
             StorageMsg::Wr { ts, val, sets, rnd } => {

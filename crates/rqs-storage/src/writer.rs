@@ -226,6 +226,10 @@ impl Writer {
 }
 
 impl Automaton<StorageMsg> for Writer {
+    fn state_digest(&self) -> u64 {
+        rqs_sim::fnv1a(format!("{:?},{:?},{:?}", self.ts, self.current, self.outcomes).as_bytes())
+    }
+
     fn on_message(&mut self, from: NodeId, msg: StorageMsg, ctx: &mut Context<StorageMsg>) {
         let StorageMsg::WrAck { ts, rnd } = msg else {
             return; // writers ignore everything but write acks

@@ -28,6 +28,11 @@
 //! - [`runtime`] ([`rqs_runtime`]) — the node-per-thread
 //!   [`Substrate`](rqs_sim::Substrate) implementation over crossbeam
 //!   channels (scenarios compile to an interposed message-filter thread);
+//! - [`check`] ([`rqs_check`]) — systematic schedule exploration (model
+//!   checking) over the deterministic world: bounded DFS with state-hash
+//!   deduplication and fault branching, seeded random walks, pluggable
+//!   invariants (SWMR atomicity, consensus agreement/validity, fast-path
+//!   bounds), counterexample shrinking and replay;
 //! - [`kv`] ([`rqs_kv`]) — the sharded, batched multi-object KV service:
 //!   many SWMR registers multiplexed over one server set, with
 //!   per-object atomicity checking, a seeded workload generator, and one
@@ -63,6 +68,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use rqs_check as check;
 pub use rqs_consensus as consensus;
 pub use rqs_core as core;
 pub use rqs_crypto as crypto;

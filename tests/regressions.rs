@@ -1,0 +1,40 @@
+//! Replays the checked-in schedule corpus (`tests/regressions/*.cex`)
+//! through the model checker. See `tests/regressions/README.md` for the
+//! format and how to add entries.
+
+use rqs::check::explore::replay;
+use rqs::check::model::builtin_model;
+use rqs::check::{Counterexample, Expectation};
+
+#[test]
+fn regression_corpus_replays() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cex"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let cex = Counterexample::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let model = builtin_model(&cex.model)
+            .unwrap_or_else(|| panic!("{name}: unknown model {:?}", cex.model));
+        let (_, out) = replay(model.as_ref(), &cex.choices, 20_000);
+        match cex.expect {
+            Expectation::Pass => assert!(
+                out.violation.is_none(),
+                "{name}: expected pass, got violation: {:?}",
+                out.violation
+            ),
+            Expectation::Fail => assert!(
+                out.violation.is_some(),
+                "{name}: expected a violation, got a clean run"
+            ),
+        }
+        seen += 1;
+    }
+    assert!(seen >= 2, "corpus must not silently vanish (saw {seen})");
+}
