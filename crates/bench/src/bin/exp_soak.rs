@@ -1,0 +1,14 @@
+//! E18: streaming-validation soak — a long KV workload on the threaded
+//! runtime with the checker sidecar validating every operation as it
+//! completes. Exits non-zero if the sidecar reports an atomicity
+//! violation, so CI can run `exp_soak --quick --json` as a smoke step.
+fn main() {
+    let args = bench::cli::ExpArgs::parse();
+    let params = bench::exp_soak::SoakParams::for_mode(args.quick);
+    let run = bench::exp_soak::run_soak(args.seed, params);
+    let violated = run.sidecar.verdict.is_err();
+    args.emit(&[bench::exp_soak::render(args.seed, params, &run)]);
+    if violated {
+        std::process::exit(1);
+    }
+}

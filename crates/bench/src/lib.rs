@@ -24,6 +24,7 @@
 //! | E15 | multi-object KV service (batching + substrates) | [`exp_kv`] |
 //! | E16 | scenario engine × substrates | [`exp_scenarios`] |
 //! | E17 | schedule exploration (model checking) | [`exp_explore`] |
+//! | E18 | streaming-validation soak (threaded + sidecar) | [`exp_soak`] |
 //!
 //! Every binary accepts `--seed N`, `--json` and `--quick`
 //! (see [`cli::ExpArgs`]).
@@ -46,6 +47,7 @@ pub mod exp_latency;
 pub mod exp_regular;
 pub mod exp_scale;
 pub mod exp_scenarios;
+pub mod exp_soak;
 pub mod exp_sweep;
 pub mod report;
 

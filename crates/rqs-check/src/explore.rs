@@ -101,6 +101,10 @@ pub struct ExploreStats {
     pub unique_states: usize,
     /// Longest run, in choice points.
     pub max_depth: usize,
+    /// Completed ops scanned by atomicity polling, summed over runs —
+    /// the invariant-machinery share of exploration cost (see
+    /// [`RunOutput::scanned_ops`]).
+    pub scanned_ops: usize,
     /// `true` iff the bounded space was fully enumerated (the run budget
     /// was not the stopping reason).
     pub exhausted: bool,
@@ -340,6 +344,7 @@ pub fn dfs(model: &dyn Model, bounds: &Bounds, stop_at_first: bool) -> ExploreOu
         out.stats.runs += 1;
         out.stats.choice_points += rec.choices.len();
         out.stats.max_depth = out.stats.max_depth.max(rec.choices.len());
+        out.stats.scanned_ops += run_out.scanned_ops;
         if let Some(v) = run_out.violation {
             out.violations
                 .push(found(model, v, rec.choices.clone(), bounds));
@@ -398,6 +403,7 @@ pub fn random_walks(
         out.stats.runs += 1;
         out.stats.choice_points += rec.choices.len();
         out.stats.max_depth = out.stats.max_depth.max(rec.choices.len());
+        out.stats.scanned_ops += run_out.scanned_ops;
         for fp in &rec.fingerprints {
             seen.insert(*fp);
         }

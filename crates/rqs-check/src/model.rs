@@ -17,7 +17,7 @@ use rqs_core::Rqs;
 use rqs_sim::{fnv1a, Time};
 use rqs_storage::reader::Reader;
 use rqs_storage::writer::Writer;
-use rqs_storage::{StorageHarness, StorageMsg, Value};
+use rqs_storage::{check_atomicity_reference, CheckerStats, StorageHarness, StorageMsg, Value};
 use std::rc::Rc;
 
 /// A deployment hook run after build, before any operation starts.
@@ -30,6 +30,15 @@ pub struct RunOutput {
     pub violation: Option<String>,
     /// Rendered event trace (only when `ctl.collect_trace` is set).
     pub trace: Vec<String>,
+    /// Streaming-checker counters of the run's harness (storage models
+    /// only). `checker.violation_op` is the arrival index of the op that
+    /// tripped the violation — evidence of at-arrival detection.
+    pub checker: Option<CheckerStats>,
+    /// Completed operations scanned by atomicity polling over the run.
+    /// The streaming invariant scans each op exactly once; the rescan
+    /// baseline rescans the full history at every choice point, so this
+    /// is the deterministic per-run cost of the invariant machinery.
+    pub scanned_ops: usize,
 }
 
 /// A model the explorer can run under schedule control.
@@ -100,8 +109,19 @@ pub enum StorageOp {
 #[derive(Clone, Copy, Debug)]
 pub enum StorageInvariant {
     /// SWMR atomicity of the completed-op history (the paper's Theorem 8
-    /// claim), via [`rqs_storage::check_atomicity`].
+    /// claim), via the harness's streaming
+    /// [`AtomicityChecker`](rqs_storage::AtomicityChecker): the run polls
+    /// the checker at every choice point (each poll costs O(new ops),
+    /// since checker state persists across the run instead of being
+    /// recomputed per explored state) and aborts the run at the first
+    /// violating operation.
     Atomicity,
+    /// The pre-streaming baseline, kept for differential testing: rescan
+    /// the *full* history with the quadratic
+    /// [`rqs_storage::check_atomicity_reference`] at every choice point.
+    /// Verdicts must match [`Atomicity`](Self::Atomicity); DFS throughput
+    /// must not.
+    AtomicityRescan,
     /// Fast-path latency (Theorem 9): on *synchronous* runs — canonical
     /// schedule, no injected faults — completed operations stay within
     /// the stated round bounds. Skipped on reordered/faulty runs, where
@@ -284,10 +304,28 @@ impl Model for StorageModel {
         if ctl.collect_trace {
             h.world_mut().enable_trace(|m| m.to_string());
         }
+        let stream = self
+            .invariants
+            .iter()
+            .any(|i| matches!(i, StorageInvariant::Atomicity));
+        let rescan = self
+            .invariants
+            .iter()
+            .any(|i| matches!(i, StorageInvariant::AtomicityRescan));
+        let mut live: Option<String> = None;
+        let mut scanned_ops = 0;
         let mut pos = vec![ChainPos::default(); self.chains.len()];
         self.advance(&mut h, &mut pos);
         h.world_mut().set_scheduler(ctl.scheduler());
         loop {
+            // Poll the atomicity invariant at every choice point and
+            // abort the run the moment the offending op has completed:
+            // every extension of this schedule keeps the violating
+            // prefix, so nothing sound is pruned.
+            if let Some(v) = self.poll_atomicity(&mut h, stream, rescan, &mut scanned_ops) {
+                live = Some(v);
+                break;
+            }
             if ctl.step(h.world_mut(), storage_msg_hash) {
                 self.advance(&mut h, &mut pos);
                 continue;
@@ -316,17 +354,62 @@ impl Model for StorageModel {
             .iter()
             .map(|e| format!("{} {}", e.at, e.what))
             .collect();
-        let violation = self.check_invariants(&mut h, ctl);
-        RunOutput { violation, trace }
+        let violation = live.or_else(|| self.check_invariants(&mut h, ctl));
+        let checker = Some(h.checker_stats());
+        RunOutput {
+            violation,
+            trace,
+            checker,
+            scanned_ops,
+        }
     }
 }
 
 impl StorageModel {
+    /// Checks the atomicity invariant at a choice point. The streaming
+    /// path harvests new outcomes into the harness's incremental checker
+    /// (O(new ops)); the rescan path re-runs the quadratic reference
+    /// over the full history, kept as a differential baseline. `scanned`
+    /// accumulates the ops each path looked at, so explorations can
+    /// compare invariant cost deterministically.
+    fn poll_atomicity(
+        &self,
+        h: &mut StorageHarness,
+        stream: bool,
+        rescan: bool,
+        scanned: &mut usize,
+    ) -> Option<String> {
+        if !stream && !rescan {
+            return None;
+        }
+        let before = h.ops().len();
+        h.harvest();
+        if stream {
+            *scanned += h.ops().len() - before;
+            if let Some(v) = h.checker_violation() {
+                return Some(format!("atomicity: {v}"));
+            }
+        }
+        if rescan {
+            *scanned += h.ops().len();
+            if let Err(v) = check_atomicity_reference(h.ops()) {
+                return Some(format!("atomicity: {v}"));
+            }
+        }
+        None
+    }
+
     fn check_invariants(&self, h: &mut StorageHarness, ctl: &RunCtl) -> Option<String> {
         for inv in &self.invariants {
             match inv {
                 StorageInvariant::Atomicity => {
                     if let Err(v) = h.check_atomicity() {
+                        return Some(format!("atomicity: {v}"));
+                    }
+                }
+                StorageInvariant::AtomicityRescan => {
+                    h.harvest();
+                    if let Err(v) = check_atomicity_reference(h.ops()) {
                         return Some(format!("atomicity: {v}"));
                     }
                 }
@@ -464,7 +547,12 @@ impl Model for ConsensusModel {
             .map(|e| format!("{} {}", e.at, e.what))
             .collect();
         let violation = self.check_invariants(&h, ctl);
-        RunOutput { violation, trace }
+        RunOutput {
+            violation,
+            trace,
+            checker: None,
+            scanned_ops: 0,
+        }
     }
 }
 

@@ -27,11 +27,12 @@ use crate::object::{ObjectId, ShardMap};
 use crate::server::{ByzantineMode, KvByzantineServer, KvServer};
 use crate::workload::{per_client, take_wave, WorkloadOp};
 use rqs_core::Rqs;
-use rqs_runtime::Runtime;
+use rqs_runtime::{CheckerSidecar, Runtime, SidecarReport};
 use rqs_sim::{
     Automaton, NodeId, Scenario, Substrate, SubstrateConfig, World, DEFAULT_AWAIT_STEPS,
 };
-use rqs_storage::atomicity::{check_atomicity, AtomicityViolation, OpRecord};
+use rqs_storage::atomicity::{AtomicityViolation, OpRecord};
+use rqs_storage::checker::{AtomicityChecker, CheckerStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,10 +60,19 @@ pub struct KvDeployment<S: Substrate<KvBatch>> {
     shard: ShardMap,
     servers: Vec<NodeId>,
     clients: Vec<NodeId>,
-    /// `(client index, outcome)` pairs harvested after each run.
+    /// `(client index, outcome)` pairs harvested after each run (empty
+    /// when `retain_outcomes(false)` keeps memory flat on soak runs).
     completed: Vec<(usize, KvOutcome)>,
     /// Per-client harvest cursors into the clients' outcome logs.
     harvested: Vec<usize>,
+    /// One streaming atomicity checker per object, fed at every wave
+    /// boundary and retired to the settled horizon (bounded memory).
+    checkers: BTreeMap<ObjectId, AtomicityChecker>,
+    /// Whether harvested outcomes are kept in `completed`.
+    retain_outcomes: bool,
+    /// When set, harvested records go to this checker thread instead of
+    /// the in-line `checkers` (threaded-runtime sidecar mode).
+    sidecar: Option<CheckerSidecar>,
 }
 
 /// The deterministic simulated KV deployment (back-compat alias).
@@ -128,7 +138,20 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             clients: (n..n + clients).map(NodeId).collect(),
             completed: Vec::new(),
             harvested: vec![0; clients],
+            checkers: BTreeMap::new(),
+            retain_outcomes: true,
+            sidecar: None,
         }
+    }
+
+    /// Controls whether harvested outcomes accumulate in
+    /// [`completed`](Self::completed) (default `true`). Soak runs switch
+    /// this off: the streaming checkers keep validating every operation,
+    /// but driver memory stays O(wave), not O(history). With retention
+    /// off, [`per_object_records`](Self::per_object_records) and
+    /// [`op_trace`](Self::op_trace) only see retained history.
+    pub fn retain_outcomes(&mut self, retain: bool) {
+        self.retain_outcomes = retain;
     }
 
     /// The shard map in use.
@@ -178,6 +201,7 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         let units_before = self.sub.elapsed_units();
         let net_before = self.sub.stats();
 
+        let mut stats = KvRunStats::default();
         loop {
             let mut launched = false;
             for (ci, queue) in queues.iter_mut().enumerate() {
@@ -199,11 +223,28 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
                         .await_on::<KvClient>(c, |k| k.in_flight() == 0, DEFAULT_AWAIT_STEPS);
                 assert!(done, "KV wave did not complete (no correct quorum?)");
             }
+            // Streaming validation: harvest and check the wave *now*,
+            // then retire everything the quiescent point proves ordered.
+            self.harvest_wave(&mut stats);
         }
 
-        // Harvest the new outcomes.
-        let mut stats = KvRunStats::default();
-        for (ci, &node) in self.clients.iter().enumerate() {
+        let net_after = self.sub.stats();
+        stats.duration_units = (self.sub.elapsed_units() - units_before).max(1);
+        stats.envelopes = (net_after.envelopes - net_before.envelopes) as usize;
+        stats.items = (net_after.items - net_before.items) as usize;
+        for c in self.checkers.values() {
+            stats.checker.merge(&c.stats());
+        }
+        stats
+    }
+
+    /// Harvests every client's new outcomes into the run stats and the
+    /// per-object streaming checkers (or the sidecar, when enabled), then
+    /// advances each checker's retirement watermark: the wave boundary is
+    /// a quiescent point, so every future operation is invoked at or
+    /// after any completion seen so far.
+    fn harvest_wave(&mut self, stats: &mut KvRunStats) {
+        for (ci, &node) in self.clients.clone().iter().enumerate() {
             let skip = self.harvested[ci];
             let outs = self
                 .sub
@@ -213,14 +254,43 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             self.harvested[ci] += outs.len();
             for out in outs {
                 stats.record_outcome(&out);
-                self.completed.push((ci, out));
+                let rec = OpRecord {
+                    kind: out.kind,
+                    client: ci,
+                    pair: out.pair.clone(),
+                    invoked_at: out.invoked_at,
+                    completed_at: out.completed_at,
+                };
+                match &self.sidecar {
+                    Some(sidecar) => sidecar.observe(out.object.0, rec),
+                    None => {
+                        self.checkers.entry(out.object).or_default().observe(&rec);
+                    }
+                }
+                if self.retain_outcomes {
+                    self.completed.push((ci, out));
+                }
             }
         }
-        let net_after = self.sub.stats();
-        stats.duration_units = (self.sub.elapsed_units() - units_before).max(1);
-        stats.envelopes = (net_after.envelopes - net_before.envelopes) as usize;
-        stats.items = (net_after.items - net_before.items) as usize;
-        stats
+        match &self.sidecar {
+            Some(sidecar) => sidecar.retire_settled(),
+            None => {
+                for c in self.checkers.values_mut() {
+                    c.retire_settled();
+                }
+            }
+        }
+    }
+
+    /// Aggregated counters of the per-object streaming checkers (empty
+    /// while a sidecar owns the checking — see
+    /// [`SidecarReport`](rqs_runtime::SidecarReport)).
+    pub fn checker_stats(&self) -> CheckerStats {
+        let mut agg = CheckerStats::default();
+        for c in self.checkers.values() {
+            agg.merge(&c.stats());
+        }
+        agg
     }
 
     /// All completed operations so far, as `(client, outcome)` pairs.
@@ -243,18 +313,27 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         map
     }
 
-    /// Checks every object's history for atomicity. Works on both
+    /// Checks every object's history for atomicity by reading the
+    /// verdicts of the streaming checkers that validated each wave as it
+    /// completed — O(objects), no history rescan. Works on both
     /// substrates: wall-clock invocation/response ticks only widen the
     /// apparent concurrency windows, which never invalidates a real-time
     /// linearization.
+    ///
+    /// When a sidecar owns the checking, the verdict lives in its
+    /// [`SidecarReport`](rqs_runtime::SidecarReport) instead.
     ///
     /// # Errors
     ///
     /// Returns the first violating object.
     pub fn check_atomicity(&self) -> Result<(), KvAtomicityViolation> {
-        for (object, records) in self.per_object_records() {
-            check_atomicity(&records)
-                .map_err(|violation| KvAtomicityViolation { object, violation })?;
+        for (object, checker) in &self.checkers {
+            checker
+                .verdict()
+                .map_err(|violation| KvAtomicityViolation {
+                    object: *object,
+                    violation,
+                })?;
         }
         Ok(())
     }
@@ -307,6 +386,29 @@ impl RtKv {
     /// length (back-compat constructor).
     pub fn with_tick(rqs: Rqs, objects: usize, clients: usize, tick: Duration) -> Self {
         Self::with_setup(rqs, objects, clients, Scenario::default(), tick)
+    }
+
+    /// Offloads streaming atomicity checking to a dedicated
+    /// [`CheckerSidecar`] thread: harvested records become channel sends,
+    /// keeping validation off the workload-driving thread. Call
+    /// [`finish_sidecar`](Self::finish_sidecar) for the verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations were already checked in-line: the sidecar
+    /// must see the history from the start.
+    pub fn enable_checker_sidecar(&mut self) {
+        assert!(
+            self.checkers.is_empty(),
+            "enable the sidecar before running workloads"
+        );
+        self.sidecar = Some(CheckerSidecar::spawn());
+    }
+
+    /// Joins the checker sidecar (if one is enabled) and returns its
+    /// verdict and aggregated counters.
+    pub fn finish_sidecar(&mut self) -> Option<SidecarReport> {
+        self.sidecar.take().map(CheckerSidecar::finish)
     }
 }
 
@@ -414,6 +516,61 @@ mod tests {
         let trace = sim.op_trace();
         assert_eq!(trace.len(), 10);
         assert!(trace.iter().all(|l| l.starts_with('c')));
+    }
+
+    #[test]
+    fn streaming_checker_memory_bounded_by_concurrency_not_history() {
+        // Same deployment shape, 4x the ops: the checker frontier (peak
+        // resident entries) must not scale with history length, and with
+        // retention off the driver keeps no per-op state at all.
+        let run = |ops: usize| {
+            let mut sim = small_sim();
+            sim.retain_outcomes(false);
+            let cfg = WorkloadConfig::mixed(8, 2, ops, 7);
+            let stats = sim.run_workload(&generate(&cfg), 4);
+            sim.check_atomicity().unwrap();
+            assert!(sim.completed().is_empty(), "outcomes not retained");
+            stats
+        };
+        let small = run(80);
+        let large = run(320);
+        assert_eq!(small.checker.ops_checked, 80);
+        assert_eq!(large.checker.ops_checked, 320);
+        assert!(
+            large.checker.max_frontier <= small.checker.max_frontier + 4,
+            "frontier grew with history: {} vs {}",
+            large.checker.max_frontier,
+            small.checker.max_frontier
+        );
+        assert!(large.checker.retired_ops > 0, "retirement engaged");
+        assert!(large.checker.retired_watermark > 0);
+    }
+
+    #[test]
+    fn checker_stats_surface_through_run_stats() {
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 11);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.checker.ops_checked, 60);
+        assert_eq!(stats.latencies.len(), 60);
+        assert!(stats.latency_percentile(99.0) >= stats.latency_percentile(50.0));
+        assert_eq!(sim.checker_stats().ops_checked, 60);
+    }
+
+    #[test]
+    fn sidecar_checks_threaded_run_off_thread() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        kv.enable_checker_sidecar();
+        kv.retain_outcomes(false);
+        let cfg = WorkloadConfig::mixed(8, 2, 24, 31);
+        let stats = kv.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 24);
+        assert_eq!(stats.checker.ops_checked, 0, "checking is off-thread");
+        let report = kv.finish_sidecar().expect("sidecar enabled");
+        report.verdict.unwrap();
+        assert_eq!(report.stats.ops_checked, 24);
+        kv.shutdown();
     }
 
     #[test]

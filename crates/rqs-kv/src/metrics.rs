@@ -1,7 +1,8 @@
 //! Run metrics: throughput, round histograms, fast-path ratio, message
-//! accounting.
+//! accounting, per-op latency percentiles and streaming-checker counters.
 
 use crate::client::KvOutcome;
+use rqs_storage::CheckerStats;
 use std::collections::BTreeMap;
 
 /// Histogram of protocol rounds per operation.
@@ -77,6 +78,13 @@ pub struct KvRunStats {
     pub envelopes: usize,
     /// Protocol messages carried inside those envelopes.
     pub items: usize,
+    /// Per-operation latencies in duration units (completion minus
+    /// invocation), in harvest order.
+    pub latencies: Vec<u64>,
+    /// Aggregated counters of the deployment's streaming atomicity
+    /// checkers (cumulative over the deployment's lifetime; empty when
+    /// checking is offloaded to a sidecar).
+    pub checker: CheckerStats,
 }
 
 impl KvRunStats {
@@ -111,6 +119,24 @@ impl KvRunStats {
     pub fn record_outcome(&mut self, out: &KvOutcome) {
         self.ops += 1;
         self.rounds.record(out.rounds);
+        self.latencies.push(
+            out.completed_at
+                .ticks()
+                .saturating_sub(out.invoked_at.ticks()),
+        );
+    }
+
+    /// The `p`-th latency percentile in duration units (0 when empty).
+    /// `p` is clamped to `[0, 100]`; uses the nearest-rank method.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 }
 
@@ -144,10 +170,23 @@ mod tests {
             duration_units: 50,
             envelopes: 40,
             items: 120,
+            ..Default::default()
         };
         assert!((stats.throughput() - 0.2).abs() < 1e-12);
         assert!((stats.envelopes_per_op() - 4.0).abs() < 1e-12);
         assert!((stats.batching_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let stats = KvRunStats {
+            latencies: vec![5, 1, 9, 3, 7],
+            ..Default::default()
+        };
+        assert_eq!(stats.latency_percentile(50.0), 5);
+        assert_eq!(stats.latency_percentile(99.0), 9);
+        assert_eq!(stats.latency_percentile(0.0), 1);
+        assert_eq!(KvRunStats::default().latency_percentile(50.0), 0);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!
 //! - [`runtime`] — the generic node-per-thread executor;
 //! - [`storage`] — [`RtStorage`], a threaded atomic-storage deployment;
-//! - [`consensus`] — [`RtConsensus`], a threaded consensus deployment.
+//! - [`consensus`] — [`RtConsensus`], a threaded consensus deployment;
+//! - [`sidecar`] — [`CheckerSidecar`], a thread streaming harvested
+//!   operations through per-object atomicity checkers so soak-length
+//!   runs are validated concurrently with the workload.
 //!
 //! ```no_run
 //! use rqs_core::threshold::ThresholdConfig;
@@ -33,8 +36,10 @@
 
 pub mod consensus;
 pub mod runtime;
+pub mod sidecar;
 pub mod storage;
 
 pub use consensus::RtConsensus;
 pub use runtime::{Runtime, RuntimeBuilder, DEFAULT_TICK};
+pub use sidecar::{CheckerSidecar, SidecarReport};
 pub use storage::RtStorage;

@@ -42,11 +42,13 @@ pub struct OpRecord {
 }
 
 impl OpRecord {
-    fn ts(&self) -> Timestamp {
+    /// The operation's timestamp (written or returned).
+    pub fn ts(&self) -> Timestamp {
         self.pair.ts
     }
 
-    fn describe(&self) -> String {
+    /// Human-readable one-liner used in violation reports.
+    pub fn describe(&self) -> String {
         let what = match self.kind {
             OpKind::Write => "write",
             OpKind::Read => "read",
@@ -103,11 +105,36 @@ impl std::error::Error for AtomicityViolation {}
 
 /// Checks a complete execution history for SWMR atomicity.
 ///
+/// A thin wrapper over the incremental
+/// [`AtomicityChecker`](crate::checker::AtomicityChecker): every record is
+/// streamed into the sink and the history is then declared complete. Costs
+/// ~O(n log n) over the whole history where the reference pass is O(n²);
+/// [`check_atomicity_reference`] keeps the quadratic executable
+/// specification for differential testing.
+///
+/// # Errors
+///
+/// Returns the first violation found, in stream order.
+pub fn check_atomicity(ops: &[OpRecord]) -> Result<(), AtomicityViolation> {
+    let mut sink = crate::checker::AtomicityChecker::new();
+    for op in ops {
+        sink.observe(op);
+    }
+    sink.finish()
+}
+
+/// The original O(n²) whole-history checker, kept verbatim as the
+/// executable specification the streaming sink is tested against: three
+/// full passes (unique write timestamps, read sourcing, pairwise real-time
+/// order). Verdicts (`Ok`/`Err`) always agree with [`check_atomicity`];
+/// on histories with *multiple* violations the reported one may differ,
+/// because the sink reports in arrival order and this pass by rule.
+///
 /// # Errors
 ///
 /// Returns the first violation found (fabrication, then consistency, then
 /// real-time order).
-pub fn check_atomicity(ops: &[OpRecord]) -> Result<(), AtomicityViolation> {
+pub fn check_atomicity_reference(ops: &[OpRecord]) -> Result<(), AtomicityViolation> {
     let writes: Vec<&OpRecord> = ops.iter().filter(|o| o.kind == OpKind::Write).collect();
 
     // Unique timestamps across writes + value agreement.

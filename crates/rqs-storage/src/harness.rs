@@ -12,8 +12,9 @@
 //! through a declarative [`Scenario`], which compiles to a fate policy on
 //! the simulator and an interposed filter thread on the runtime.
 
-use crate::atomicity::{check_atomicity, AtomicityViolation, OpKind, OpRecord};
+use crate::atomicity::{AtomicityViolation, OpKind, OpRecord};
 use crate::byzantine::ForgedServer;
+use crate::checker::{AtomicityChecker, CheckerStats};
 use crate::messages::StorageMsg;
 use crate::reader::{ReadOutcome, Reader};
 use crate::server::Server;
@@ -24,6 +25,7 @@ use rqs_sim::{
     Automaton, NetworkScript, NodeId, Scenario, Substrate, SubstrateConfig, Time, World,
     DEFAULT_AWAIT_STEPS,
 };
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -53,6 +55,15 @@ pub struct StorageDeployment<S: Substrate<StorageMsg>> {
     writer: NodeId,
     readers: Vec<NodeId>,
     ops: Vec<OpRecord>,
+    /// Streaming checker fed as operations are harvested: violations are
+    /// visible at op arrival, without rescanning `ops`.
+    checker: AtomicityChecker,
+    /// Harvest cursor into the writer's outcome log.
+    harvested_writes: usize,
+    /// Harvest cursor into each reader's outcome log.
+    harvested_reads: Vec<usize>,
+    /// Timestamps fed to the checker as in-flight (far-future) writes.
+    open_writes: BTreeSet<u64>,
 }
 
 /// The simulated storage deployment (back-compat alias): the same driver
@@ -99,6 +110,10 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
             writer: NodeId(n),
             readers: (n + 1..n + 1 + readers).map(NodeId).collect(),
             ops: Vec::new(),
+            checker: AtomicityChecker::new(),
+            harvested_writes: 0,
+            harvested_reads: vec![0; readers],
+            open_writes: BTreeSet::new(),
         }
     }
 
@@ -162,13 +177,7 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
         let out = self
             .sub
             .inspect_on::<Writer, WriteOutcome>(writer, move |w| w.outcomes()[before].clone());
-        self.ops.push(OpRecord {
-            kind: OpKind::Write,
-            client: self.writer.index(),
-            pair: crate::value::TsVal::new(out.ts, out.val.clone()),
-            invoked_at: out.invoked_at,
-            completed_at: out.completed_at,
-        });
+        self.harvest();
         out
     }
 
@@ -193,13 +202,7 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
         let out = self
             .sub
             .inspect_on::<Reader, ReadOutcome>(node, move |r| r.outcomes()[before].clone());
-        self.ops.push(OpRecord {
-            kind: OpKind::Read,
-            client: node.index(),
-            pair: out.returned.clone(),
-            invoked_at: out.invoked_at,
-            completed_at: out.completed_at,
-        });
+        self.harvest();
         out
     }
 
@@ -217,68 +220,87 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
             .invoke_on::<Reader>(node, |r, ctx| r.start_read(ctx));
     }
 
-    /// Collects completed-but-unrecorded operations into the op log.
+    /// Collects completed-but-unrecorded operations into the op log and
+    /// streams them into the incremental checker.
+    ///
+    /// Each node's outcome log is read past a per-node cursor, so a
+    /// harvest costs O(new ops), and every new record is fed to the
+    /// [`AtomicityChecker`] at that moment — a violation is observable
+    /// via [`checker_violation`](Self::checker_violation) as soon as the
+    /// offending operation completes, without rescanning the history.
     ///
     /// An invoked-but-incomplete write is recorded with a far-future
     /// response time: concurrent reads may legitimately return its value,
-    /// and the checker must know the value was genuinely written.
+    /// and the checker must know the value was genuinely written. When
+    /// that write later completes, its record (in `ops` and in the
+    /// checker) is upgraded in place with the real completion time.
     pub fn harvest(&mut self) {
         let writer = self.writer;
+        // The in-flight write first: reads harvested in the same pass may
+        // legitimately return its value.
         if let Some((ts, val, invoked_at)) = self
             .sub
             .inspect_on::<Writer, Option<(u64, Value, Time)>>(writer, |w| w.in_progress())
         {
-            let already = self
-                .ops
-                .iter()
-                .any(|o| o.kind == OpKind::Write && o.pair.ts == ts);
-            if !already {
-                self.ops.push(OpRecord {
+            if self.open_writes.insert(ts) {
+                let rec = OpRecord {
                     kind: OpKind::Write,
                     client: self.writer.index(),
                     pair: crate::value::TsVal::new(ts, val),
                     invoked_at,
                     completed_at: Time::FAR_FUTURE,
-                });
+                };
+                self.checker.observe_open_write(&rec);
+                self.ops.push(rec);
             }
         }
+        let from = self.harvested_writes;
         let writer_outs = self
             .sub
-            .inspect_on::<Writer, Vec<WriteOutcome>>(writer, |w| w.outcomes().to_vec());
+            .inspect_on::<Writer, Vec<WriteOutcome>>(writer, move |w| {
+                w.outcomes()[from..].to_vec()
+            });
+        self.harvested_writes += writer_outs.len();
         for out in writer_outs {
-            let already = self
-                .ops
-                .iter()
-                .any(|o| o.kind == OpKind::Write && o.pair.ts == out.ts);
-            if !already {
-                self.ops.push(OpRecord {
-                    kind: OpKind::Write,
-                    client: self.writer.index(),
-                    pair: crate::value::TsVal::new(out.ts, out.val.clone()),
-                    invoked_at: out.invoked_at,
-                    completed_at: out.completed_at,
-                });
+            let rec = OpRecord {
+                kind: OpKind::Write,
+                client: self.writer.index(),
+                pair: crate::value::TsVal::new(out.ts, out.val.clone()),
+                invoked_at: out.invoked_at,
+                completed_at: out.completed_at,
+            };
+            self.checker.observe(&rec);
+            if self.open_writes.remove(&out.ts) {
+                if let Some(o) = self
+                    .ops
+                    .iter_mut()
+                    .rev()
+                    .find(|o| o.kind == OpKind::Write && o.pair.ts == out.ts)
+                {
+                    *o = rec;
+                }
+            } else {
+                self.ops.push(rec);
             }
         }
-        for &node in &self.readers.clone() {
+        for (i, node) in self.readers.clone().into_iter().enumerate() {
+            let from = self.harvested_reads[i];
             let outs = self
                 .sub
-                .inspect_on::<Reader, Vec<ReadOutcome>>(node, |r| r.outcomes().to_vec());
-            for out in outs {
-                let already = self.ops.iter().any(|o| {
-                    o.kind == OpKind::Read
-                        && o.client == node.index()
-                        && o.invoked_at == out.invoked_at
+                .inspect_on::<Reader, Vec<ReadOutcome>>(node, move |r| {
+                    r.outcomes()[from..].to_vec()
                 });
-                if !already {
-                    self.ops.push(OpRecord {
-                        kind: OpKind::Read,
-                        client: node.index(),
-                        pair: out.returned.clone(),
-                        invoked_at: out.invoked_at,
-                        completed_at: out.completed_at,
-                    });
-                }
+            self.harvested_reads[i] += outs.len();
+            for out in outs {
+                let rec = OpRecord {
+                    kind: OpKind::Read,
+                    client: node.index(),
+                    pair: out.returned.clone(),
+                    invoked_at: out.invoked_at,
+                    completed_at: out.completed_at,
+                };
+                self.checker.observe(&rec);
+                self.ops.push(rec);
             }
         }
     }
@@ -288,15 +310,31 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
         &self.ops
     }
 
+    /// The first definite violation streamed so far (without declaring
+    /// the history complete — reads still waiting for their source write
+    /// do not count). Cheap: no rescan.
+    pub fn checker_violation(&self) -> Option<&AtomicityViolation> {
+        self.checker.violation()
+    }
+
+    /// Counters of the embedded streaming checker.
+    pub fn checker_stats(&self) -> CheckerStats {
+        self.checker.stats()
+    }
+
     /// Checks the collected operation log (after harvesting completed and
     /// pending operations) for atomicity.
+    ///
+    /// The verdict is read off the streaming checker — the history was
+    /// validated as it was harvested, so this costs O(new ops), not
+    /// O(history²).
     ///
     /// # Errors
     ///
     /// Returns the first [`AtomicityViolation`] found.
     pub fn check_atomicity(&mut self) -> Result<(), AtomicityViolation> {
         self.harvest();
-        check_atomicity(&self.ops)
+        self.checker.verdict()
     }
 
     /// Stops the substrate (a no-op on the simulator).

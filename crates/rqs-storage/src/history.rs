@@ -118,10 +118,14 @@ impl History {
     /// All pairs appearing in slots 1 or 2 anywhere in the history — the
     /// candidate domain of the reader's `read(c, i)` predicate.
     pub fn reported_pairs(&self) -> Vec<TsVal> {
-        let mut out = Vec::new();
+        let mut out: Vec<TsVal> = Vec::new();
         for slots in self.entries.values() {
+            // Entries iterate in ascending timestamp order, so a
+            // duplicate can only be among the pairs pushed for *this*
+            // timestamp — no need to rescan the whole output.
+            let start = out.len();
             for slot in &slots[..2] {
-                if !slot.pair.is_initial() && !out.contains(&slot.pair) {
+                if !slot.pair.is_initial() && !out[start..].contains(&slot.pair) {
                     out.push(slot.pair.clone());
                 }
             }

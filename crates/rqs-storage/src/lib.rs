@@ -16,7 +16,9 @@
 //!   and therefore violates atomicity (Figure 1);
 //! - [`byzantine`] — forged/scripted server behaviours for fault
 //!   injection;
-//! - [`atomicity`] — a linearizability checker for SWMR histories;
+//! - [`atomicity`] — a linearizability checker for SWMR histories, now a
+//!   wrapper over [`checker`], the incremental streaming sink with
+//!   watermark retirement (bounded memory for soak-length histories);
 //! - [`regular`] — the §6 extension: a regular (non-atomic) reader whose
 //!   best-case reads are always one round, plus a regularity checker;
 //! - [`harness::StorageHarness`] — one-call deployment driving whole
@@ -45,6 +47,7 @@
 pub mod abd;
 pub mod atomicity;
 pub mod byzantine;
+pub mod checker;
 pub mod harness;
 pub mod history;
 pub mod messages;
@@ -56,7 +59,10 @@ pub mod server;
 pub mod value;
 pub mod writer;
 
-pub use atomicity::{check_atomicity, AtomicityViolation, OpKind, OpRecord};
+pub use atomicity::{
+    check_atomicity, check_atomicity_reference, AtomicityViolation, OpKind, OpRecord,
+};
+pub use checker::{AtomicityChecker, CheckerStats};
 pub use harness::{StorageDeployment, StorageHarness};
 pub use history::{History, Slot};
 pub use messages::StorageMsg;

@@ -8,6 +8,7 @@
 use crate::history::History;
 use crate::value::{Timestamp, TsVal};
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use std::collections::BTreeMap;
 
 /// A reader's view of the system: its local copies of server histories
 /// plus the bookkeeping the predicates quantify over.
@@ -121,9 +122,15 @@ impl ReadView<'_> {
     /// All pairs reported by any server (slots 1–2), plus the initial pair.
     pub fn reported_pairs(&self) -> Vec<TsVal> {
         let mut out = vec![TsVal::initial()];
+        // Servers report near-identical histories, so cross-server dedup
+        // dominates; bucketing candidate indexes by timestamp keeps it
+        // linear in the history size instead of quadratic.
+        let mut by_ts: BTreeMap<Timestamp, Vec<usize>> = BTreeMap::new();
         for h in self.histories {
             for c in h.reported_pairs() {
-                if !out.contains(&c) {
+                let bucket = by_ts.entry(c.ts).or_default();
+                if !bucket.iter().any(|&i| out[i] == c) {
+                    bucket.push(out.len());
                     out.push(c);
                 }
             }
@@ -132,10 +139,24 @@ impl ReadView<'_> {
     }
 
     /// The candidate set `C` (line 33): safe, highest-candidate pairs.
+    ///
+    /// Equivalent to filtering on `safe(c) && high_cand(c)`, evaluated
+    /// with one `invalid` pass: `highCand(c)` holds iff no *non-invalid*
+    /// reported pair has a timestamp above `c.ts`, i.e. iff `c.ts` is at
+    /// least the highest non-invalid timestamp. The naive form reruns
+    /// `reported_pairs` + `invalid` per pair — quadratic in the history a
+    /// long-lived object accumulates (the paper's histories are unbounded,
+    /// §5) and the reader is the hot path of every read.
     pub fn candidates(&self) -> Vec<TsVal> {
-        self.reported_pairs()
+        let pairs = self.reported_pairs();
+        let live_max = pairs
+            .iter()
+            .filter(|c| !self.invalid(c))
+            .map(|c| c.ts)
+            .max();
+        pairs
             .into_iter()
-            .filter(|c| self.safe(c) && self.high_cand(c))
+            .filter(|c| live_max.is_none_or(|m| m <= c.ts) && self.safe(c))
             .collect()
     }
 
@@ -325,6 +346,51 @@ mod tests {
         assert!(!view.safe(&ghost), "one Byzantine reporter is not basic");
         assert!(view.high_cand(&c));
         assert_eq!(view.select(), Some(c));
+    }
+
+    #[test]
+    fn candidates_match_naive_definition() {
+        // The memoized `candidates()` must equal the literal line-33
+        // filter `safe(c) && high_cand(c)` on a messy view: a completed
+        // low write, a partially-replicated middle write, a ghost above
+        // highest_ts, and divergent same-ts values.
+        let rqs = Arc::new(ThresholdConfig::byzantine_fast(1).build().unwrap());
+        let low = pair(1, 10);
+        let mid = pair(2, 20);
+        let mid_forged = pair(2, 99);
+        let ghost = pair(9, 66);
+        let mut hs = histories_with(
+            4,
+            &[
+                (0, low.clone(), 2),
+                (1, low.clone(), 2),
+                (2, low.clone(), 2),
+                (3, low.clone(), 2),
+                (1, mid.clone(), 1),
+                (2, mid.clone(), 1),
+            ],
+        );
+        hs[3].apply_write(&mid_forged, &BTreeSet::new(), 1);
+        hs[3].apply_write(&ghost, &BTreeSet::new(), 1);
+        for responded in [
+            rqs.quorums_within(ProcessSet::universe(4)),
+            rqs.quorums_within(ProcessSet::from_indices([0, 1, 2])),
+            vec![],
+        ] {
+            let view = ReadView {
+                rqs: &rqs,
+                histories: &hs,
+                responded: &responded,
+                highest_ts: 2,
+                qc2_prime: &[],
+            };
+            let naive: Vec<TsVal> = view
+                .reported_pairs()
+                .into_iter()
+                .filter(|c| view.safe(c) && view.high_cand(c))
+                .collect();
+            assert_eq!(view.candidates(), naive);
+        }
     }
 
     #[test]

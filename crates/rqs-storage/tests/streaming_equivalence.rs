@@ -1,0 +1,244 @@
+//! Differential properties: the streaming [`AtomicityChecker`] (behind
+//! [`check_atomicity`]) must agree with the quadratic reference checker
+//! [`check_atomicity_reference`] on the Ok/Err verdict of *any* history —
+//! synthetic garbage, shuffled feeds, retired wave-structured streams,
+//! and real executions with Byzantine servers swapped in. Taxonomy may
+//! differ on multi-violation histories (the sink reports by arrival
+//! order, the reference by rule order), so properties compare verdicts,
+//! not violation kinds.
+
+use proptest::prelude::*;
+use rqs_core::threshold::ThresholdConfig;
+use rqs_sim::Time;
+use rqs_storage::atomicity::{OpKind, OpRecord};
+use rqs_storage::value::{TsVal, Value};
+use rqs_storage::{check_atomicity, check_atomicity_reference, AtomicityChecker, StorageHarness};
+
+/// Decodes one raw 64-bit sample into an operation record. Roughly one
+/// op in four is a write; timestamps are drawn from a small pool so
+/// duplicates, fabrications and inversions all occur; values are
+/// canonical per timestamp except for an occasional corruption (bit 15),
+/// which plants `Inconsistent` cases.
+fn decode_op(raw: u64, base: u64) -> OpRecord {
+    let is_write = raw.is_multiple_of(4);
+    let ts = (raw >> 2) % 6;
+    let corrupt = (raw >> 15).is_multiple_of(16);
+    let invoked = base + (raw >> 16) % 40;
+    let completed = invoked + (raw >> 24) % 10;
+    let val = if ts == 0 && !corrupt {
+        Value::bottom()
+    } else if corrupt {
+        Value::from(900 + ts)
+    } else {
+        Value::from(100 + ts)
+    };
+    OpRecord {
+        kind: if is_write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        },
+        client: (raw % 3) as usize,
+        pair: TsVal::new(ts, val),
+        invoked_at: Time(invoked),
+        completed_at: Time(completed),
+    }
+}
+
+/// Deterministic Fisher–Yates driven by a caller-provided seed (the
+/// compat `proptest` has no tuple strategies, so the permutation is an
+/// explicit input).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        // xorshift64
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+proptest! {
+    /// On arbitrary (mostly broken) histories the streaming wrapper and
+    /// the quadratic reference return the same verdict.
+    #[test]
+    fn wrapper_matches_reference_on_random_histories(
+        raws in prop::collection::vec(0u64..u64::MAX, 0..14)
+    ) {
+        let ops: Vec<OpRecord> = raws.iter().map(|&r| decode_op(r, 0)).collect();
+        let streamed = check_atomicity(&ops);
+        let reference = check_atomicity_reference(&ops);
+        prop_assert_eq!(
+            streamed.is_err(),
+            reference.is_err(),
+            "streamed {:?} vs reference {:?}",
+            streamed,
+            reference
+        );
+    }
+
+    /// The sink accepts completed operations in any feed order: a
+    /// shuffled feed reaches the same verdict as the original order.
+    #[test]
+    fn verdict_is_feed_order_invariant(
+        raws in prop::collection::vec(0u64..u64::MAX, 0..14),
+        seed in 1u64..u64::MAX,
+    ) {
+        let mut ops: Vec<OpRecord> = raws.iter().map(|&r| decode_op(r, 0)).collect();
+        let in_order = check_atomicity(&ops);
+        shuffle(&mut ops, seed);
+        let shuffled = check_atomicity(&ops);
+        prop_assert_eq!(
+            in_order.is_err(),
+            shuffled.is_err(),
+            "in-order {:?} vs shuffled {:?}",
+            in_order,
+            shuffled
+        );
+    }
+
+    /// Wave-structured histories (wave `k+1` invokes only after wave `k`
+    /// completed) checked with `retire_settled()` between waves reach the
+    /// same verdict as the reference pass over the full history — and the
+    /// retired checker's residency stays bounded by the wave size, not
+    /// the history length.
+    #[test]
+    fn retirement_preserves_verdicts_on_wave_histories(
+        waves in prop::collection::vec(
+            prop::collection::vec(0u64..u64::MAX, 1..6),
+            1..6,
+        )
+    ) {
+        let mut all = Vec::new();
+        let mut sink = AtomicityChecker::new();
+        for (w, wave) in waves.iter().enumerate() {
+            // Wave w lives in [100w, 100w + 50): disjoint from wave w+1,
+            // so every later op invokes past this wave's completions and
+            // the retire-settled watermark contract holds.
+            let ops: Vec<OpRecord> =
+                wave.iter().map(|&r| decode_op(r, 100 * w as u64)).collect();
+            for op in &ops {
+                sink.observe(op);
+            }
+            sink.retire_settled();
+            all.extend(ops);
+        }
+        let resident = sink.resident_ops();
+        let streamed = sink.finish();
+        let reference = check_atomicity_reference(&all);
+        prop_assert_eq!(
+            streamed.is_err(),
+            reference.is_err(),
+            "streamed {:?} vs reference {:?}",
+            streamed,
+            reference
+        );
+        // Residency is bounded by the last (unretired) wave — each live
+        // op occupies up to three indexes (write map + both staircases) —
+        // plus the retained anchor/boundary context. Independent of how
+        // many waves ran before.
+        prop_assert!(
+            resident <= 3 * waves.last().unwrap().len() + 6,
+            "resident {} after {} waves",
+            resident,
+            waves.len()
+        );
+    }
+
+    /// Real executions with a Byzantine server swapped in: the RQS
+    /// protocol masks the forgery, and the streaming verdict equals the
+    /// reference verdict on the harvested history.
+    #[test]
+    fn byzantine_swap_in_executions_agree(
+        forged in 0usize..4,
+        forged_ts in 1u64..1000,
+        script in prop::collection::vec(0u64..u64::MAX, 1..8),
+    ) {
+        let rqs = ThresholdConfig::byzantine_fast(1)
+            .build()
+            .expect("valid byzantine-fast system");
+        let mut h = StorageHarness::new(rqs, 2);
+        h.make_byzantine(
+            forged,
+            Box::new(rqs_storage::byzantine::ForgedServer::with_slot1(
+                &TsVal::new(forged_ts, Value::from(0xBAD_u64)),
+            )),
+        );
+        let mut next = 1u64;
+        for &raw in &script {
+            if raw % 3 == 0 {
+                h.write(Value::from(next));
+                next += 1;
+            } else {
+                h.read((raw % 2) as usize);
+            }
+        }
+        let streamed = h.check_atomicity();
+        let reference = check_atomicity_reference(h.ops());
+        prop_assert!(streamed.is_ok(), "forgery must be masked: {:?}", streamed);
+        prop_assert_eq!(
+            streamed.is_err(),
+            reference.is_err(),
+            "streamed {:?} vs reference {:?}",
+            streamed,
+            reference
+        );
+    }
+}
+
+/// With the `mutants` feature the stale-reader automaton produces real
+/// *violating* executions; both checkers must convict them. (Run with
+/// `cargo test -p rqs-storage --features mutants`.)
+#[cfg(feature = "mutants")]
+mod mutants {
+    use super::*;
+    use rqs_storage::reader::Reader;
+
+    proptest! {
+        #[test]
+        fn stale_mutant_executions_agree(script in prop::collection::vec(0u64..u64::MAX, 2..8)) {
+            let rqs = ThresholdConfig::byzantine_fast(1)
+                .build()
+                .expect("valid byzantine-fast system");
+            let mut h = StorageHarness::new(rqs, 2);
+            let mutant = h.rqs().clone();
+            let servers = h.servers().to_vec();
+            let id = h.reader_id(1);
+            h.world_mut()
+                .replace_node(id, Box::new(Reader::new_mutant_stale(mutant, servers)));
+            let mut next = 1u64;
+            // Always write first so the mutant's ⟨0,⊥⟩ answer is stale.
+            h.write(Value::from(next));
+            next += 1;
+            let mut hit_mutant = false;
+            for &raw in &script {
+                // Advance the clock so program order is real-time order
+                // (the atomicity conditions compare strict completion <
+                // invocation; the instantaneous mutant would otherwise
+                // never form a real-time pair with the write).
+                let gate = h.now() + 1;
+                h.world_mut().run_before(gate);
+                if raw % 3 == 0 {
+                    h.write(Value::from(next));
+                    next += 1;
+                } else {
+                    let reader = (raw % 2) as usize;
+                    hit_mutant |= reader == 1;
+                    h.read(reader);
+                }
+            }
+            let streamed = h.check_atomicity();
+            let reference = check_atomicity_reference(h.ops());
+            prop_assert_eq!(
+                streamed.is_err(),
+                reference.is_err(),
+                "streamed {:?} vs reference {:?}",
+                streamed,
+                reference
+            );
+            if hit_mutant {
+                prop_assert!(streamed.is_err(), "stale read must be convicted");
+            }
+        }
+    }
+}
