@@ -9,7 +9,11 @@
 //!   dropped and *all* traffic is duplicated: quorum idempotence keeps
 //!   every history atomic;
 //! - **crash+restart** — a server crashes mid-run and later restarts
-//!   with its retained state.
+//!   with its retained state;
+//! - **crash+restart amnesia** — the same crash window, but the server
+//!   loses its memory and must rebuild every object by replaying its
+//!   write-ahead store ([`CrashMode::Amnesia`]); the row pair shows the
+//!   retain-vs-amnesia delta under identical schedules.
 //!
 //! Every KV run is atomicity-checked per object — on the deterministic
 //! simulator *and* on the threaded runtime (the generic driver made the
@@ -20,8 +24,9 @@
 use crate::report::Report;
 use rqs_core::threshold::ThresholdConfig;
 use rqs_kv::{workload, KvBatch, KvDeployment, KvRunStats, WorkloadConfig};
-use rqs_sim::{LinkEffect, LinkRule, Scenario, Substrate, World};
+use rqs_sim::{CrashMode, LinkEffect, LinkRule, Scenario, Substrate, World};
 use rqs_storage::{StorageDeployment, StorageMsg, Value};
+use rqs_store::StoreHandle;
 use std::time::Duration;
 
 /// Wall-clock tick used for the threaded rows.
@@ -40,7 +45,23 @@ pub fn suite(n: usize, cut: usize) -> Vec<Scenario> {
             .lossy_towards(vec![n - 1], 4)
             .link(LinkRule::every(LinkEffect::Duplicate { lag: 2 })),
         Scenario::named("crash+restart").crash_restart(0, 10, 60),
+        Scenario::named("crash+restart amnesia").crash_restart_amnesia(0, 10, 60),
     ]
+}
+
+/// One fresh in-memory durable store per server when the scenario
+/// contains an amnesia crash plan (recovery needs a write-ahead log to
+/// replay); retain-mode scenarios stay volatile.
+fn scenario_stores(n: usize, scenario: &Scenario) -> Vec<StoreHandle> {
+    let amnesia = scenario
+        .crashes
+        .iter()
+        .any(|c| matches!(c.crash_mode, CrashMode::Amnesia));
+    if amnesia {
+        (0..n).map(|_| StoreHandle::mem()).collect()
+    } else {
+        Vec::new()
+    }
 }
 
 /// KV workload dimensions for the E16 runs.
@@ -97,8 +118,15 @@ pub fn run_kv_on<S: Substrate<KvBatch>>(
     let rqs = ThresholdConfig::byzantine_fast(1)
         .build()
         .expect("valid rqs");
-    let mut kv =
-        KvDeployment::<S>::with_setup(rqs, params.objects, params.clients, scenario, RT_TICK);
+    let stores = scenario_stores(rqs.universe_size(), &scenario);
+    let mut kv = KvDeployment::<S>::with_setup_stores(
+        rqs,
+        params.objects,
+        params.clients,
+        scenario,
+        RT_TICK,
+        stores,
+    );
     let cfg = WorkloadConfig::mixed(params.objects, params.clients, params.ops, seed);
     let stats = kv.run_workload(&workload::generate(&cfg), 4);
     kv.check_atomicity()
@@ -117,7 +145,8 @@ pub fn run_storage_on<S: Substrate<StorageMsg>>(
     let rqs = ThresholdConfig::crash_fast(5, 1)
         .build()
         .expect("valid rqs");
-    let mut st = StorageDeployment::<S>::with_setup(rqs, 1, scenario, RT_TICK);
+    let stores = scenario_stores(rqs.universe_size(), &scenario);
+    let mut st = StorageDeployment::<S>::with_setup_stores(rqs, 1, scenario, RT_TICK, stores);
     let (mut w_rounds, mut r_rounds) = (0usize, 0usize);
     for v in 1..=params.storage_ops as u64 {
         w_rounds += st.write(Value::from(v)).rounds;
@@ -154,6 +183,10 @@ fn report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
         params.objects, params.clients, params.ops, params.storage_ops
     ));
     r.note("every kv run is atomicity-checked per object on its substrate");
+    r.note(
+        "crash+restart rows sweep both crash modes: retain keeps the server's state, \
+         amnesia wipes it and recovers by replaying a write-ahead store",
+    );
     r.headers([
         "workload",
         "scenario",
@@ -228,13 +261,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_the_three_canonical_scenarios() {
+    fn suite_has_the_canonical_scenarios() {
         let s = suite(4, 1);
-        assert_eq!(s.len(), 3);
+        assert_eq!(s.len(), 4);
         assert_eq!(s[0].name, "partition+heal");
         assert_eq!(s[1].name, "flaky links");
         assert_eq!(s[2].name, "crash+restart");
+        assert_eq!(s[3].name, "crash+restart amnesia");
         assert!(s.iter().all(|sc| !sc.is_benign()));
+        // The two crash scenarios differ only in crash mode.
+        assert!(matches!(s[2].crashes[0].crash_mode, CrashMode::Retain));
+        assert!(matches!(s[3].crashes[0].crash_mode, CrashMode::Amnesia));
+        assert_eq!(s[2].crashes[0].at, s[3].crashes[0].at);
+        assert_eq!(s[2].crashes[0].restart_at, s[3].crashes[0].restart_at);
+    }
+
+    #[test]
+    fn amnesia_scenario_gets_durable_stores_and_retain_stays_volatile() {
+        let s = suite(4, 1);
+        assert_eq!(scenario_stores(4, &s[2]).len(), 0);
+        assert_eq!(scenario_stores(4, &s[3]).len(), 4);
     }
 
     #[test]
@@ -267,8 +313,11 @@ mod tests {
     fn sim_report_renders_all_rows() {
         let r = report_sim(3, true);
         assert!(r.to_string().contains("E16"));
-        // 3 scenarios × {kv, storage} on sim only.
-        assert_eq!(r.rows.len(), 6);
+        // 4 scenarios × {kv, storage} on sim only.
+        assert_eq!(r.rows.len(), 8);
         assert!(r.cell("rounds", |row| row[1] == "crash+restart").is_some());
+        assert!(r
+            .cell("rounds", |row| row[1] == "crash+restart amnesia")
+            .is_some());
     }
 }

@@ -25,6 +25,7 @@
 //! | E16 | scenario engine × substrates | [`exp_scenarios`] |
 //! | E17 | schedule exploration (model checking) | [`exp_explore`] |
 //! | E18 | streaming-validation soak (threaded + sidecar) | [`exp_soak`] |
+//! | E19 | crash-recovery chaos soak (WAL + amnesia + retries) | [`exp_chaos`] |
 //!
 //! Every binary accepts `--seed N`, `--json` and `--quick`
 //! (see [`cli::ExpArgs`]).
@@ -34,6 +35,7 @@
 
 pub mod cli;
 pub mod exp_analysis;
+pub mod exp_chaos;
 pub mod exp_classic;
 pub mod exp_explore;
 pub mod exp_fig1;

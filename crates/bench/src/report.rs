@@ -78,6 +78,161 @@ impl Report {
             rows.join(",")
         )
     }
+
+    /// Parses a report back from the [`to_json`](Self::to_json) shape —
+    /// the round-trip that lets recorded `BENCH_*.json` artifacts be
+    /// re-loaded and asserted on mechanically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error or unknown key.
+    pub fn from_json(s: &str) -> Result<Report, String> {
+        let mut p = JsonParser::new(s);
+        let mut report = Report::default();
+        p.expect('{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "title" => report.title = p.string()?,
+                "commentary" => report.commentary = p.string_array()?,
+                "headers" => report.headers = p.string_array()?,
+                "rows" => {
+                    p.expect('[')?;
+                    if !p.peek_is(']') {
+                        loop {
+                            report.rows.push(p.string_array()?);
+                            if !p.comma_or(']')? {
+                                break;
+                            }
+                        }
+                    } else {
+                        p.expect(']')?;
+                    }
+                }
+                other => return Err(format!("unknown report key {other:?}")),
+            }
+            if !p.comma_or('}')? {
+                break;
+            }
+        }
+        p.end()?;
+        Ok(report)
+    }
+}
+
+/// Minimal JSON reader for the exact grammar [`Report::to_json`] emits
+/// (objects of strings and string arrays) — no external parser needed.
+struct JsonParser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser { rest: s }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => Err(format!(
+                "expected {c:?} at {:?}",
+                &self.rest[..self.rest.len().min(16)]
+            )),
+        }
+    }
+
+    /// Consumes `,` and returns `true`, or consumes `close` and returns
+    /// `false`.
+    fn comma_or(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix(',') {
+            self.rest = rest;
+            Ok(true)
+        } else if let Some(rest) = self.rest.strip_prefix(close) {
+            self.rest = rest;
+            Ok(false)
+        } else {
+            Err(format!(
+                "expected ',' or {close:?} at {:?}",
+                &self.rest[..self.rest.len().min(16)]
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((j, 'u')) => {
+                        let hex = self.rest.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u{hex}: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn string_array(&mut self) -> Result<Vec<String>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek_is(']') {
+            self.expect(']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.string()?);
+            if !self.comma_or(']')? {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "trailing input: {:?}",
+                &self.rest[..self.rest.len().min(16)]
+            ))
+        }
+    }
 }
 
 /// Escapes a string per the JSON grammar (quotes, backslashes, control
@@ -177,5 +332,39 @@ mod tests {
     fn json_escapes_control_chars() {
         assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
         assert_eq!(json_string("t\tn\n"), "\"t\\tn\\n\"");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new("E19 \"chaos\"");
+        r.note("line\none")
+            .note("tab\there")
+            .headers(["metric", "value"])
+            .row(["wal appends", "123"])
+            .row(["path", "a\\b\u{3}"]);
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.title, r.title);
+        assert_eq!(back.commentary, r.commentary);
+        assert_eq!(back.headers, r.headers);
+        assert_eq!(back.rows, r.rows);
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn from_json_round_trips_empty_report() {
+        let r = Report::new("empty");
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.to_json(), r.to_json());
+        assert!(back.rows.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{\"title\":\"x\"").is_err());
+        assert!(Report::from_json("{\"bogus\":\"x\"}").is_err());
+        assert!(Report::from_json("{\"title\":\"x\"} trailing").is_err());
+        assert!(Report::from_json("{\"title\":\"unterminated}").is_err());
     }
 }

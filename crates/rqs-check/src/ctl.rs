@@ -33,11 +33,19 @@ impl RunRecord {
         self.choices.iter().all(|c| *c == SchedDecision::CANONICAL)
     }
 
-    /// Number of injected faults (drops + crashes) in the run.
+    /// Number of injected faults (drops + crashes + amnesia
+    /// crash-recoveries) in the run.
     pub fn fault_count(&self) -> usize {
         self.choices
             .iter()
-            .filter(|c| matches!(c, SchedDecision::Drop(_) | SchedDecision::Crash(_)))
+            .filter(|c| {
+                matches!(
+                    c,
+                    SchedDecision::Drop(_)
+                        | SchedDecision::Crash(_)
+                        | SchedDecision::CrashRecover(_)
+                )
+            })
             .count()
     }
 }
@@ -238,5 +246,8 @@ mod tests {
         assert_eq!(rec.fault_count(), 1);
         rec.choices.push(SchedDecision::Crash(0));
         assert_eq!(rec.fault_count(), 2);
+        rec.choices.push(SchedDecision::CrashRecover(2));
+        assert!(!rec.is_canonical());
+        assert_eq!(rec.fault_count(), 3);
     }
 }

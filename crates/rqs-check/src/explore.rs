@@ -33,9 +33,17 @@ pub struct Bounds {
     pub max_drops: usize,
     /// Scheduler-injected crashes allowed per schedule.
     pub max_crashes: usize,
-    /// Crash-branching targets; `None` uses the model's full candidate
-    /// list. Narrowing this focuses the fault budget (and shrinks the
-    /// branching factor) on suspected nodes.
+    /// Scheduler-injected atomic amnesia crash-recoveries
+    /// ([`SchedDecision::CrashRecover`]) allowed per schedule. Each one
+    /// wipes a node's volatile state at the choice point and immediately
+    /// rebuilds it from its durable store — the state a node is entitled
+    /// to forget. Only meaningful on durable models; on volatile nodes a
+    /// recovery degenerates to total amnesia and "violations" it finds
+    /// merely restate that volatile nodes forget.
+    pub max_recovers: usize,
+    /// Crash- and recover-branching targets; `None` uses the model's
+    /// full candidate list. Narrowing this focuses the fault budget (and
+    /// shrinks the branching factor) on suspected nodes.
     pub crash_candidates: Option<Vec<usize>>,
     /// Deduplicate branching on state fingerprints. Any violation found
     /// is real either way; pruning assumes the fingerprints capture the
@@ -55,6 +63,7 @@ impl Default for Bounds {
             max_runs: 50_000,
             max_drops: 0,
             max_crashes: 0,
+            max_recovers: 0,
             crash_candidates: None,
             dedup: true,
         }
@@ -83,7 +92,13 @@ impl Bounds {
         self
     }
 
-    /// Focuses crash branching on the given node indices.
+    /// Enables amnesia crash-recover branching with the given budget.
+    pub fn with_recovers(mut self, recovers: usize) -> Self {
+        self.max_recovers = recovers;
+        self
+    }
+
+    /// Focuses crash and recover branching on the given node indices.
     pub fn with_crash_candidates(mut self, nodes: Vec<usize>) -> Self {
         self.crash_candidates = Some(nodes);
         self
@@ -288,6 +303,22 @@ fn alternatives(
             }
         }
     }
+    let recovers_used = prefix
+        .iter()
+        .filter(|c| matches!(c, SchedDecision::CrashRecover(_)))
+        .count();
+    if recovers_used < bounds.max_recovers {
+        // A node may amnesia-recover more than once per schedule (each
+        // recovery is non-terminal); only the budget bounds the count.
+        // Already-crashed nodes are excluded — the world ignores the
+        // decision there, so branching into it would duplicate the
+        // parent schedule.
+        for &node in crash_candidates {
+            if !crashes_used.contains(&node) {
+                alts.push(SchedDecision::CrashRecover(node));
+            }
+        }
+    }
     alts
 }
 
@@ -320,6 +351,15 @@ fn dedup_key(rec: &RunRecord, p: usize, bounds: &Bounds) -> u64 {
     for n in crashes_used {
         key = rqs_sim::fnv1a_fold(key, 1 + n as u64);
     }
+    // Recoveries leave no lasting mark the fingerprint misses (the node
+    // keeps running on its restored state, which the digest captures),
+    // so only the *count* affects future branching — via the remaining
+    // budget — exactly like drops.
+    let recovers_used = prefix
+        .iter()
+        .filter(|c| matches!(c, SchedDecision::CrashRecover(_)))
+        .count();
+    key = rqs_sim::fnv1a_fold(key, recovers_used as u64);
     key
 }
 
@@ -424,11 +464,15 @@ mod tests {
 
     #[test]
     fn bounds_builders_compose() {
-        let b = Bounds::delivery(4, 2).with_drops(1).with_crashes(2);
+        let b = Bounds::delivery(4, 2)
+            .with_drops(1)
+            .with_crashes(2)
+            .with_recovers(3);
         assert_eq!(b.max_choice_depth, 4);
         assert_eq!(b.max_branch, 2);
         assert_eq!(b.max_drops, 1);
         assert_eq!(b.max_crashes, 2);
+        assert_eq!(b.max_recovers, 3);
     }
 
     #[test]
@@ -449,6 +493,25 @@ mod tests {
         assert!(outcome.stats.exhausted);
         assert!(outcome.violations.is_empty());
         assert!(outcome.stats.runs >= 2, "branched at least once");
+    }
+
+    #[test]
+    fn recover_branching_on_durable_model_exhausts_clean() {
+        // Amnesia crash-recoveries are invisible on write-ahead-logged
+        // servers: branching them into every choice point must not
+        // manufacture a violation.
+        let model =
+            StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 }).durable();
+        let bounds = Bounds::delivery(3, 2)
+            .with_recovers(2)
+            .with_crash_candidates(vec![0, 1]);
+        let outcome = dfs(&model, &bounds, true);
+        assert!(outcome.stats.exhausted);
+        assert!(
+            outcome.violations.is_empty(),
+            "{:?}",
+            outcome.violations.first().map(|v| &v.message)
+        );
     }
 
     #[test]

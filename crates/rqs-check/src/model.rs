@@ -148,6 +148,14 @@ pub struct StorageModel {
     pub chains: Vec<Vec<StorageOp>>,
     /// The invariants checked after the run.
     pub invariants: Vec<StorageInvariant>,
+    /// Back every server with a deterministic in-memory durable store
+    /// (write-ahead log). Required for amnesia crash-recover branching
+    /// ([`Bounds::with_recovers`](crate::explore::Bounds::with_recovers)):
+    /// a recovery rebuilds the server from this store, so on the correct
+    /// protocol it must be invisible to clients. Volatile models recover
+    /// to an empty server, which trivially "violates" atomicity without
+    /// indicating a protocol bug.
+    pub durable: bool,
     /// Post-build hook (mutant swap-ins, Byzantine servers, scripted
     /// scenarios). Runs before any operation starts.
     pub setup: Option<SetupHook<StorageHarness>>,
@@ -166,8 +174,16 @@ impl StorageModel {
                 vec![StorageOp::Read(0), StorageOp::Read(1)],
             ],
             invariants: vec![StorageInvariant::Atomicity],
+            durable: false,
             setup: None,
         }
+    }
+
+    /// Returns the model with durable (write-ahead-logged) servers, the
+    /// prerequisite for amnesia crash-recover branching.
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// A sequential workload (single chain) with the fast-path invariant:
@@ -189,6 +205,7 @@ impl StorageModel {
                     max_read_rounds: 1,
                 },
             ],
+            durable: false,
             setup: None,
         }
     }
@@ -297,7 +314,15 @@ impl Model for StorageModel {
     }
 
     fn run(&self, ctl: &RunCtl) -> RunOutput {
-        let mut h = StorageHarness::new(self.system.build(), self.readers);
+        let mut h = if self.durable {
+            StorageHarness::durable_with_scenario(
+                self.system.build(),
+                self.readers,
+                Default::default(),
+            )
+        } else {
+            StorageHarness::new(self.system.build(), self.readers)
+        };
         if let Some(setup) = &self.setup {
             setup(&mut h);
         }
@@ -615,6 +640,9 @@ pub fn builtin_model(name: &str) -> Option<Box<dyn Model>> {
         "storage-crash4-w2r" => Some(Box::new(StorageModel::write_read_read(
             StorageSystem::CrashFast { n: 4, q: 1 },
         ))),
+        "storage-crash4-w2r-durable" => Some(Box::new(
+            StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 }).durable(),
+        )),
         "storage-crash5-w2r" => Some(Box::new(StorageModel::write_read_read(
             StorageSystem::CrashFast { n: 5, q: 1 },
         ))),
@@ -643,6 +671,14 @@ mod tests {
     }
 
     #[test]
+    fn canonical_durable_storage_run_is_clean() {
+        let model =
+            StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 }).durable();
+        let ctl = RunCtl::new(vec![], Tail::Canonical, 10_000);
+        assert_eq!(model.run(&ctl).violation, None);
+    }
+
+    #[test]
     fn canonical_sequential_run_hits_fast_path() {
         let model = StorageModel::sequential_fast_path(StorageSystem::CrashFast { n: 5, q: 1 });
         let ctl = RunCtl::new(vec![], Tail::Canonical, 10_000);
@@ -661,6 +697,7 @@ mod tests {
     fn registry_resolves_all_names() {
         for name in [
             "storage-byz4-w2r",
+            "storage-crash4-w2r-durable",
             "storage-crash5-w2r",
             "storage-crash5-seq",
             "consensus-byz4-contention",

@@ -8,6 +8,7 @@
 //! deliver 3
 //! drop 2
 //! crash 1
+//! recover 0
 //! ```
 //!
 //! `model` names a [`builtin_model`](crate::model::builtin_model);
@@ -54,6 +55,7 @@ impl Counterexample {
                 SchedDecision::Deliver(i) => out.push_str(&format!("deliver {i}\n")),
                 SchedDecision::Drop(i) => out.push_str(&format!("drop {i}\n")),
                 SchedDecision::Crash(n) => out.push_str(&format!("crash {n}\n")),
+                SchedDecision::CrashRecover(n) => out.push_str(&format!("recover {n}\n")),
             }
         }
         out
@@ -101,6 +103,7 @@ impl Counterexample {
                 "deliver" => SchedDecision::Deliver(n),
                 "drop" => SchedDecision::Drop(n),
                 "crash" => SchedDecision::Crash(n),
+                "recover" => SchedDecision::CrashRecover(n),
                 other => return Err(format!("line {}: unknown choice {other:?}", lineno + 1)),
             });
         }
@@ -125,6 +128,7 @@ mod tests {
                 SchedDecision::Deliver(3),
                 SchedDecision::Drop(0),
                 SchedDecision::Crash(2),
+                SchedDecision::CrashRecover(1),
             ],
         };
         let text = cex.to_text();

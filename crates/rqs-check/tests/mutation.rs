@@ -9,6 +9,7 @@ use rqs_consensus::byzantine::ScriptedAcceptor;
 use rqs_consensus::learner::Learner;
 use rqs_consensus::types::ConsensusMsg;
 use rqs_storage::reader::Reader;
+use rqs_storage::server::Server;
 use std::rc::Rc;
 
 /// Reader 1 always returns `⟨0,⊥⟩` — a stale-read bug. The canonical
@@ -106,6 +107,85 @@ fn no_mutant_no_violation_under_same_budget() {
     let outcome = dfs(&model, &bounds, true);
     assert!(outcome.stats.exhausted);
     assert!(outcome.violations.is_empty());
+}
+
+/// A durable model whose servers ack writes *without* write-ahead
+/// logging them (the planted durability bug): amnesia recovery then
+/// loses acknowledged state.
+fn no_wal_model() -> StorageModel {
+    let mut model =
+        StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 }).durable();
+    model.setup = Some(Rc::new(|h| {
+        let stores = h.server_stores().to_vec();
+        let servers = h.servers().to_vec();
+        for (id, store) in servers.into_iter().zip(stores) {
+            h.world_mut()
+                .replace_node(id, Box::new(Server::new_mutant_no_wal(store)));
+        }
+    }));
+    model
+}
+
+fn amnesia_bounds() -> Bounds {
+    Bounds::delivery(7, 2)
+        .with_drops(1)
+        .with_recovers(3)
+        .with_crash_candidates(vec![0, 1, 2])
+}
+
+/// Servers that ack before logging violate atomicity under amnesia
+/// crash-recovery: the write collects a quorum of acks, the acking
+/// servers forget the value, and a later read completes against the
+/// amnesiac quorum and returns stale state. The explorer's
+/// `CrashRecover` branching must construct that schedule within the
+/// pinned budget.
+#[test]
+fn no_wal_mutant_is_found_by_amnesia_branching() {
+    let model = no_wal_model();
+    let outcome = dfs(&model, &amnesia_bounds(), true);
+    assert_eq!(
+        outcome.violations.len(),
+        1,
+        "explorer must find the lost-write within the budget ({} runs)",
+        outcome.stats.runs
+    );
+    let v = &outcome.violations[0];
+    assert!(v.message.contains("atomicity"), "{}", v.message);
+    assert!(
+        v.shrunk
+            .iter()
+            .any(|c| matches!(c, rqs_sim::SchedDecision::CrashRecover(_))),
+        "the counterexample must hinge on an amnesia recovery: {:?}",
+        v.shrunk
+    );
+    assert!(
+        v.shrunk.len() <= 10,
+        "shrunk trace must be short, got {}: {:?}",
+        v.shrunk.len(),
+        v.shrunk
+    );
+    assert!(
+        outcome.stats.runs <= 5_000,
+        "budget: {} runs",
+        outcome.stats.runs
+    );
+    let (_, out) = replay(&model, &v.shrunk, 500);
+    assert!(out.violation.is_some(), "shrunk script must still fail");
+}
+
+/// The same amnesia schedules must be invisible on the correct
+/// write-ahead-logging servers: identical bounds on the unmutated
+/// durable model exhaust clean.
+#[test]
+fn wal_servers_survive_amnesia_branching_under_same_budget() {
+    let model = StorageModel::write_read_read(StorageSystem::CrashFast { n: 4, q: 1 }).durable();
+    let outcome = dfs(&model, &amnesia_bounds(), true);
+    assert!(outcome.stats.exhausted);
+    assert!(
+        outcome.violations.is_empty(),
+        "{:?}",
+        outcome.violations.first().map(|v| &v.message)
+    );
 }
 
 /// Learner 0 trusts `decision⟨v⟩` one sender short of a basic subset

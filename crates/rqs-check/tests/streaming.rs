@@ -26,6 +26,7 @@ fn deep_model(invariant: StorageInvariant) -> StorageModel {
         ],
         invariants: vec![invariant],
         setup: None,
+        durable: false,
     }
 }
 
@@ -94,6 +95,7 @@ fn stale_mutant_is_flagged_at_arrival_mid_history() {
         ],
         invariants: vec![StorageInvariant::Atomicity],
         setup: None,
+        durable: false,
     };
     model.setup = Some(Rc::new(|h| {
         let rqs = h.rqs().clone();

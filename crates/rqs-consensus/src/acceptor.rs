@@ -3,6 +3,7 @@
 
 use crate::choose::{validate_ack, ChooseInput};
 use crate::decide::DecisionTracker;
+use crate::persist::AcceptorCore;
 use crate::types::{
     encode_new_view_ack, encode_update, encode_view_change, ConsensusMsg, NewViewAckBody,
     ProposalValue, SignedNewViewAck, SignedUpdate, SignedViewChange, View, INIT_VIEW,
@@ -10,6 +11,7 @@ use crate::types::{
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
 use rqs_crypto::{KeyRegistry, Keypair, SignerId};
 use rqs_sim::{Automaton, Context, NodeId, TimerToken, DELTA};
+use rqs_store::StoreHandle;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -112,6 +114,10 @@ pub struct Acceptor {
     suspect_timeout: u64,
     next_view: View,
     timer_stopped: bool,
+
+    /// Write-ahead store for the locking core (see [`AcceptorCore`]);
+    /// `None` keeps the acceptor purely volatile.
+    store: Option<StoreHandle>,
 }
 
 impl Acceptor {
@@ -138,12 +144,53 @@ impl Acceptor {
             suspect_timeout: SUSPECT_TIMEOUT,
             next_view: INIT_VIEW,
             timer_stopped: false,
+            store: None,
         }
+    }
+
+    /// An acceptor journaling its locking core to `store`: every step
+    /// that changes the core appends a record before any produced
+    /// message leaves, so an amnesia restart cannot equivocate on
+    /// promises it already signed.
+    pub fn with_store(
+        cfg: ConsensusConfig,
+        me: ProcessId,
+        keypair: Keypair,
+        store: StoreHandle,
+    ) -> Self {
+        let mut a = Acceptor::new(cfg, me, keypair);
+        a.store = Some(store);
+        a
     }
 
     /// The decided value, if any.
     pub fn decided(&self) -> Option<ProposalValue> {
         self.decider.decided()
+    }
+
+    /// The durable locking core (everything an amnesia crash must keep).
+    fn core(&self) -> AcceptorCore {
+        AcceptorCore {
+            view: self.view,
+            prep: self.prep,
+            prep_view: self.prep_view.clone(),
+            update: self.update,
+            update_view: self.update_view.clone(),
+            old: self.old.clone(),
+            decided: self.decider.decided(),
+        }
+    }
+
+    /// Appends a core record iff the step changed the core. Runs before
+    /// the handler returns, i.e. before any buffered send is released.
+    fn persist_if_changed(&mut self, before: Option<AcceptorCore>) {
+        let (Some(before), Some(store)) = (before, &self.store) else {
+            return;
+        };
+        let now = self.core();
+        if now != before {
+            store.append(&now.encode());
+        }
     }
 
     /// The acceptor's current view.
@@ -537,6 +584,7 @@ impl Automaton<ConsensusMsg> for Acceptor {
     }
 
     fn on_message(&mut self, from: NodeId, msg: ConsensusMsg, ctx: &mut Context<ConsensusMsg>) {
+        let before = self.store.as_ref().map(|_| self.core());
         match msg {
             ConsensusMsg::Prepare {
                 value,
@@ -588,6 +636,7 @@ impl Automaton<ConsensusMsg> for Acceptor {
             // Acceptors never receive these:
             ConsensusMsg::NewViewAck(_) | ConsensusMsg::ViewChange(_) => {}
         }
+        self.persist_if_changed(before);
     }
 
     fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<ConsensusMsg>) {
@@ -612,6 +661,45 @@ impl Automaton<ConsensusMsg> for Acceptor {
             }),
         );
         self.suspect_timer = Some(ctx.set_timer(self.suspect_timeout));
+    }
+
+    fn save_state(&mut self) {
+        if let Some(store) = &self.store {
+            store.install_snapshot(&self.core().encode());
+        }
+    }
+
+    fn restore_state(&mut self) -> usize {
+        let Some(store) = self.store.clone() else {
+            return 0;
+        };
+        store.crash();
+        let rec = store.load();
+        let (core, replayed) = AcceptorCore::restore(&rec);
+        // Everything outside the core is volatile: proof caches and
+        // sender maps are message-derived, election state restarts from
+        // its initial timeout (liveness only, like a fresh boot).
+        self.update_q = [BTreeMap::new(), BTreeMap::new()];
+        self.update_proof = [BTreeMap::new(), BTreeMap::new()];
+        self.upd_senders = [BTreeMap::new(), BTreeMap::new()];
+        self.decision_senders = BTreeMap::new();
+        self.decider = DecisionTracker::new(self.cfg.rqs.clone());
+        self.pending_ack = None;
+        self.suspect_timer = None;
+        self.suspect_timeout = SUSPECT_TIMEOUT;
+        self.next_view = INIT_VIEW;
+        self.timer_stopped = false;
+        let core = core.unwrap_or_default();
+        self.view = core.view;
+        self.prep = core.prep;
+        self.prep_view = core.prep_view;
+        self.update = core.update;
+        self.update_view = core.update_view;
+        self.old = core.old;
+        if let Some(v) = core.decided {
+            self.decider.force_decide(v);
+        }
+        replayed
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -908,6 +996,68 @@ mod tests {
         );
         assert_eq!(a.view(), 0);
         assert!(c.sent().is_empty());
+    }
+
+    #[test]
+    fn amnesia_restore_keeps_promises() {
+        let cfg = config();
+        let kp = cfg.registry.signer(SignerId(0));
+        let store = StoreHandle::mem();
+        let mut a = Acceptor::with_store(cfg.clone(), ProcessId(0), kp, store.clone());
+        let mut c = ctx(0);
+        a.on_message(
+            NodeId(4),
+            ConsensusMsg::Prepare {
+                value: 7,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
+            &mut c,
+        );
+        let old_before = a.old.clone();
+        assert!(!old_before.is_empty());
+        assert!(store.stats().appends > 0, "prepare journaled before send");
+
+        // Amnesia crash: wipe, then restore from the store alone.
+        let replayed = a.restore_state();
+        assert!(replayed > 0);
+        assert_eq!(a.prepared(), Some(7));
+        assert_eq!(a.old, old_before, "signed updates are not forgotten");
+
+        // A conflicting prepare in the same view is still refused.
+        let mut c2 = ctx(1);
+        a.on_message(
+            NodeId(4),
+            ConsensusMsg::Prepare {
+                value: 9,
+                view: 0,
+                v_proof: None,
+                quorum: None,
+            },
+            &mut c2,
+        );
+        assert_eq!(a.prepared(), Some(7));
+
+        // Snapshot compaction: restore now replays zero log records.
+        a.save_state();
+        assert_eq!(a.restore_state(), 0);
+        assert_eq!(a.prepared(), Some(7));
+    }
+
+    #[test]
+    fn decided_value_survives_amnesia() {
+        let cfg = config();
+        let kp = cfg.registry.signer(SignerId(0));
+        let store = StoreHandle::mem();
+        let mut a = Acceptor::with_store(cfg, ProcessId(0), kp, store);
+        for i in 0..3 {
+            let mut c = ctx(1);
+            a.on_message(NodeId(i), ConsensusMsg::Decision { value: 5 }, &mut c);
+        }
+        assert_eq!(a.decided(), Some(5));
+        a.restore_state();
+        assert_eq!(a.decided(), Some(5), "a decision is never retracted");
     }
 
     #[test]

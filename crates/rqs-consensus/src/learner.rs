@@ -7,9 +7,11 @@
 
 use crate::acceptor::ConsensusConfig;
 use crate::decide::DecisionTracker;
+use crate::persist::LearnerCore;
 use crate::types::{ConsensusMsg, ProposalValue};
 use rqs_core::ProcessSet;
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
+use rqs_store::StoreHandle;
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -29,6 +31,8 @@ pub struct Learner {
     /// short of a basic subset — i.e. from a set that may be entirely
     /// Byzantine. Always `false` outside the `mutants` feature.
     one_short_decisions: bool,
+    /// Write-ahead store for the learned value; `None` stays volatile.
+    store: Option<StoreHandle>,
 }
 
 impl Learner {
@@ -42,7 +46,16 @@ impl Learner {
             learned: None,
             pull_timer: None,
             one_short_decisions: false,
+            store: None,
         }
+    }
+
+    /// A learner journaling its learned value to `store`, so an amnesia
+    /// restart cannot un-learn a value it may already have reported.
+    pub fn with_store(cfg: ConsensusConfig, store: StoreHandle) -> Self {
+        let mut l = Learner::new(cfg);
+        l.store = Some(store);
+        l
     }
 
     /// Mutant: a learner whose decision rule is one sender short of the
@@ -77,6 +90,15 @@ impl Learner {
     fn learn(&mut self, v: ProposalValue, now: Time) {
         if self.learned.is_none() {
             self.learned = Some((v, now));
+            // Write-ahead: durable before the learn is observable.
+            if let Some(store) = &self.store {
+                store.append(
+                    &LearnerCore {
+                        learned: Some((v, now.0)),
+                    }
+                    .encode(),
+                );
+            }
         }
     }
 
@@ -146,6 +168,35 @@ impl Automaton<ConsensusMsg> for Learner {
             ctx.broadcast(self.cfg.acceptors.clone(), ConsensusMsg::DecisionPull);
             self.pull_timer = Some(ctx.set_timer(PULL_INTERVAL));
         }
+    }
+
+    fn save_state(&mut self) {
+        if let Some(store) = &self.store {
+            let core = LearnerCore {
+                learned: self.learned.map(|(v, t)| (v, t.0)),
+            };
+            store.install_snapshot(&core.encode());
+        }
+    }
+
+    fn restore_state(&mut self) -> usize {
+        let Some(store) = self.store.clone() else {
+            return 0;
+        };
+        store.crash();
+        let rec = store.load();
+        let (core, replayed) = LearnerCore::restore(&rec);
+        // Sender maps and the pull timer are volatile: the pull loop
+        // re-arms on the next protocol traffic (or finds the value
+        // already learned).
+        self.decider = DecisionTracker::new(self.cfg.rqs.clone());
+        self.decision_senders = BTreeMap::new();
+        self.pull_timer = None;
+        self.learned = core.unwrap_or_default().learned.map(|(v, t)| (v, Time(t)));
+        if let Some((v, _)) = self.learned {
+            self.decider.force_decide(v);
+        }
+        replayed
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -230,6 +281,28 @@ mod tests {
         l.on_message(NodeId(9), ConsensusMsg::Decision { value: 4 }, &mut c);
         l.on_message(NodeId(9), ConsensusMsg::Decision { value: 4 }, &mut c);
         assert_eq!(l.learned(), None);
+    }
+
+    #[test]
+    fn learned_value_survives_amnesia() {
+        use rqs_store::StoreHandle;
+        let store = StoreHandle::mem();
+        let mut l = Learner::with_store(config(), store.clone());
+        let mut c = ctx(4);
+        l.on_message(NodeId(0), ConsensusMsg::Decision { value: 4 }, &mut c);
+        l.on_message(NodeId(1), ConsensusMsg::Decision { value: 4 }, &mut c);
+        assert_eq!(l.learned().map(|(v, _)| v), Some(4));
+        assert_eq!(store.stats().appends, 1, "journaled exactly once");
+
+        let replayed = l.restore_state();
+        assert_eq!(replayed, 1);
+        assert_eq!(l.learned(), Some((4, Time(4))), "value and time survive");
+        // The pull timer does not re-arm for a learner that remembers.
+        let mut c2 = ctx(5);
+        l.on_message(NodeId(0), ConsensusMsg::Decision { value: 4 }, &mut c2);
+        l.save_state();
+        assert_eq!(l.restore_state(), 0, "snapshot compacts the log");
+        assert_eq!(l.learned().map(|(v, _)| v), Some(4));
     }
 
     #[test]

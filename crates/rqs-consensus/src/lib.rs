@@ -48,6 +48,7 @@ pub mod choose;
 pub mod decide;
 pub mod harness;
 pub mod learner;
+pub mod persist;
 pub mod proposer;
 pub mod types;
 
@@ -56,5 +57,6 @@ pub use choose::{validate_ack, ChooseInput, ChooseOutcome};
 pub use decide::DecisionTracker;
 pub use harness::{ConsensusDeployment, ConsensusHarness};
 pub use learner::{Learner, PULL_INTERVAL};
+pub use persist::{AcceptorCore, LearnerCore};
 pub use proposer::{Proposer, SYNC_DELAY};
 pub use types::{ConsensusMsg, ProposalValue, View, INIT_VIEW};

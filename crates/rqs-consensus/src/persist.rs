@@ -1,0 +1,254 @@
+//! Durable core state for consensus automata.
+//!
+//! An amnesia-crashed acceptor must not forget what it promised: its
+//! view, prepared value, adopted updates and the set of update messages
+//! it has signed (`old`) are exactly the state that prevents it from
+//! later equivocating. Likewise a learner must not un-learn a decided
+//! value it may already have reported.
+//!
+//! Records are *full* core snapshots, last-writer-wins: each state
+//! mutation appends one record, and recovery takes the latest decodable
+//! record (snapshot first, then the log tail). The proof caches,
+//! sender-tracking maps and timers are deliberately volatile — they are
+//! message-derived or liveness-only and the protocol regenerates them.
+
+use crate::types::{ProposalValue, View};
+use rqs_store::codec::{Dec, Enc};
+use rqs_store::Recovered;
+use std::collections::BTreeSet;
+
+/// Record-kind tag for [`AcceptorCore`] records.
+pub const ACCEPTOR_KIND: u64 = 2;
+/// Record-kind tag for [`LearnerCore`] records.
+pub const LEARNER_KIND: u64 = 3;
+
+fn opt(e: &mut Enc, v: Option<u64>) {
+    e.u64s(v);
+}
+
+fn dec_opt(d: &mut Dec) -> Option<Option<u64>> {
+    let vs = d.u64s()?;
+    match vs.len() {
+        0 => Some(None),
+        1 => Some(Some(vs[0])),
+        _ => None,
+    }
+}
+
+/// The locking-module state an acceptor must carry across an amnesia
+/// crash (Fig. 15 initialization, minus the regenerable proof caches).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AcceptorCore {
+    /// Current view.
+    pub view: View,
+    /// Prepared value.
+    pub prep: Option<ProposalValue>,
+    /// Views in which `prep` was prepared.
+    pub prep_view: BTreeSet<View>,
+    /// Adopted step-1/step-2 updates.
+    pub update: [Option<ProposalValue>; 2],
+    /// Views of the adopted updates.
+    pub update_view: [BTreeSet<View>; 2],
+    /// Update messages this acceptor has sent (its signing commitments).
+    pub old: BTreeSet<(usize, ProposalValue, View)>,
+    /// Decided value, if any (a decision is never retracted).
+    pub decided: Option<ProposalValue>,
+}
+
+impl AcceptorCore {
+    /// Encodes the core as one log record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(ACCEPTOR_KIND).u64(self.view);
+        opt(&mut e, self.prep);
+        e.u64s(self.prep_view.iter().copied());
+        for s in 0..2 {
+            opt(&mut e, self.update[s]);
+            e.u64s(self.update_view[s].iter().copied());
+        }
+        e.u64s(
+            self.old
+                .iter()
+                .flat_map(|&(step, v, w)| [step as u64, v, w]),
+        );
+        opt(&mut e, self.decided);
+        e.finish()
+    }
+
+    /// Decodes a record; `None` on corruption or a different kind tag.
+    pub fn decode(bytes: &[u8]) -> Option<AcceptorCore> {
+        let mut d = Dec::new(bytes);
+        if d.u64()? != ACCEPTOR_KIND {
+            return None;
+        }
+        let view = d.u64()?;
+        let prep = dec_opt(&mut d)?;
+        let prep_view = d.u64s()?.into_iter().collect();
+        let mut update = [None, None];
+        let mut update_view = [BTreeSet::new(), BTreeSet::new()];
+        for s in 0..2 {
+            update[s] = dec_opt(&mut d)?;
+            update_view[s] = d.u64s()?.into_iter().collect();
+        }
+        let flat = d.u64s()?;
+        if flat.len() % 3 != 0 {
+            return None;
+        }
+        let old = flat
+            .chunks_exact(3)
+            .map(|c| (c[0] as usize, c[1], c[2]))
+            .collect();
+        let decided = dec_opt(&mut d)?;
+        if !d.done() {
+            return None;
+        }
+        Some(AcceptorCore {
+            view,
+            prep,
+            prep_view,
+            update,
+            update_view,
+            old,
+            decided,
+        })
+    }
+
+    /// The latest decodable core in recovered store contents, plus the
+    /// number of log records scanned.
+    pub fn restore(rec: &Recovered) -> (Option<AcceptorCore>, usize) {
+        let mut core = rec.snapshot.as_deref().and_then(AcceptorCore::decode);
+        let mut replayed = 0;
+        for bytes in &rec.log {
+            if let Some(c) = AcceptorCore::decode(bytes) {
+                core = Some(c);
+                replayed += 1;
+            }
+        }
+        (core, replayed)
+    }
+}
+
+/// The learner's durable state: the value it learned, and when.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LearnerCore {
+    /// Learned value and learn time (ticks), if any.
+    pub learned: Option<(ProposalValue, u64)>,
+}
+
+impl LearnerCore {
+    /// Encodes the core as one log record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(LEARNER_KIND)
+            .u64s(self.learned.into_iter().flat_map(|(v, t)| [v, t]));
+        e.finish()
+    }
+
+    /// Decodes a record; `None` on corruption or a different kind tag.
+    pub fn decode(bytes: &[u8]) -> Option<LearnerCore> {
+        let mut d = Dec::new(bytes);
+        if d.u64()? != LEARNER_KIND {
+            return None;
+        }
+        let vs = d.u64s()?;
+        if !d.done() {
+            return None;
+        }
+        match vs.len() {
+            0 => Some(LearnerCore { learned: None }),
+            2 => Some(LearnerCore {
+                learned: Some((vs[0], vs[1])),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The latest decodable core in recovered store contents, plus the
+    /// number of log records scanned.
+    pub fn restore(rec: &Recovered) -> (Option<LearnerCore>, usize) {
+        let mut core = rec.snapshot.as_deref().and_then(LearnerCore::decode);
+        let mut replayed = 0;
+        for bytes in &rec.log {
+            if let Some(c) = LearnerCore::decode(bytes) {
+                core = Some(c);
+                replayed += 1;
+            }
+        }
+        (core, replayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> AcceptorCore {
+        AcceptorCore {
+            view: 3,
+            prep: Some(7),
+            prep_view: BTreeSet::from([0, 3]),
+            update: [Some(7), None],
+            update_view: [BTreeSet::from([3]), BTreeSet::new()],
+            old: BTreeSet::from([(1, 7, 0), (2, 7, 3)]),
+            decided: None,
+        }
+    }
+
+    #[test]
+    fn acceptor_core_round_trips() {
+        let c = core();
+        assert_eq!(AcceptorCore::decode(&c.encode()), Some(c));
+        let empty = AcceptorCore::default();
+        assert_eq!(AcceptorCore::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn acceptor_core_rejects_corruption() {
+        let enc = core().encode();
+        assert_eq!(AcceptorCore::decode(&enc[..enc.len() - 1]), None);
+        assert_eq!(AcceptorCore::decode(&LearnerCore::default().encode()), None);
+    }
+
+    #[test]
+    fn last_writer_wins_restore() {
+        let mut a = core();
+        let rec = Recovered {
+            snapshot: Some(a.encode()),
+            log: vec![
+                {
+                    a.view = 4;
+                    a.encode()
+                },
+                b"junk".to_vec(),
+                {
+                    a.decided = Some(7);
+                    a.encode()
+                },
+            ],
+        };
+        let (restored, replayed) = AcceptorCore::restore(&rec);
+        assert_eq!(replayed, 2);
+        assert_eq!(restored, Some(a));
+    }
+
+    #[test]
+    fn learner_core_round_trips() {
+        for c in [
+            LearnerCore { learned: None },
+            LearnerCore {
+                learned: Some((9, 17)),
+            },
+        ] {
+            assert_eq!(LearnerCore::decode(&c.encode()), Some(c));
+        }
+        let (restored, replayed) = LearnerCore::restore(&Recovered {
+            snapshot: None,
+            log: vec![LearnerCore {
+                learned: Some((1, 2)),
+            }
+            .encode()],
+        });
+        assert_eq!(replayed, 1);
+        assert_eq!(restored.unwrap().learned, Some((1, 2)));
+    }
+}

@@ -14,14 +14,24 @@
 //! - inner timers are re-armed on the outer context and a token map
 //!   routes expirations back to the automaton that armed them;
 //! - completed inner operations are harvested into a flat outcome log
-//!   with object tags, rounds and invocation/response times.
+//!   with object tags, rounds and invocation/response times;
+//! - every in-flight operation carries a retry watchdog: if it has not
+//!   completed when the watchdog fires, the client *nudges* the inner
+//!   automaton — re-broadcasting its current round verbatim via
+//!   [`Writer::resend_round`]/[`Reader::resend_round`] — and re-arms
+//!   with exponential backoff and deterministic jitter, up to a bounded
+//!   retry count and per-op deadline ([`RetryPolicy`]). Nudges never
+//!   re-invoke, so a retried operation keeps its timestamp (writes) or
+//!   read number (reads) and duplicate replies are suppressed by the
+//!   protocol's own stale-ack filters: retried ops stay atomic and are
+//!   never double-counted.
 
 use crate::messages::{BatchAccumulator, KvBatch, KvItem, Lane};
 use crate::object::ObjectId;
 use rqs_core::Rqs;
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
 use rqs_storage::reader::Reader;
-use rqs_storage::writer::Writer;
+use rqs_storage::writer::{Writer, CLIENT_TIMEOUT};
 use rqs_storage::{OpKind, StorageMsg, TsVal, Value};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -85,6 +95,104 @@ struct TimerRoute {
     inner: TimerToken,
 }
 
+/// Retry behaviour of a [`KvClient`].
+///
+/// Delays are in substrate ticks. Retry `k` (zero-based) fires
+/// `min(base_backoff · 2ᵏ, max_backoff)` ticks after the previous
+/// (re)send, plus a deterministic jitter in `[0, base_backoff/2]` hashed
+/// from the client id, object, lane and attempt — so co-started
+/// operations de-synchronise without any nondeterminism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum nudges per operation (`0` disables retries entirely).
+    pub max_retries: u32,
+    /// Delay before the first nudge and base of the exponential curve.
+    pub base_backoff: u64,
+    /// Cap on the exponential delay (jitter may exceed it slightly).
+    pub max_backoff: u64,
+    /// Per-op deadline in ticks since invocation: once exceeded, no
+    /// further nudges are issued (the operation itself stays pending —
+    /// abandoning it would break well-formedness — but the client stops
+    /// spending sends on it and counts it as exhausted).
+    pub deadline: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            // An uncontended op finishes within one CLIENT_TIMEOUT; only
+            // genuinely stuck ops see a nudge.
+            base_backoff: 2 * CLIENT_TIMEOUT,
+            max_backoff: 32 * CLIENT_TIMEOUT,
+            deadline: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-hardening behaviour).
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before zero-based retry `attempt`, including jitter.
+    fn backoff(&self, seed: u64, attempt: u32) -> u64 {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff);
+        let h = rqs_sim::fnv1a_fold(
+            rqs_sim::fnv1a_fold(rqs_sim::fnv1a(b"kv-retry"), seed),
+            attempt as u64,
+        );
+        exp + h % (self.base_backoff / 2 + 1)
+    }
+}
+
+/// Retry counters of one client (or merged over a deployment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Nudges (round re-broadcasts) issued.
+    pub retries_issued: u64,
+    /// Total ticks waited between a (re)send and the nudge that followed.
+    pub backoff_ticks: u64,
+    /// Operations whose retry budget (count or deadline) ran out while
+    /// still in flight.
+    pub exhausted: u64,
+}
+
+impl RetryStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.retries_issued += other.retries_issued;
+        self.backoff_ticks += other.backoff_ticks;
+        self.exhausted += other.exhausted;
+    }
+}
+
+/// Watchdog state of one in-flight `(object, lane)` operation.
+#[derive(Debug)]
+struct LaneRetry {
+    /// Zero-based index of the *next* retry.
+    attempt: u32,
+    invoked_at: Time,
+    /// The armed outer timer token.
+    token: u64,
+    /// The delay that timer was armed with.
+    delay: u64,
+}
+
+fn lane_bit(lane: Lane) -> u64 {
+    match lane {
+        Lane::Writer => 0,
+        Lane::Reader => 1,
+    }
+}
+
 /// The multi-object KV client automaton.
 #[derive(Debug)]
 pub struct KvClient {
@@ -108,6 +216,12 @@ pub struct KvClient {
     taken_r: BTreeMap<ObjectId, usize>,
     outcomes: Vec<KvOutcome>,
     in_flight: usize,
+    retry: RetryPolicy,
+    /// Outer retry-watchdog token → the lane it guards.
+    retry_timers: BTreeMap<u64, (ObjectId, Lane)>,
+    /// Watchdog state per in-flight lane.
+    lane_retry: BTreeMap<(ObjectId, Lane), LaneRetry>,
+    retry_stats: RetryStats,
 }
 
 impl KvClient {
@@ -132,7 +246,39 @@ impl KvClient {
             taken_r: BTreeMap::new(),
             outcomes: Vec::new(),
             in_flight: 0,
+            retry: RetryPolicy::default(),
+            retry_timers: BTreeMap::new(),
+            lane_retry: BTreeMap::new(),
+            retry_stats: RetryStats::default(),
         }
+    }
+
+    /// Like [`KvClient::new`] with an explicit [`RetryPolicy`].
+    pub fn with_retry(
+        rqs: Arc<Rqs>,
+        servers: Vec<NodeId>,
+        owned: impl IntoIterator<Item = ObjectId>,
+        retry: RetryPolicy,
+    ) -> Self {
+        let mut c = KvClient::new(rqs, servers, owned);
+        c.retry = retry;
+        c
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the retry policy (affects operations invoked afterwards;
+    /// already-armed watchdogs keep their delays).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Objects this client owns.
@@ -148,6 +294,24 @@ impl KvClient {
     /// Completed operations, in completion order.
     pub fn outcomes(&self) -> &[KvOutcome] {
         &self.outcomes
+    }
+
+    /// Debug rendering of every non-idle `(object, lane)` inner
+    /// automaton — the first thing to look at when a wave stalls: the
+    /// dump shows the stuck round and which servers' acks are missing.
+    pub fn stuck_lanes(&self) -> Vec<String> {
+        let mut lanes = Vec::new();
+        for (obj, w) in &self.writers {
+            if !w.is_idle() {
+                lanes.push(format!("{obj} writer: {w:?}"));
+            }
+        }
+        for (obj, r) in &self.readers {
+            if !r.is_idle() {
+                lanes.push(format!("{obj} reader: {r:?}"));
+            }
+        }
+        lanes
     }
 
     /// Starts a batch of operations in one step: all their round-1
@@ -175,6 +339,7 @@ impl KvClient {
                     writer.start_write(value, &mut inner);
                     self.in_flight += 1;
                     self.absorb(object, Lane::Writer, inner, ctx);
+                    self.arm_retry(object, Lane::Writer, ctx);
                 }
                 KvOp::Read { object } => {
                     let (rqs, servers) = (&self.rqs, &self.servers);
@@ -186,6 +351,7 @@ impl KvClient {
                     reader.start_read(&mut inner);
                     self.in_flight += 1;
                     self.absorb(object, Lane::Reader, inner, ctx);
+                    self.arm_retry(object, Lane::Reader, ctx);
                 }
             }
         }
@@ -224,6 +390,94 @@ impl KvClient {
             }
         }
         self.harvest(object, lane);
+        self.settle_retry(object, lane, ctx);
+    }
+
+    /// `true` iff the `(object, lane)` inner automaton has no operation
+    /// in progress.
+    fn lane_idle(&self, object: ObjectId, lane: Lane) -> bool {
+        match lane {
+            Lane::Writer => self.writers.get(&object).is_none_or(Writer::is_idle),
+            Lane::Reader => self.readers.get(&object).is_none_or(Reader::is_idle),
+        }
+    }
+
+    /// Arms the retry watchdog for a just-invoked operation.
+    fn arm_retry(&mut self, object: ObjectId, lane: Lane, ctx: &mut Context<KvBatch>) {
+        if self.retry.max_retries == 0 || self.lane_idle(object, lane) {
+            return;
+        }
+        let delay = self
+            .retry
+            .backoff(self.retry_seed(object, lane, ctx.me()), 0);
+        let token = ctx.set_timer(delay);
+        self.retry_timers.insert(token.0, (object, lane));
+        self.lane_retry.insert(
+            (object, lane),
+            LaneRetry {
+                attempt: 0,
+                invoked_at: ctx.now(),
+                token: token.0,
+                delay,
+            },
+        );
+    }
+
+    /// Cancels the watchdog once its operation has completed.
+    fn settle_retry(&mut self, object: ObjectId, lane: Lane, ctx: &mut Context<KvBatch>) {
+        if !self.lane_idle(object, lane) {
+            return;
+        }
+        if let Some(st) = self.lane_retry.remove(&(object, lane)) {
+            self.retry_timers.remove(&st.token);
+            ctx.cancel_timer(TimerToken(st.token));
+        }
+    }
+
+    fn retry_seed(&self, object: ObjectId, lane: Lane, me: NodeId) -> u64 {
+        rqs_sim::fnv1a_fold(rqs_sim::fnv1a_fold(me.0 as u64, object.0), lane_bit(lane))
+    }
+
+    /// Watchdog expiry: nudge the still-pending operation (re-broadcast
+    /// its current round — never re-invoke) and re-arm with exponential
+    /// backoff until the retry count or deadline runs out.
+    fn fire_retry(&mut self, object: ObjectId, lane: Lane, ctx: &mut Context<KvBatch>) {
+        let Some(mut st) = self.lane_retry.remove(&(object, lane)) else {
+            return; // already settled
+        };
+        if self.lane_idle(object, lane) {
+            return; // completed in the same step the timer fired
+        }
+        self.retry_stats.retries_issued += 1;
+        self.retry_stats.backoff_ticks += st.delay;
+        let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+        let resent = match lane {
+            Lane::Writer => self
+                .writers
+                .get_mut(&object)
+                .is_some_and(|w| w.resend_round(&mut inner)),
+            Lane::Reader => self
+                .readers
+                .get_mut(&object)
+                .is_some_and(|r| r.resend_round(&mut inner)),
+        };
+        if resent {
+            self.absorb(object, lane, inner, ctx);
+        }
+        st.attempt += 1;
+        let elapsed = ctx.now().ticks().saturating_sub(st.invoked_at.ticks());
+        if st.attempt >= self.retry.max_retries || elapsed >= self.retry.deadline {
+            self.retry_stats.exhausted += 1;
+            return; // budget spent: the op stays on protocol liveness alone
+        }
+        let delay = self
+            .retry
+            .backoff(self.retry_seed(object, lane, ctx.me()), st.attempt);
+        let token = ctx.set_timer(delay);
+        st.token = token.0;
+        st.delay = delay;
+        self.retry_timers.insert(token.0, (object, lane));
+        self.lane_retry.insert((object, lane), st);
     }
 
     /// Pulls newly completed outcomes from the inner automaton on
@@ -309,6 +563,12 @@ impl Automaton<KvBatch> for KvClient {
             acc = rqs_sim::fnv1a_fold(acc, obj.0);
             acc = rqs_sim::fnv1a_fold(acc, r.state_digest());
         }
+        for ((obj, lane), st) in &self.lane_retry {
+            acc = rqs_sim::fnv1a_fold(acc, obj.0);
+            acc = rqs_sim::fnv1a_fold(acc, lane_bit(*lane));
+            acc = rqs_sim::fnv1a_fold(acc, st.attempt as u64);
+        }
+        acc = rqs_sim::fnv1a_fold(acc, self.retry_stats.retries_issued);
         rqs_sim::fnv1a_fold(acc, self.in_flight as u64)
     }
 
@@ -320,6 +580,11 @@ impl Automaton<KvBatch> for KvClient {
     }
 
     fn on_timer(&mut self, timer: TimerToken, ctx: &mut Context<KvBatch>) {
+        if let Some((object, lane)) = self.retry_timers.remove(&timer.0) {
+            self.fire_retry(object, lane, ctx);
+            self.flush(ctx);
+            return;
+        }
         let Some(route) = self.timer_routes.remove(&timer.0) else {
             return; // cancelled or unknown
         };
@@ -390,8 +655,9 @@ mod tests {
         for (_, batch) in cx.sent() {
             assert_eq!(batch.len(), 2);
         }
-        // 2 inner round timers re-armed on the outer context.
-        assert_eq!(cx.armed_timers().len(), 2);
+        // 2 inner round timers re-armed on the outer context, plus one
+        // retry watchdog per op.
+        assert_eq!(cx.armed_timers().len(), 4);
     }
 
     #[test]
@@ -437,6 +703,119 @@ mod tests {
         );
         assert!(cx.sent().is_empty());
         assert_eq!(c.in_flight(), 0);
+    }
+
+    fn stuck_write_client(policy: RetryPolicy) -> (KvClient, Context<KvBatch>) {
+        let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+        let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut c = KvClient::with_retry(rqs, servers, [ObjectId(0)], policy);
+        let mut cx = ctx();
+        c.start_ops(
+            vec![KvOp::Write {
+                object: ObjectId(0),
+                value: Value::from(1u64),
+            }],
+            &mut cx,
+        );
+        (c, cx)
+    }
+
+    #[test]
+    fn watchdog_nudges_stuck_op_with_exponential_backoff() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: 10,
+            max_backoff: 40,
+            deadline: 10_000,
+        };
+        let (mut c, cx) = stuck_write_client(policy);
+        // Two timers armed: the inner round timer, then the watchdog.
+        let timers = cx.armed_timers().to_vec();
+        assert_eq!(timers.len(), 2);
+        let (delay0, watchdog) = timers[1];
+        assert!((10..=15).contains(&delay0), "base + jitter ≤ base/2");
+        // No acks ever arrive; fire the watchdog: round 1 is re-broadcast.
+        let mut now = delay0;
+        let mut cx2 = Context::new(NodeId(5), Time(now), 1000);
+        c.on_timer(watchdog, &mut cx2);
+        assert_eq!(c.retry_stats().retries_issued, 1);
+        assert_eq!(c.retry_stats().backoff_ticks, delay0);
+        assert_eq!(cx2.sent().len(), 5, "nudge re-broadcast to all servers");
+        for (_, batch) in cx2.sent() {
+            assert_eq!(batch.len(), 1);
+        }
+        // The next watchdog delay doubled (modulo jitter).
+        let next = cx2.armed_timers().to_vec();
+        assert_eq!(next.len(), 1);
+        let (delay1, watchdog1) = next[0];
+        assert!((20..=25).contains(&delay1), "2·base + jitter");
+        // Retry 2, then retry 3 exhausts the budget: no further timer.
+        now += delay1;
+        let mut cx3 = Context::new(NodeId(5), Time(now), 2000);
+        c.on_timer(watchdog1, &mut cx3);
+        let (delay2, watchdog2) = cx3.armed_timers()[0];
+        assert!((40..=45).contains(&delay2), "capped at max_backoff");
+        now += delay2;
+        let mut cx4 = Context::new(NodeId(5), Time(now), 3000);
+        c.on_timer(watchdog2, &mut cx4);
+        assert_eq!(c.retry_stats().retries_issued, 3);
+        assert_eq!(c.retry_stats().exhausted, 1);
+        assert!(cx4.armed_timers().is_empty(), "budget spent: no re-arm");
+        assert_eq!(c.in_flight(), 1, "the op itself is never abandoned");
+    }
+
+    #[test]
+    fn watchdog_backoff_is_deterministic() {
+        let run = || {
+            let (c, cx) = stuck_write_client(RetryPolicy::default());
+            (
+                cx.armed_timers().to_vec(),
+                c.retry_stats(),
+                c.state_digest(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn completed_op_cancels_watchdog_and_counts_once() {
+        let (mut c, cx) = stuck_write_client(RetryPolicy::default());
+        let (_, round_timer) = cx.armed_timers()[0];
+        let (_, watchdog) = cx.armed_timers()[1];
+        // A class-1 quorum acks, then the round timer fires: completed.
+        for i in 0..4 {
+            let mut cxa = Context::new(NodeId(5), Time(2), 100 + i as u64);
+            c.on_message(
+                NodeId(i),
+                KvBatch(vec![KvItem {
+                    object: ObjectId(0),
+                    lane: Lane::Writer,
+                    msg: StorageMsg::WrAck { ts: 1, rnd: 1 },
+                }]),
+                &mut cxa,
+            );
+        }
+        let mut cxt = Context::new(NodeId(5), Time(3), 500);
+        c.on_timer(round_timer, &mut cxt);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.outcomes().len(), 1);
+        assert!(
+            cxt.cancelled_timers().contains(&watchdog),
+            "completion cancels the watchdog"
+        );
+        // A stale watchdog expiry is inert: no resend, no double-count.
+        let mut cxs = Context::new(NodeId(5), Time(9), 600);
+        c.on_timer(watchdog, &mut cxs);
+        assert!(cxs.sent().is_empty());
+        assert_eq!(c.retry_stats().retries_issued, 0);
+        assert_eq!(c.outcomes().len(), 1);
+    }
+
+    #[test]
+    fn disabled_policy_arms_no_watchdog() {
+        let (c, cx) = stuck_write_client(RetryPolicy::disabled());
+        assert_eq!(cx.armed_timers().len(), 1, "only the inner round timer");
+        assert_eq!(c.retry_stats(), RetryStats::default());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! duplicating links, crash-restart plans and Byzantine swap-ins run on
 //! *both* substrates from the same description.
 
-use crate::client::{KvClient, KvOp, KvOutcome};
+use crate::client::{KvClient, KvOp, KvOutcome, RetryStats};
 use crate::messages::KvBatch;
 use crate::metrics::KvRunStats;
 use crate::object::{ObjectId, ShardMap};
@@ -29,10 +29,11 @@ use crate::workload::{per_client, take_wave, WorkloadOp};
 use rqs_core::Rqs;
 use rqs_runtime::{CheckerSidecar, Runtime, SidecarReport};
 use rqs_sim::{
-    Automaton, NodeId, Scenario, Substrate, SubstrateConfig, World, DEFAULT_AWAIT_STEPS,
+    Automaton, CrashMode, NodeId, Scenario, Substrate, SubstrateConfig, World, DEFAULT_AWAIT_STEPS,
 };
 use rqs_storage::atomicity::{AtomicityViolation, OpRecord};
 use rqs_storage::checker::{AtomicityChecker, CheckerStats};
+use rqs_store::{StoreHandle, StoreStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,6 +74,8 @@ pub struct KvDeployment<S: Substrate<KvBatch>> {
     /// When set, harvested records go to this checker thread instead of
     /// the in-line `checkers` (threaded-runtime sidecar mode).
     sidecar: Option<CheckerSidecar>,
+    /// Per-server durable stores (empty for volatile deployments).
+    stores: Vec<StoreHandle>,
 }
 
 /// The deterministic simulated KV deployment (back-compat alias).
@@ -104,14 +107,53 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         scenario: Scenario,
         tick: Duration,
     ) -> Self {
+        Self::with_setup_stores(rqs, objects, clients, scenario, tick, Vec::new())
+    }
+
+    /// Builds a durable deployment: every server journals all objects to
+    /// a fresh deterministic in-memory store, so the scenario may use
+    /// [`CrashMode::Amnesia`] crash plans.
+    pub fn durable_with_scenario(
+        rqs: Rqs,
+        objects: usize,
+        clients: usize,
+        scenario: Scenario,
+    ) -> Self {
+        let stores = (0..rqs.universe_size())
+            .map(|_| StoreHandle::mem())
+            .collect();
+        Self::with_setup_stores(
+            rqs,
+            objects,
+            clients,
+            scenario,
+            rqs_sim::DEFAULT_TICK,
+            stores,
+        )
+    }
+
+    /// Builds with explicit per-server stores (`stores[i]` backs server
+    /// `i`; servers beyond the vector stay volatile) — the seam the
+    /// threaded chaos experiment uses to hand in file-backed stores.
+    pub fn with_setup_stores(
+        rqs: Rqs,
+        objects: usize,
+        clients: usize,
+        scenario: Scenario,
+        tick: Duration,
+        stores: Vec<StoreHandle>,
+    ) -> Self {
         let rqs = Arc::new(rqs);
         let shard = ShardMap::new(objects, clients);
         let n = rqs.universe_size();
         let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         let byzantine = scenario.byzantine.clone();
         let mut nodes: Vec<Box<dyn Automaton<KvBatch> + Send>> = Vec::new();
-        for _ in 0..n {
-            nodes.push(Box::new(KvServer::new()));
+        for i in 0..n {
+            nodes.push(match stores.get(i) {
+                Some(s) => Box::new(KvServer::with_store(s.clone())),
+                None => Box::new(KvServer::new()),
+            });
         }
         for c in 0..clients {
             nodes.push(Box::new(KvClient::new(
@@ -141,6 +183,7 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             checkers: BTreeMap::new(),
             retain_outcomes: true,
             sidecar: None,
+            stores,
         }
     }
 
@@ -176,6 +219,63 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             .replace_node(self.servers[idx], Box::new(KvByzantineServer::new(mode)));
     }
 
+    /// Crashes server `idx` in the given [`CrashMode`] (amnesia requires
+    /// a durable deployment or the server restarts empty).
+    pub fn crash_server(&mut self, idx: usize, mode: CrashMode) {
+        self.sub.crash_with(self.servers[idx], mode);
+    }
+
+    /// Restarts a crashed server.
+    pub fn restart_server(&mut self, idx: usize) {
+        self.sub.restart(self.servers[idx]);
+    }
+
+    /// Installs a compacting snapshot of server `idx`'s full object bank
+    /// into its durable store, truncating its write-ahead log — the
+    /// checkpoint that keeps the next recovery's replay bounded by the
+    /// deltas since the last checkpoint instead of the full run. No-op
+    /// on volatile deployments.
+    pub fn checkpoint_server(&mut self, idx: usize) {
+        self.sub
+            .invoke_on::<KvServer>(self.servers[idx], |s, _| s.save_state());
+    }
+
+    /// The per-server durable stores (empty for volatile deployments).
+    pub fn server_stores(&self) -> &[StoreHandle] {
+        &self.stores
+    }
+
+    /// Merged store counters across all servers.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut acc = StoreStats::default();
+        for s in &self.stores {
+            acc.merge(&s.stats());
+        }
+        acc
+    }
+
+    /// Sets the retry policy of every client (call before running a
+    /// workload; in-flight watchdogs keep their delays).
+    pub fn set_retry_policy(&mut self, policy: crate::client::RetryPolicy) {
+        for &c in &self.clients.clone() {
+            self.sub
+                .invoke_on::<KvClient>(c, move |k, _| k.set_retry_policy(policy));
+        }
+    }
+
+    /// Merged client retry counters (cumulative over the deployment's
+    /// lifetime).
+    pub fn retry_stats(&self) -> RetryStats {
+        let mut acc = RetryStats::default();
+        for &c in &self.clients {
+            let s = self
+                .sub
+                .inspect_on::<KvClient, RetryStats>(c, |k| k.retry_stats());
+            acc.merge(&s);
+        }
+        acc
+    }
+
     /// Drives a workload to completion in waves of at most `batch`
     /// operations per client, returning run metrics.
     ///
@@ -200,6 +300,7 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             .collect();
         let units_before = self.sub.elapsed_units();
         let net_before = self.sub.stats();
+        let retries_before = self.retry_stats();
 
         let mut stats = KvRunStats::default();
         loop {
@@ -221,6 +322,17 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
                 let done =
                     self.sub
                         .await_on::<KvClient>(c, |k| k.in_flight() == 0, DEFAULT_AWAIT_STEPS);
+                if !done {
+                    // Before panicking, dump the stuck inner automata:
+                    // their rounds and ack sets say which servers went
+                    // silent, which the panic message alone cannot.
+                    let lanes = self
+                        .sub
+                        .inspect_on::<KvClient, Vec<String>>(c, |k| k.stuck_lanes());
+                    for line in &lanes {
+                        eprintln!("stalled client {}: {line}", c.0);
+                    }
+                }
                 assert!(done, "KV wave did not complete (no correct quorum?)");
             }
             // Streaming validation: harvest and check the wave *now*,
@@ -235,6 +347,12 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         for c in self.checkers.values() {
             stats.checker.merge(&c.stats());
         }
+        let retries_after = self.retry_stats();
+        stats.retries = RetryStats {
+            retries_issued: retries_after.retries_issued - retries_before.retries_issued,
+            backoff_ticks: retries_after.backoff_ticks - retries_before.backoff_ticks,
+            exhausted: retries_after.exhausted - retries_before.exhausted,
+        };
         stats
     }
 
@@ -506,6 +624,75 @@ mod tests {
         let stats = sim.run_workload(&generate(&cfg), 4);
         assert_eq!(stats.ops, 40);
         sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn durable_sim_survives_amnesia_crash_plan() {
+        let scenario = Scenario::named("amnesia").crash_restart_amnesia(1, 5, 15);
+        let mut sim = KvSim::durable_with_scenario(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+            scenario,
+        );
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 11);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 60);
+        sim.check_atomicity().unwrap();
+        let store = sim.store_stats();
+        assert_eq!(store.crashes, 1, "the amnesia restart hit the store");
+        assert!(store.appends > 0, "servers journaled write-ahead deltas");
+    }
+
+    #[test]
+    fn lossy_links_are_survived_by_client_retries() {
+        // Every 2nd message touching any server is dropped, in both
+        // directions, for the whole run. Without retries a round whose
+        // quorum acks were thinned below a quorum would stall forever
+        // (the protocol never resends); the client watchdogs nudge the
+        // stuck rounds through. Ops must complete exactly once each.
+        let scenario = Scenario::named("lossy").lossy_towards(vec![0, 1, 2, 3, 4], 2);
+        let mut sim = KvSim::with_scenario(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+            scenario,
+        );
+        sim.set_retry_policy(crate::client::RetryPolicy {
+            max_retries: 64,
+            base_backoff: 4,
+            max_backoff: 32,
+            deadline: 1 << 20,
+        });
+        let cfg = WorkloadConfig::mixed(8, 2, 40, 19);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 40, "retried ops complete exactly once");
+        sim.check_atomicity().unwrap();
+        assert!(
+            stats.retries.retries_issued > 0,
+            "the lossy run must actually have exercised retries"
+        );
+        assert!(stats.retries.backoff_ticks >= stats.retries.retries_issued);
+        assert_eq!(sim.retry_stats(), stats.retries, "run delta == lifetime");
+    }
+
+    #[test]
+    fn amnesia_crash_mid_run_is_survived_by_retries_and_wal() {
+        // A server amnesia-crashes while traffic is in flight: acks it
+        // owed die with it. Retries re-drive the affected rounds; the
+        // WAL restores its history so atomicity holds across the restart.
+        let scenario = Scenario::named("amnesia-retry").crash_restart_amnesia(2, 3, 9);
+        let mut sim = KvSim::durable_with_scenario(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+            scenario,
+        );
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 29);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 60);
+        sim.check_atomicity().unwrap();
+        assert_eq!(sim.store_stats().crashes, 1);
     }
 
     #[test]

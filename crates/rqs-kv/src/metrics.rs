@@ -1,7 +1,7 @@
 //! Run metrics: throughput, round histograms, fast-path ratio, message
 //! accounting, per-op latency percentiles and streaming-checker counters.
 
-use crate::client::KvOutcome;
+use crate::client::{KvOutcome, RetryStats};
 use rqs_storage::CheckerStats;
 use std::collections::BTreeMap;
 
@@ -48,6 +48,13 @@ impl RoundHistogram {
         self.counts.iter().map(|(&r, &c)| (r, c))
     }
 
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RoundHistogram) {
+        for (r, c) in other.buckets() {
+            *self.counts.entry(r).or_insert(0) += c;
+        }
+    }
+
     /// Compact rendering like `1r:37 2r:3`.
     pub fn render(&self) -> String {
         let parts: Vec<String> = self
@@ -85,6 +92,9 @@ pub struct KvRunStats {
     /// checkers (cumulative over the deployment's lifetime; empty when
     /// checking is offloaded to a sidecar).
     pub checker: CheckerStats,
+    /// Client retry counters accumulated during this run (nudges issued,
+    /// backoff ticks waited, ops whose retry budget ran out).
+    pub retries: RetryStats,
 }
 
 impl KvRunStats {
@@ -126,6 +136,21 @@ impl KvRunStats {
         );
     }
 
+    /// Accumulates another run's metrics into `self` — the fold a
+    /// segmented run (workload interrupted by crash/restart cycles) uses
+    /// to report whole-run numbers. Durations add; histograms, latency
+    /// samples and all counters accumulate.
+    pub fn merge(&mut self, other: &KvRunStats) {
+        self.ops += other.ops;
+        self.rounds.merge(&other.rounds);
+        self.duration_units += other.duration_units;
+        self.envelopes += other.envelopes;
+        self.items += other.items;
+        self.latencies.extend_from_slice(&other.latencies);
+        self.checker.merge(&other.checker);
+        self.retries.merge(&other.retries);
+    }
+
     /// The `p`-th latency percentile in duration units (0 when empty).
     /// `p` is clamped to `[0, 100]`; uses the nearest-rank method.
     pub fn latency_percentile(&self, p: f64) -> u64 {
@@ -160,6 +185,38 @@ mod tests {
             h.buckets().collect::<Vec<_>>(),
             vec![(1, 2), (2, 1), (3, 1)]
         );
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = KvRunStats {
+            ops: 3,
+            duration_units: 10,
+            envelopes: 6,
+            items: 12,
+            latencies: vec![1, 2],
+            ..Default::default()
+        };
+        a.rounds.record(1);
+        let mut b = KvRunStats {
+            ops: 2,
+            duration_units: 5,
+            envelopes: 4,
+            items: 8,
+            latencies: vec![9],
+            ..Default::default()
+        };
+        b.rounds.record(1);
+        b.rounds.record(2);
+        b.retries.retries_issued = 7;
+        a.merge(&b);
+        assert_eq!(a.ops, 5);
+        assert_eq!(a.duration_units, 15);
+        assert_eq!(a.envelopes, 10);
+        assert_eq!(a.items, 20);
+        assert_eq!(a.latencies, vec![1, 2, 9]);
+        assert_eq!(a.rounds.render(), "1r:2 2r:1");
+        assert_eq!(a.retries.retries_issued, 7);
     }
 
     #[test]

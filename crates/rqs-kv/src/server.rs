@@ -11,20 +11,35 @@ use crate::messages::{BatchAccumulator, KvBatch, KvItem};
 use crate::object::ObjectId;
 use rqs_sim::{Automaton, Context, NodeId};
 use rqs_storage::history::History;
-use rqs_storage::{Server, StorageMsg};
+use rqs_storage::{wal, Server, StorageMsg};
+use rqs_store::StoreHandle;
 use std::any::Any;
 use std::collections::BTreeMap;
 
 /// A benign multi-object storage server.
+///
+/// With a [`StoreHandle`] attached, every per-object [`Server`] logs its
+/// write-ahead deltas to the *shared* store under its object id as tag,
+/// and `save_state`/`restore_state` snapshot and rebuild the whole bank
+/// at once — a single durable store per node, like a single disk.
 #[derive(Clone, Debug, Default)]
 pub struct KvServer {
     objects: BTreeMap<ObjectId, Server>,
+    store: Option<StoreHandle>,
 }
 
 impl KvServer {
-    /// A fresh server with no object state.
+    /// A fresh volatile server with no object state.
     pub fn new() -> Self {
         KvServer::default()
+    }
+
+    /// A durable server journaling every object to one shared `store`.
+    pub fn with_store(store: StoreHandle) -> Self {
+        KvServer {
+            objects: BTreeMap::new(),
+            store: Some(store),
+        }
     }
 
     /// Number of objects this server has state for.
@@ -38,6 +53,16 @@ impl KvServer {
             .get(&obj)
             .map(|s| s.history().clone())
             .unwrap_or_default()
+    }
+
+    /// The per-object server for `obj`, created on first touch with the
+    /// shared store attached (tagged by object id).
+    fn object_server(&mut self, obj: ObjectId) -> &mut Server {
+        let store = self.store.clone();
+        self.objects.entry(obj).or_insert_with(|| match store {
+            Some(s) => Server::with_tagged_store(s, obj.0),
+            None => Server::new(),
+        })
     }
 }
 
@@ -56,7 +81,7 @@ impl Automaton<KvBatch> for KvServer {
         // one destination leaves as a single batch.
         let mut replies = BatchAccumulator::new();
         for item in batch.0 {
-            let server = self.objects.entry(item.object).or_default();
+            let server = self.object_server(item.object);
             let mut inner: Context<StorageMsg> = Context::new(ctx.me(), ctx.now(), 0);
             server.on_message(from, item.msg, &mut inner);
             let (outbox, timers, _cancelled) = inner.into_outputs();
@@ -64,6 +89,36 @@ impl Automaton<KvBatch> for KvServer {
             replies.absorb(item.object, item.lane, outbox);
         }
         replies.flush(ctx);
+    }
+
+    fn save_state(&mut self) {
+        // One snapshot covering every object: the inner servers'
+        // `save_state` is never used, because each would install a
+        // single-object snapshot into the shared store, clobbering the
+        // others.
+        if let Some(store) = &self.store {
+            let blob =
+                wal::encode_histories(self.objects.iter().map(|(obj, s)| (obj.0, s.history())));
+            store.install_snapshot(&blob);
+        }
+    }
+
+    fn restore_state(&mut self) -> usize {
+        self.objects.clear();
+        let Some(store) = self.store.clone() else {
+            return 0;
+        };
+        // Crash the store once, load it once, and demultiplex the shared
+        // log in a single pass — rescanning it per object would make
+        // recovery O(objects × log), long enough under thousands of
+        // objects to stall the node past its clients' op timeouts.
+        store.crash();
+        let rec = store.load();
+        let (histories, replayed) = wal::restore_histories(&rec);
+        for (obj, h) in histories {
+            self.object_server(ObjectId(obj)).install_history(h);
+        }
+        replayed
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -208,6 +263,39 @@ mod tests {
         let mut c = test_ctx();
         s.on_message(NodeId(2), KvBatch(vec![wr(0, Lane::Reader, 1, 1)]), &mut c);
         assert_eq!(c.sent()[0].1 .0[0].lane, Lane::Reader);
+    }
+
+    #[test]
+    fn amnesia_restore_rebuilds_every_object_from_one_store() {
+        let store = StoreHandle::mem();
+        let mut s = KvServer::with_store(store.clone());
+        let mut c = test_ctx();
+        s.on_message(
+            NodeId(9),
+            KvBatch(vec![wr(0, Lane::Writer, 1, 10), wr(7, Lane::Writer, 2, 70)]),
+            &mut c,
+        );
+        s.save_state(); // snapshot both objects
+        let mut c2 = test_ctx();
+        s.on_message(
+            NodeId(9),
+            KvBatch(vec![wr(3, Lane::Writer, 1, 30)]),
+            &mut c2,
+        );
+        let before: Vec<_> = [0u64, 3, 7]
+            .iter()
+            .map(|&o| s.history(ObjectId(o)))
+            .collect();
+
+        // Amnesia: fresh automaton over the same store.
+        let mut recovered = KvServer::with_store(store.clone());
+        let replayed = recovered.restore_state();
+        assert_eq!(replayed, 1, "only object 3's delta postdates the snapshot");
+        assert_eq!(recovered.object_count(), 3);
+        for (i, &o) in [0u64, 3, 7].iter().enumerate() {
+            assert_eq!(recovered.history(ObjectId(o)), before[i], "object {o}");
+        }
+        assert_eq!(store.stats().crashes, 1, "shared store crashed once");
     }
 
     #[test]

@@ -17,8 +17,8 @@
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rqs_sim::{
-    Automaton, Context, LinkDecision, NodeId, Scenario, ScenarioNet, Substrate, SubstrateConfig,
-    SubstrateStats, Time, TimerToken, DEFAULT_OP_TIMEOUT,
+    Automaton, Context, CrashMode, LinkDecision, NodeId, Scenario, ScenarioNet, Substrate,
+    SubstrateConfig, SubstrateStats, Time, TimerToken, DEFAULT_OP_TIMEOUT,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -38,7 +38,7 @@ enum Event<M> {
     Timer(TimerToken),
     #[allow(clippy::type_complexity)]
     Call(Box<dyn FnOnce(&mut dyn Automaton<M>, &mut Context<M>) + Send>),
-    Crash,
+    Crash(CrashMode),
     Restart,
     Replace(Box<dyn Automaton<M> + Send>),
     Shutdown,
@@ -301,18 +301,18 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
         let fault_thread = if self.scenario.crashes.is_empty() {
             None
         } else {
-            let mut plan: Vec<(u64, usize, bool)> = Vec::new();
+            let mut plan: Vec<(u64, usize, bool, CrashMode)> = Vec::new();
             for c in &self.scenario.crashes {
-                plan.push((c.at, c.node, false));
+                plan.push((c.at, c.node, false, c.crash_mode));
                 if let Some(r) = c.restart_at {
-                    plan.push((r, c.node, true));
+                    plan.push((r, c.node, true, c.crash_mode));
                 }
             }
-            plan.sort_unstable();
+            plan.sort_unstable_by_key(|&(at, node, is_restart, _)| (at, node, is_restart));
             let senders = senders.clone();
             let latch = latch.clone();
             Some(std::thread::spawn(move || {
-                for (at, node, is_restart) in plan {
+                for (at, node, is_restart, mode) in plan {
                     let due = started + ticks_to_wall(tick, at);
                     if latch.wait_until(due) {
                         return; // shutdown
@@ -320,7 +320,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                     let event = if is_restart {
                         Event::Restart
                     } else {
-                        Event::Crash
+                        Event::Crash(mode)
                     };
                     if let Some(tx) = senders.get(node) {
                         let _ = tx.send(event);
@@ -385,6 +385,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                 let mut timer_counter: u64 = (i as u64) << 32;
                 let mut cancelled: Vec<TimerToken> = Vec::new();
                 let mut crashed = false;
+                let mut crash_mode = CrashMode::Retain;
                 // Start hook, mirroring World::start.
                 {
                     let mut ctx: Context<M> = Context::new(me, Time(0), timer_counter);
@@ -396,12 +397,25 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                     let mut ctx: Context<M> = Context::new(me, Time(now_ticks), timer_counter);
                     match event {
                         Event::Shutdown => return,
-                        Event::Crash => {
+                        Event::Crash(mode) => {
                             crashed = true;
+                            crash_mode = mode;
+                            // Timers are volatile state: purge this
+                            // node's pending wheel entries so no
+                            // pre-crash timer fires after a restart.
+                            let mut heap = wheel.heap.lock();
+                            let drained = std::mem::take(&mut *heap);
+                            *heap = drained.into_iter().filter(|r| r.node != i).collect();
+                            drop(heap);
+                            cancelled.clear();
                             continue;
                         }
                         Event::Restart => {
                             crashed = false;
+                            if crash_mode == CrashMode::Amnesia {
+                                crash_mode = CrashMode::Retain;
+                                let _ = node.restore_state();
+                            }
                             continue;
                         }
                         Event::Replace(new_node) => {
@@ -618,12 +632,23 @@ impl<M: Send + Clone + 'static> Runtime<M> {
     }
 
     /// Crashes the node: it stops processing messages and timers (they
-    /// are lost) until [`Runtime::restart_node`].
+    /// are lost) until [`Runtime::restart_node`]. Retain mode: in-memory
+    /// state survives the restart.
     pub fn crash_node(&self, id: NodeId) {
-        let _ = self.senders[id.0].send(Event::Crash);
+        self.crash_node_with(id, CrashMode::Retain);
     }
 
-    /// Restarts a crashed node with its retained state.
+    /// Crashes the node with an explicit [`CrashMode`]: after an
+    /// `Amnesia` crash the restart discards all volatile state and
+    /// rebuilds the automaton from its durable store (via
+    /// `Automaton::restore_state`). Pending timers are purged in both
+    /// modes — they are volatile state.
+    pub fn crash_node_with(&self, id: NodeId, mode: CrashMode) {
+        let _ = self.senders[id.0].send(Event::Crash(mode));
+    }
+
+    /// Restarts a crashed node: with its retained state after a retain
+    /// crash, from its durable store after an amnesia crash.
     pub fn restart_node(&self, id: NodeId) {
         let _ = self.senders[id.0].send(Event::Restart);
     }
@@ -741,6 +766,10 @@ impl<M: Send + Clone + 'static> Substrate<M> for Runtime<M> {
 
     fn crash(&mut self, id: NodeId) {
         self.crash_node(id);
+    }
+
+    fn crash_with(&mut self, id: NodeId, mode: CrashMode) {
+        self.crash_node_with(id, mode);
     }
 
     fn restart(&mut self, id: NodeId) {
@@ -897,6 +926,67 @@ mod tests {
             |e: &Echo| !e.got.is_empty(),
             Duration::from_secs(5),
         ));
+        rt.shutdown();
+    }
+
+    /// Remembers messages volatilely and arms a long timer on each one;
+    /// restore_state simulates rebuilding from an empty durable store.
+    #[derive(Default)]
+    struct Volatile {
+        got: Vec<u32>,
+        fired: usize,
+        restores: usize,
+    }
+
+    impl Automaton<u32> for Volatile {
+        fn on_message(&mut self, _f: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.got.push(msg);
+            ctx.set_timer(50);
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut Context<u32>) {
+            self.fired += 1;
+        }
+        fn restore_state(&mut self) -> usize {
+            self.got.clear();
+            self.restores += 1;
+            0
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn amnesia_crash_restores_from_store_and_purges_timers() {
+        let mut rt = RuntimeBuilder::new()
+            .tick(Duration::from_millis(1))
+            .node(Box::new(Volatile::default()))
+            .node(Box::new(Echo::default()))
+            .start();
+        rt.send(NodeId(1), NodeId(0), 5);
+        assert!(rt.wait_for::<Volatile>(
+            NodeId(0),
+            |v: &Volatile| !v.got.is_empty(),
+            Duration::from_secs(5),
+        ));
+        // Amnesia-crash before the 50-tick timer fires, then restart.
+        rt.crash_node_with(NodeId(0), CrashMode::Amnesia);
+        rt.restart_node(NodeId(0));
+        assert!(rt.wait_for::<Volatile>(
+            NodeId(0),
+            |v: &Volatile| v.restores == 1,
+            Duration::from_secs(5),
+        ));
+        let (got, fired) = rt.inspect::<Volatile, _>(NodeId(0), |v| (v.got.clone(), v.fired));
+        assert!(got.is_empty(), "amnesia restart must drop volatile state");
+        assert_eq!(fired, 0);
+        // Wait past the old timer's due point: it was purged at crash.
+        std::thread::sleep(Duration::from_millis(80));
+        let fired = rt.inspect::<Volatile, usize>(NodeId(0), |v| v.fired);
+        assert_eq!(fired, 0, "pre-crash timer must not fire after restart");
         rt.shutdown();
     }
 

@@ -57,7 +57,9 @@ pub mod world;
 
 pub use network::{Envelope, Fate, FatePolicy, NetworkScript, Rule, Selector};
 pub use node::{Automaton, Context, NodeId, TimerToken};
-pub use scenario::{CrashPlan, LinkDecision, LinkEffect, LinkRule, Scenario, ScenarioNet};
+pub use scenario::{
+    CrashMode, CrashPlan, LinkDecision, LinkEffect, LinkRule, Scenario, ScenarioNet,
+};
 pub use sched::{fnv1a, fnv1a_fold, PendingEvent, PendingKind, SchedDecision, Scheduler};
 pub use substrate::{
     Substrate, SubstrateConfig, SubstrateStats, DEFAULT_AWAIT_STEPS, DEFAULT_OP_TIMEOUT,

@@ -76,6 +76,24 @@ pub trait Automaton<M>: Any {
         0
     }
 
+    /// Persists a full snapshot of the automaton's durable state into its
+    /// attached store (compacting the write-ahead log). Automata without
+    /// durable state ignore it.
+    fn save_state(&mut self) {}
+
+    /// Rebuilds the automaton from its durable store after an **amnesia**
+    /// crash: discard all volatile state, then replay the store's
+    /// snapshot + log. Returns the number of log records replayed.
+    ///
+    /// The default keeps the in-memory state untouched — correct for
+    /// automata with no crash-surviving obligations (clients, scripted
+    /// adversaries). Automata that promise durability (`Server`,
+    /// `KvServer`, `Acceptor`, `Learner`) must override it; forgetting to
+    /// is exactly the bug the amnesia fault mode exists to expose.
+    fn restore_state(&mut self) -> usize {
+        0
+    }
+
     /// Upcast for harness-side state inspection.
     fn as_any(&self) -> &dyn Any;
 

@@ -107,6 +107,30 @@ pub enum LinkEffect {
     HoldUntilHeal,
 }
 
+/// What a crash does to the node's volatile state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Pause/resume: the node restarts with its in-memory state intact
+    /// (the only crash the substrates modelled before durable recovery
+    /// existed — kept as the back-compat default).
+    #[default]
+    Retain,
+    /// A real crash: all volatile state is lost, and the restart rebuilds
+    /// the node from its `rqs_store::Durable` store only (via
+    /// [`Automaton::restore_state`](crate::Automaton::restore_state)).
+    Amnesia,
+}
+
+impl CrashMode {
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashMode::Retain => "retain",
+            CrashMode::Amnesia => "amnesia",
+        }
+    }
+}
+
 /// A scheduled crash (and optional restart), in ticks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashPlan {
@@ -114,8 +138,11 @@ pub struct CrashPlan {
     pub node: usize,
     /// Tick at which the node stops processing.
     pub at: u64,
-    /// Tick at which it resumes with its retained state (`None` = never).
+    /// Tick at which it resumes (`None` = never).
     pub restart_at: Option<u64>,
+    /// Whether the restart retains in-memory state or rebuilds from the
+    /// durable store.
+    pub crash_mode: CrashMode,
 }
 
 /// A declarative, substrate-independent fault scenario.
@@ -174,18 +201,44 @@ impl Scenario {
             node,
             at,
             restart_at: None,
+            crash_mode: CrashMode::Retain,
         });
         self
     }
 
-    /// Schedules a crash of `node` at `at` and a restart at `restart`.
+    /// Schedules a crash of `node` at `at` and a restart at `restart`
+    /// (retain mode: in-memory state survives).
     pub fn crash_restart(mut self, node: usize, at: u64, restart: u64) -> Self {
         assert!(restart > at, "restart must follow the crash");
         self.crashes.push(CrashPlan {
             node,
             at,
             restart_at: Some(restart),
+            crash_mode: CrashMode::Retain,
         });
+        self
+    }
+
+    /// Schedules an **amnesia** crash of `node` at `at` and a restart at
+    /// `restart`: the node comes back with volatile state lost, rebuilt
+    /// from its durable store only.
+    pub fn crash_restart_amnesia(mut self, node: usize, at: u64, restart: u64) -> Self {
+        assert!(restart > at, "restart must follow the crash");
+        self.crashes.push(CrashPlan {
+            node,
+            at,
+            restart_at: Some(restart),
+            crash_mode: CrashMode::Amnesia,
+        });
+        self
+    }
+
+    /// Rewrites every crash plan to use `mode` (sweeping one scenario
+    /// across both crash modes).
+    pub fn with_crash_mode(mut self, mode: CrashMode) -> Self {
+        for plan in &mut self.crashes {
+            plan.crash_mode = mode;
+        }
         self
     }
 
@@ -429,7 +482,24 @@ mod tests {
     fn crash_restart_builder_validates() {
         let s = Scenario::named("cr").crash_restart(0, 10, 60).crash(1, 5);
         assert_eq!(s.crashes[0].restart_at, Some(60));
+        assert_eq!(s.crashes[0].crash_mode, CrashMode::Retain);
         assert_eq!(s.crashes[1].restart_at, None);
+    }
+
+    #[test]
+    fn crash_mode_builders() {
+        let s = Scenario::named("am").crash_restart_amnesia(2, 10, 60);
+        assert_eq!(s.crashes[0].crash_mode, CrashMode::Amnesia);
+        let swept = Scenario::named("cr")
+            .crash_restart(0, 10, 60)
+            .crash(1, 5)
+            .with_crash_mode(CrashMode::Amnesia);
+        assert!(swept
+            .crashes
+            .iter()
+            .all(|p| p.crash_mode == CrashMode::Amnesia));
+        assert_eq!(CrashMode::Amnesia.label(), "amnesia");
+        assert_eq!(CrashMode::default(), CrashMode::Retain);
     }
 
     #[test]

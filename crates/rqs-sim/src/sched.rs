@@ -9,7 +9,7 @@
 //! regardless of when it was sent. Model checkers (`rqs-check`) drive this
 //! seam to enumerate delivery interleavings; they may additionally inject
 //! faults at choice points ([`SchedDecision::Drop`],
-//! [`SchedDecision::Crash`]).
+//! [`SchedDecision::Crash`], [`SchedDecision::CrashRecover`]).
 //!
 //! Schedulers are payload-agnostic: they see [`PendingEvent`] views
 //! (endpoints and kinds, not message contents), so one scheduler
@@ -82,8 +82,17 @@ pub enum SchedDecision {
     /// degrades to `Deliver(i)`.
     Drop(usize),
     /// Crash node `i` (a raw node index) at this choice point, without
-    /// consuming a pending event. Unknown indices are ignored.
+    /// consuming a pending event. Unknown indices are ignored. The
+    /// node's pending self-timers are purged (they were volatile state).
     Crash(usize),
+    /// Amnesia-crash node `i` and immediately recover it, as one atomic
+    /// action: volatile state and pending self-timers are discarded,
+    /// then [`Automaton::restore_state`](crate::Automaton::restore_state)
+    /// rebuilds the node from its durable store and it keeps processing.
+    /// Does not consume a pending event. Unknown indices are ignored.
+    /// This is the choice-point form of the `CrashMode::Amnesia` fault:
+    /// it exposes exactly the state a node is entitled to forget.
+    CrashRecover(usize),
 }
 
 impl SchedDecision {

@@ -21,7 +21,7 @@
 //! fault scheduler on the runtime.
 
 use crate::node::{Automaton, Context, NodeId};
-use crate::scenario::Scenario;
+use crate::scenario::{CrashMode, Scenario};
 use crate::time::Time;
 use crate::world::World;
 use std::time::Duration;
@@ -163,9 +163,19 @@ pub trait Substrate<M: Clone + Send + 'static>: Sized {
 
     /// Crashes the node now: it stops processing and sending until
     /// [`Substrate::restart`]. Messages arriving meanwhile are lost.
+    /// Equivalent to [`Substrate::crash_with`] in [`CrashMode::Retain`].
     fn crash(&mut self, id: NodeId);
 
-    /// Restarts a crashed node with its retained state.
+    /// Crashes the node now with an explicit [`CrashMode`]: `Retain`
+    /// behaves like [`Substrate::crash`]; `Amnesia` makes the eventual
+    /// [`Substrate::restart`] discard all volatile state and rebuild the
+    /// node from its durable store (via
+    /// [`Automaton::restore_state`](crate::Automaton::restore_state)).
+    fn crash_with(&mut self, id: NodeId, mode: CrashMode);
+
+    /// Restarts a crashed node: with its retained state after a
+    /// [`CrashMode::Retain`] crash, from its durable store after a
+    /// [`CrashMode::Amnesia`] crash.
     fn restart(&mut self, id: NodeId);
 
     /// Replaces the automaton at `id` (Byzantine behaviour injection).
@@ -198,7 +208,7 @@ impl<M: Clone + Send + 'static> Substrate<M> for World<M> {
             world.add_node(node);
         }
         for plan in &config.scenario.crashes {
-            world.crash_at(NodeId(plan.node), Time(plan.at));
+            world.crash_at_mode(NodeId(plan.node), Time(plan.at), plan.crash_mode);
             if let Some(t) = plan.restart_at {
                 world.restart_at(NodeId(plan.node), Time(t));
             }
@@ -237,13 +247,17 @@ impl<M: Clone + Send + 'static> Substrate<M> for World<M> {
     }
 
     fn crash(&mut self, id: NodeId) {
+        self.crash_with(id, CrashMode::Retain);
+    }
+
+    fn crash_with(&mut self, id: NodeId, mode: CrashMode) {
         // Scheduled at the current tick but processed lazily by the next
         // drive: the clock does not advance, so crashing a *set* of
         // nodes crashes them all at the same instant, and the crash
         // still sorts before anything sent afterwards (later sequence
         // numbers, later delivery ticks).
         let now = self.now();
-        self.crash_at(id, now);
+        self.crash_at_mode(id, now, mode);
     }
 
     fn restart(&mut self, id: NodeId) {

@@ -7,6 +7,7 @@
 
 use crate::network::{Envelope, Fate, FatePolicy};
 use crate::node::{Automaton, Context, NodeId, TimerToken};
+use crate::scenario::CrashMode;
 use crate::sched::{fnv1a_fold, PendingEvent, PendingKind, SchedDecision, Scheduler};
 use crate::time::Time;
 use std::cmp::Reverse;
@@ -17,7 +18,7 @@ use std::collections::{BinaryHeap, HashSet};
 enum Event<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, token: TimerToken },
-    Crash { node: NodeId },
+    Crash { node: NodeId, mode: CrashMode },
     Restart { node: NodeId },
 }
 
@@ -39,7 +40,7 @@ impl<M> Queued<M> {
                 node: *node,
                 token: token.0,
             },
-            Event::Crash { node } => PendingKind::Crash { node: *node },
+            Event::Crash { node, .. } => PendingKind::Crash { node: *node },
             Event::Restart { node } => PendingKind::Restart { node: *node },
         };
         PendingEvent {
@@ -65,6 +66,12 @@ impl<M> Ord for Queued<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
+}
+
+/// Drops every pending timer of `node` from a drained pending set (the
+/// scheduled-step analogue of [`World::purge_node_timers`]).
+fn purge_pending_timers<M>(pending: &mut Vec<Queued<M>>, node: usize) {
+    pending.retain(|q| !matches!(&q.event, Event::Timer { node: n, .. } if n.0 == node));
 }
 
 /// One line of the execution trace (for debugging and figure rendering).
@@ -124,6 +131,7 @@ pub struct WorldStats {
 pub struct World<M> {
     nodes: Vec<Option<Box<dyn Automaton<M>>>>,
     crashed: Vec<bool>,
+    crash_modes: Vec<CrashMode>,
     queue: BinaryHeap<Reverse<Queued<M>>>,
     held: Vec<(u32, Envelope<M>)>,
     cancelled_timers: HashSet<(usize, u64)>,
@@ -145,6 +153,7 @@ impl<M: Clone + 'static> World<M> {
         World {
             nodes: Vec::new(),
             crashed: Vec::new(),
+            crash_modes: Vec::new(),
             queue: BinaryHeap::new(),
             held: Vec::new(),
             cancelled_timers: HashSet::new(),
@@ -200,7 +209,9 @@ impl<M: Clone + 'static> World<M> {
                     }
                     fnv1a_fold(fnv1a_fold(2, node.0 as u64), token.0)
                 }
-                Event::Crash { node } => fnv1a_fold(3, node.0 as u64),
+                Event::Crash { node, mode } => {
+                    fnv1a_fold(fnv1a_fold(3, node.0 as u64), *mode as u64)
+                }
                 Event::Restart { node } => fnv1a_fold(4, node.0 as u64),
             };
             events.push(h);
@@ -223,6 +234,7 @@ impl<M: Clone + 'static> World<M> {
             let d = node.as_ref().map_or(0, |n| n.state_digest());
             acc = fnv1a_fold(acc, d);
             acc = fnv1a_fold(acc, self.crashed[i] as u64);
+            acc = fnv1a_fold(acc, self.crash_modes[i] as u64);
         }
         acc
     }
@@ -251,6 +263,7 @@ impl<M: Clone + 'static> World<M> {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
         self.crashed.push(false);
+        self.crash_modes.push(CrashMode::Retain);
         id
     }
 
@@ -322,14 +335,26 @@ impl<M: Clone + 'static> World<M> {
     /// Schedules a crash: from time `t` the node neither receives nor
     /// sends. (A crash between sends within one step is expressed by a
     /// [`NetworkScript`](crate::NetworkScript) dropping the tail of its
-    /// messages instead.)
+    /// messages instead.) Equivalent to
+    /// [`crash_at_mode`](World::crash_at_mode) with [`CrashMode::Retain`].
     pub fn crash_at(&mut self, node: NodeId, t: Time) {
-        self.push(t, Event::Crash { node });
+        self.crash_at_mode(node, t, CrashMode::Retain);
+    }
+
+    /// Schedules a crash of `node` at `t` with an explicit [`CrashMode`]:
+    /// `Retain` restarts with in-memory state intact (the node's state
+    /// plays the role of stable storage), `Amnesia` discards all volatile
+    /// state at restart and rebuilds the node from its durable store via
+    /// [`Automaton::restore_state`]. In both modes the crash purges the
+    /// node's pending self-timers — timers are volatile state and must
+    /// not survive into the post-restart execution.
+    pub fn crash_at_mode(&mut self, node: NodeId, t: Time, mode: CrashMode) {
+        self.push(t, Event::Crash { node, mode });
     }
 
     /// Schedules a restart: from time `t` the node processes messages and
-    /// timers again, resuming with the state it held when it crashed (the
-    /// node's state plays the role of stable storage). Messages delivered
+    /// timers again. What state it resumes with depends on the mode of
+    /// the crash that took it down ([`CrashMode`]). Messages delivered
     /// while it was crashed stay lost.
     pub fn restart_at(&mut self, node: NodeId, t: Time) {
         self.push(t, Event::Restart { node });
@@ -480,11 +505,26 @@ impl<M: Clone + 'static> World<M> {
                 }
             }
             SchedDecision::Crash(node) => {
-                self.requeue(pending);
                 if node < self.crashed.len() {
                     self.crashed[node] = true;
+                    self.crash_modes[node] = CrashMode::Retain;
+                    purge_pending_timers(&mut pending, node);
+                    self.cancelled_timers.retain(|(n, _)| *n != node);
                     self.log(format!("n{node} crashed by scheduler"));
                 }
+                self.requeue(pending);
+            }
+            SchedDecision::CrashRecover(node) => {
+                if node < self.crashed.len() && !self.crashed[node] {
+                    purge_pending_timers(&mut pending, node);
+                    self.cancelled_timers.retain(|(n, _)| *n != node);
+                    let replayed = self.nodes[node].as_mut().map_or(0, |n| n.restore_state());
+                    self.log(format!(
+                        "n{node} amnesia-crashed and recovered by scheduler \
+                         ({replayed} log records replayed)"
+                    ));
+                }
+                self.requeue(pending);
             }
         }
         true
@@ -499,13 +539,25 @@ impl<M: Clone + 'static> World<M> {
     /// Executes one dequeued event at the current time.
     fn dispatch(&mut self, event: Event<M>) {
         match event {
-            Event::Crash { node } => {
+            Event::Crash { node, mode } => {
                 self.crashed[node.0] = true;
-                self.log(format!("{node} crashed"));
+                self.crash_modes[node.0] = mode;
+                // Timers are volatile state: a timer armed before the
+                // crash must not fire after a restart (in either mode).
+                self.purge_node_timers(node.0);
+                self.log(format!("{node} crashed ({})", mode.label()));
             }
             Event::Restart { node } => {
                 self.crashed[node.0] = false;
-                self.log(format!("{node} restarted"));
+                if self.crash_modes[node.0] == CrashMode::Amnesia {
+                    self.crash_modes[node.0] = CrashMode::Retain;
+                    let replayed = self.nodes[node.0].as_mut().map_or(0, |n| n.restore_state());
+                    self.log(format!(
+                        "{node} restarted (amnesia: {replayed} log records replayed)"
+                    ));
+                } else {
+                    self.log(format!("{node} restarted"));
+                }
             }
             Event::Deliver { from, to, msg } => {
                 if self.crashed[to.0] {
@@ -617,6 +669,26 @@ impl<M: Clone + 'static> World<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Queued { at, seq, event }));
+    }
+
+    /// Removes every queued timer of `node` (and its stale cancellation
+    /// marks): called at crash time so no pre-crash timer leaks into the
+    /// post-restart execution.
+    fn purge_node_timers(&mut self, node: usize) {
+        let had_timers = self
+            .queue
+            .iter()
+            .any(|Reverse(q)| matches!(&q.event, Event::Timer { node: n, .. } if n.0 == node));
+        if had_timers {
+            let drained = std::mem::take(&mut self.queue);
+            self.queue = drained
+                .into_iter()
+                .filter(
+                    |Reverse(q)| !matches!(&q.event, Event::Timer { node: n, .. } if n.0 == node),
+                )
+                .collect();
+        }
+        self.cancelled_timers.retain(|(n, _)| *n != node);
     }
 
     fn log(&mut self, what: String) {
@@ -811,6 +883,116 @@ mod tests {
         w.post(a, b, 7);
         w.run_to_quiescence();
         assert_eq!(w.node_as::<PingPong>(b).received, vec![0, 7]);
+    }
+
+    /// Arms a 5-tick timer on every message; restore_state clears the
+    /// volatile payload (simulating a node whose durable store is empty).
+    struct TimerHolder {
+        fired: usize,
+        volatile: u32,
+        restores: usize,
+    }
+
+    impl Automaton<u32> for TimerHolder {
+        fn on_message(&mut self, _f: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.volatile = msg;
+            ctx.set_timer(5);
+        }
+        fn on_timer(&mut self, _t: TimerToken, _ctx: &mut Context<u32>) {
+            self.fired += 1;
+        }
+        fn restore_state(&mut self) -> usize {
+            self.volatile = 0;
+            self.restores += 1;
+            0
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn crash_purges_pending_self_timers_in_both_modes() {
+        // Regression: a timer armed before a crash used to survive the
+        // crash and fire after a retain-restart. Timers are volatile
+        // state and must die with the node in either crash mode.
+        for mode in [CrashMode::Retain, CrashMode::Amnesia] {
+            let mut w = World::new(NetworkScript::synchronous());
+            let a = w.add_node(Box::new(TimerHolder {
+                fired: 0,
+                volatile: 0,
+                restores: 0,
+            }));
+            w.post(a, a, 42); // delivered at t1, arms a timer for t6
+            w.crash_at_mode(a, Time(2), mode);
+            w.restart_at(a, Time(3)); // restart well before the timer's t6
+            w.run_to_quiescence();
+            let n = w.node_as::<TimerHolder>(a);
+            assert_eq!(
+                n.fired,
+                0,
+                "pre-crash timer fired after a {} restart",
+                mode.label()
+            );
+            match mode {
+                CrashMode::Retain => {
+                    assert_eq!(n.volatile, 42, "retain restart must keep state");
+                    assert_eq!(n.restores, 0);
+                }
+                CrashMode::Amnesia => {
+                    assert_eq!(n.volatile, 0, "amnesia restart must drop volatile state");
+                    assert_eq!(n.restores, 1, "amnesia restart must call restore_state");
+                }
+            }
+            assert!(!w.is_crashed(a));
+        }
+    }
+
+    #[test]
+    fn scheduler_crash_purges_timers_and_crash_recover_restores() {
+        let mut w = World::new(NetworkScript::synchronous());
+        let a = w.add_node(Box::new(TimerHolder {
+            fired: 0,
+            volatile: 0,
+            restores: 0,
+        }));
+        let b = w.add_node(Box::new(TimerHolder {
+            fired: 0,
+            volatile: 0,
+            restores: 0,
+        }));
+        w.post(a, a, 7); // arms a's timer at t1
+        w.post(b, b, 9); // arms b's timer at t1
+                         // Choice 1: deliver a's message (arms timer). Choice 2: deliver
+                         // b's message. Choice 3: amnesia-crash-recover a (atomic), which
+                         // must purge a's pending timer and call restore_state. Choice 4:
+                         // retain-crash b by scheduler, purging b's timer.
+        w.set_scheduler(Box::new(Scripted {
+            script: vec![
+                SchedDecision::Deliver(0),
+                SchedDecision::Deliver(0),
+                SchedDecision::CrashRecover(0),
+                SchedDecision::Crash(1),
+            ],
+            pos: 0,
+            seen: vec![],
+        }));
+        w.run_to_quiescence();
+        let na = w.node_as::<TimerHolder>(a);
+        assert_eq!(na.fired, 0, "crash-recover must purge pending self-timers");
+        assert_eq!(na.restores, 1, "crash-recover must rebuild from the store");
+        assert_eq!(na.volatile, 0);
+        assert!(!w.is_crashed(a), "crash-recover leaves the node live");
+        let nb = w.node_as::<TimerHolder>(b);
+        assert_eq!(
+            nb.fired, 0,
+            "scheduler crash must purge pending self-timers"
+        );
+        assert_eq!(nb.restores, 0);
+        assert!(w.is_crashed(b));
     }
 
     #[test]

@@ -22,9 +22,10 @@ use crate::value::Value;
 use crate::writer::{WriteOutcome, Writer};
 use rqs_core::{ProcessSet, Rqs};
 use rqs_sim::{
-    Automaton, NetworkScript, NodeId, Scenario, Substrate, SubstrateConfig, Time, World,
+    Automaton, CrashMode, NetworkScript, NodeId, Scenario, Substrate, SubstrateConfig, Time, World,
     DEFAULT_AWAIT_STEPS,
 };
+use rqs_store::{StoreHandle, StoreStats};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,6 +65,8 @@ pub struct StorageDeployment<S: Substrate<StorageMsg>> {
     harvested_reads: Vec<usize>,
     /// Timestamps fed to the checker as in-flight (far-future) writes.
     open_writes: BTreeSet<u64>,
+    /// Per-server durable stores (empty for volatile deployments).
+    stores: Vec<StoreHandle>,
 }
 
 /// The simulated storage deployment (back-compat alias): the same driver
@@ -86,13 +89,39 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
     /// Builds with a scenario and an explicit wall-clock tick length
     /// (ignored by the simulator).
     pub fn with_setup(rqs: Rqs, readers: usize, scenario: Scenario, tick: Duration) -> Self {
+        Self::with_setup_stores(rqs, readers, scenario, tick, Vec::new())
+    }
+
+    /// Builds a durable deployment under a fault scenario: every server
+    /// journals to a fresh deterministic in-memory store, so the
+    /// scenario may use [`CrashMode::Amnesia`] crash plans.
+    pub fn durable_with_scenario(rqs: Rqs, readers: usize, scenario: Scenario) -> Self {
+        let stores = (0..rqs.universe_size())
+            .map(|_| StoreHandle::mem())
+            .collect();
+        Self::with_setup_stores(rqs, readers, scenario, rqs_sim::DEFAULT_TICK, stores)
+    }
+
+    /// Builds with explicit per-server stores (`stores[i]` backs server
+    /// `i`; servers beyond the vector stay volatile) — the seam the
+    /// threaded chaos experiment uses to hand in file-backed stores.
+    pub fn with_setup_stores(
+        rqs: Rqs,
+        readers: usize,
+        scenario: Scenario,
+        tick: Duration,
+        stores: Vec<StoreHandle>,
+    ) -> Self {
         let rqs = Arc::new(rqs);
         let n = rqs.universe_size();
         let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         let byzantine = scenario.byzantine.clone();
         let mut nodes: Vec<Box<dyn Automaton<StorageMsg> + Send>> = Vec::new();
-        for _ in 0..n {
-            nodes.push(Box::new(Server::new()));
+        for i in 0..n {
+            nodes.push(match stores.get(i) {
+                Some(s) => Box::new(Server::with_store(s.clone())),
+                None => Box::new(Server::new()),
+            });
         }
         nodes.push(Box::new(Writer::new(rqs.clone(), server_ids.clone())));
         for _ in 0..readers {
@@ -114,6 +143,7 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
             harvested_writes: 0,
             harvested_reads: vec![0; readers],
             open_writes: BTreeSet::new(),
+            stores,
         }
     }
 
@@ -154,6 +184,30 @@ impl<S: Substrate<StorageMsg>> StorageDeployment<S> {
         for p in healed.iter() {
             self.sub.restart(self.servers[p.index()]);
         }
+    }
+
+    /// Crashes a set of servers with amnesia: on restart each rebuilds
+    /// from its durable store only. Meaningful on durable deployments;
+    /// volatile servers come back empty.
+    pub fn crash_servers_amnesia(&mut self, faulty: ProcessSet) {
+        for p in faulty.iter() {
+            self.sub
+                .crash_with(self.servers[p.index()], CrashMode::Amnesia);
+        }
+    }
+
+    /// The per-server durable stores (empty for volatile deployments).
+    pub fn server_stores(&self) -> &[StoreHandle] {
+        &self.stores
+    }
+
+    /// Merged store counters across all servers.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut acc = StoreStats::default();
+        for s in &self.stores {
+            acc.merge(&s.stats());
+        }
+        acc
     }
 
     /// Runs a complete `write(v)` and returns its outcome.
@@ -460,6 +514,50 @@ mod tests {
         let r = h.read(0);
         assert_eq!(r.returned.val, Value::from(5u64));
         h.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn amnesia_crash_recovers_from_stores() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut h = StorageHarness::durable_with_scenario(rqs, 2, Scenario::default());
+        h.write(Value::from(1u64));
+        h.write(Value::from(2u64));
+        // Amnesia-crash two servers, restart: they rebuild from WAL.
+        h.crash_servers_amnesia(ProcessSet::from_indices([3, 4]));
+        h.settle();
+        h.restart_servers(ProcessSet::from_indices([3, 4]));
+        h.settle();
+        let r = h.read(0);
+        assert_eq!(r.returned.val, Value::from(2u64));
+        // Recovered servers hold the acked writes again.
+        for idx in [3usize, 4] {
+            let id = h.servers()[idx];
+            let holds = h
+                .world_mut()
+                .node_as::<Server>(id)
+                .history()
+                .stores(&crate::value::TsVal::new(2, Value::from(2u64)), 1);
+            assert!(holds, "server {idx} must recover acked writes");
+        }
+        h.check_atomicity().unwrap();
+        let stats = h.store_stats();
+        assert!(stats.appends >= 4, "write-ahead appends recorded");
+        assert_eq!(stats.crashes, 2);
+        assert!(stats.replayed > 0, "recovery replayed log records");
+    }
+
+    #[test]
+    fn amnesia_without_wal_would_lose_state_but_volatile_retain_keeps_it() {
+        // Control: a Retain crash/restart keeps in-memory state even
+        // without stores — the two modes genuinely differ.
+        let mut h = five_server();
+        h.write(Value::from(9u64));
+        h.crash_servers(ProcessSet::from_indices([4]));
+        h.settle();
+        h.restart_servers(ProcessSet::from_indices([4]));
+        h.settle();
+        let id = h.servers()[4];
+        assert!(!h.world_mut().node_as::<Server>(id).history().is_empty());
     }
 
     #[test]

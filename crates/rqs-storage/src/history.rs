@@ -143,6 +143,20 @@ impl History {
             .unwrap_or(0)
     }
 
+    /// Iterates `(timestamp, slots)` in ascending timestamp order — the
+    /// snapshot-encoding view used by the durability layer.
+    pub fn iter(&self) -> impl Iterator<Item = (&Timestamp, &[Slot; SLOTS])> {
+        self.entries.iter()
+    }
+
+    /// Installs the exact slot array for `ts`, replacing whatever was
+    /// there. Unlike [`History::apply_write`] this does not prefix-fill
+    /// or merge: it is the faithful-reconstruction primitive snapshot
+    /// restore uses, where the slots were captured from a live history.
+    pub fn insert_slots(&mut self, ts: Timestamp, slots: [Slot; SLOTS]) {
+        self.entries.insert(ts, slots);
+    }
+
     /// Number of timestamps with any stored slot.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -194,6 +194,49 @@ impl Reader {
         self.state = State::Phase1(p1);
     }
 
+    /// Re-broadcasts the in-progress phase's message without advancing
+    /// the protocol: a phase-1 resend repeats the current `rd` round
+    /// (same `read_no`, same round number — servers re-answer with their
+    /// current history, which overwrite-merges idempotently), a
+    /// write-back resend repeats the current `wr` (same selected pair,
+    /// round and quorum ids, so duplicate acks collapse in the ack set).
+    /// This is the retry seam for loss-hardened clients; a nudge never
+    /// starts a new read round or a new operation.
+    ///
+    /// Returns `false` (and sends nothing) when the reader is idle.
+    pub fn resend_round(&mut self, ctx: &mut Context<StorageMsg>) -> bool {
+        match &self.state {
+            State::Idle => false,
+            State::Phase1(p1) => {
+                ctx.broadcast(
+                    self.servers.iter().copied(),
+                    StorageMsg::Rd {
+                        read_no: self.read_no,
+                        rnd: p1.read_rnd,
+                    },
+                );
+                true
+            }
+            State::Writeback(wb) => {
+                let (rnd, sets): (usize, BTreeSet<QuorumId>) = match &wb.kind {
+                    WbKind::FastRound1 { x } => (1, x.iter().copied().collect()),
+                    WbKind::PlainRound1 => (1, BTreeSet::new()),
+                    WbKind::FinalRound2 => (2, BTreeSet::new()),
+                };
+                ctx.broadcast(
+                    self.servers.iter().copied(),
+                    StorageMsg::Wr {
+                        ts: wb.csel.ts,
+                        val: wb.csel.val.clone(),
+                        sets,
+                        rnd,
+                    },
+                );
+                true
+            }
+        }
+    }
+
     fn enter_phase1_round(
         p1: &mut Phase1,
         read_no: u64,
@@ -549,6 +592,59 @@ mod tests {
         world.run_to_quiescence();
         let out = &world.node_as::<Reader>(reader).outcomes()[0];
         assert_eq!(out.returned.val, Value::from(9u64));
+    }
+
+    #[test]
+    fn resend_repeats_phase_without_advancing() {
+        use rqs_sim::Time;
+        let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+        let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut r = Reader::new(rqs, servers);
+        // Idle readers have nothing to resend.
+        let mut c = Context::new(NodeId(5), Time(0), 0);
+        assert!(!r.resend_round(&mut c));
+        assert!(c.sent().is_empty());
+        // Phase-1 resend repeats the same read round verbatim.
+        let mut c = Context::new(NodeId(5), Time(0), 0);
+        r.start_read(&mut c);
+        let mut c2 = Context::new(NodeId(5), Time(9), 100);
+        assert!(r.resend_round(&mut c2));
+        assert_eq!(c2.sent().len(), 5);
+        match &c2.sent()[0].1 {
+            StorageMsg::Rd { read_no, rnd } => assert_eq!((*read_no, *rnd), (1, 1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(c2.armed_timers().is_empty(), "resend arms no timer");
+        let State::Phase1(p1) = &r.state else {
+            panic!("still in phase 1");
+        };
+        assert_eq!(p1.read_rnd, 1, "resend must not advance the round");
+    }
+
+    #[test]
+    fn resend_during_writeback_repeats_writeback() {
+        use rqs_sim::Time;
+        let mut r = {
+            let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+            let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+            Reader::new(rqs, servers)
+        };
+        let mut c = Context::new(NodeId(5), Time(0), 0);
+        r.read_no = 1;
+        r.start_writeback(
+            TsVal::new(4, Value::from(9u64)),
+            WbKind::FinalRound2,
+            1,
+            Time(0),
+            &mut c,
+        );
+        let mut c2 = Context::new(NodeId(5), Time(7), 50);
+        assert!(r.resend_round(&mut c2));
+        assert_eq!(c2.sent().len(), 5);
+        match &c2.sent()[0].1 {
+            StorageMsg::Wr { ts, rnd, .. } => assert_eq!((*ts, *rnd), (4, 2)),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -3,8 +3,12 @@
 use crate::history::History;
 use crate::messages::StorageMsg;
 use crate::value::TsVal;
+use crate::wal::{self, StorageDelta};
+use rqs_core::QuorumId;
 use rqs_sim::{Automaton, Context, NodeId};
+use rqs_store::{Recovered, StoreHandle};
 use std::any::Any;
+use std::collections::BTreeSet;
 
 /// A benign storage server.
 ///
@@ -12,20 +16,104 @@ use std::any::Any;
 /// answer reads with the entire history, replying to each client message
 /// before processing any other (the round-based restriction of §3.1 —
 /// guaranteed here because a step handles exactly one message).
+///
+/// With a [`StoreHandle`] attached, every effective write is logged as a
+/// [`StorageDelta`] *before* the `wr_ack` leaves — so an acknowledged
+/// write survives a [`CrashMode::Amnesia`](rqs_sim::CrashMode) restart,
+/// which rebuilds the history through [`Automaton::restore_state`].
+/// Without a store (the default) the server is purely volatile.
 #[derive(Clone, Debug, Default)]
 pub struct Server {
     history: History,
+    store: Option<StoreHandle>,
+    /// Object tag on logged records (0 for single-register deployments).
+    obj: u64,
+    /// Planted bug (checker self-tests): acknowledge writes without
+    /// logging them, so amnesia loses acknowledged data. Always `false`
+    /// outside the `mutants` feature.
+    #[cfg(feature = "mutants")]
+    wal_disabled: bool,
 }
 
 impl Server {
-    /// A fresh server with the empty history.
+    /// A fresh volatile server with the empty history.
     pub fn new() -> Self {
         Server::default()
+    }
+
+    /// A durable server logging deltas to `store` under object tag 0.
+    pub fn with_store(store: StoreHandle) -> Self {
+        Server::with_tagged_store(store, 0)
+    }
+
+    /// A durable server logging deltas under an explicit object tag —
+    /// how a multi-object KV server shares one store across objects.
+    pub fn with_tagged_store(store: StoreHandle, obj: u64) -> Self {
+        Server {
+            store: Some(store),
+            obj,
+            ..Server::default()
+        }
+    }
+
+    /// Mutant: a server that acks writes without write-ahead logging
+    /// them. Amnesia crashes then lose acknowledged writes — the exact
+    /// bug the rqs-check amnesia branching must find. For checker
+    /// self-tests only.
+    #[cfg(feature = "mutants")]
+    pub fn new_mutant_no_wal(store: StoreHandle) -> Self {
+        Server {
+            wal_disabled: true,
+            ..Server::with_store(store)
+        }
     }
 
     /// Read access to the stored history (for harness assertions).
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&StoreHandle> {
+        self.store.as_ref()
+    }
+
+    /// Rebuilds this server's history from recovered store contents
+    /// (snapshot + deltas under this server's object tag). Returns the
+    /// number of deltas replayed. Public so a multi-object server can
+    /// load its shared store once and rebuild every object from it.
+    pub fn restore_from(&mut self, rec: &Recovered) -> usize {
+        let (history, replayed) = wal::restore_history(rec, self.obj);
+        self.history = history;
+        replayed
+    }
+
+    /// Replaces the in-memory history with one rebuilt elsewhere: a
+    /// multi-object server demultiplexes its shared store in a single
+    /// pass ([`wal::restore_histories`]) and hands each object its
+    /// history, instead of paying a full log rescan per object through
+    /// [`Server::restore_from`].
+    pub fn install_history(&mut self, history: History) {
+        self.history = history;
+    }
+
+    /// Write-ahead step: log the delta for an effective write before
+    /// the ack is sent.
+    fn log_delta(&self, pair: &TsVal, sets: &BTreeSet<QuorumId>, rnd: usize) {
+        #[cfg(feature = "mutants")]
+        if self.wal_disabled {
+            return;
+        }
+        if let Some(store) = &self.store {
+            let delta = StorageDelta {
+                obj: self.obj,
+                ts: pair.ts,
+                val: pair.val.clone(),
+                sets: sets.clone(),
+                rnd,
+            };
+            store.append(&delta.encode());
+        }
     }
 }
 
@@ -38,7 +126,12 @@ impl Automaton<StorageMsg> for Server {
         match msg {
             StorageMsg::Wr { ts, val, sets, rnd } => {
                 let pair = TsVal::new(ts, val);
-                self.history.apply_write(&pair, &sets, rnd);
+                let changed = self.history.apply_write(&pair, &sets, rnd);
+                // Write-ahead: the delta must be durable before the ack
+                // leaves, or an amnesia crash forgets an acked write.
+                if changed {
+                    self.log_delta(&pair, &sets, rnd);
+                }
                 ctx.send(from, StorageMsg::WrAck { ts, rnd });
             }
             StorageMsg::Rd { read_no, rnd } => {
@@ -55,6 +148,24 @@ impl Automaton<StorageMsg> for Server {
             // send them).
             StorageMsg::WrAck { .. } | StorageMsg::RdAck { .. } => {}
         }
+    }
+
+    fn save_state(&mut self) {
+        if let Some(store) = &self.store {
+            store.install_snapshot(&wal::encode_histories([(self.obj, &self.history)]));
+        }
+    }
+
+    fn restore_state(&mut self) -> usize {
+        self.history = History::new();
+        let Some(store) = self.store.clone() else {
+            return 0;
+        };
+        // The store models the crash itself (dropping any unsynced
+        // tail) before the recovering server reads it back.
+        store.crash();
+        let rec = store.load();
+        self.restore_from(&rec)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -133,5 +244,71 @@ mod tests {
         s.on_message(NodeId(9), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
         assert!(c.sent().is_empty());
         assert!(s.history().is_empty());
+    }
+
+    fn write(s: &mut Server, ts: u64, v: u64, rnd: usize) {
+        let mut c = ctx();
+        s.on_message(
+            NodeId(9),
+            StorageMsg::Wr {
+                ts,
+                val: Value::from(v),
+                sets: BTreeSet::from([rqs_core::QuorumId(1)]),
+                rnd,
+            },
+            &mut c,
+        );
+        assert!(matches!(c.sent()[0].1, StorageMsg::WrAck { .. }));
+    }
+
+    #[test]
+    fn amnesia_restore_replays_acked_writes() {
+        let store = StoreHandle::mem();
+        let mut s = Server::with_store(store.clone());
+        write(&mut s, 1, 10, 1);
+        write(&mut s, 2, 20, 2);
+        write(&mut s, 2, 20, 2); // no-op: must not log a second delta
+        let before = s.history().clone();
+
+        // Amnesia crash: fresh automaton, same store.
+        let mut recovered = Server::with_store(store.clone());
+        let replayed = recovered.restore_state();
+        assert_eq!(replayed, 2, "one delta per effective write");
+        assert_eq!(recovered.history(), &before);
+        assert_eq!(store.stats().crashes, 1);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_restores() {
+        let store = StoreHandle::mem();
+        let mut s = Server::with_store(store.clone());
+        write(&mut s, 1, 10, 1);
+        s.save_state();
+        write(&mut s, 2, 20, 1);
+        let before = s.history().clone();
+
+        let replayed = s.restore_state();
+        assert_eq!(replayed, 1, "only the post-snapshot delta replays");
+        assert_eq!(s.history(), &before);
+        assert_eq!(store.stats().snapshots, 1);
+    }
+
+    #[test]
+    fn volatile_server_restores_to_empty() {
+        let mut s = Server::new();
+        write(&mut s, 1, 10, 1);
+        assert_eq!(s.restore_state(), 0);
+        assert!(s.history().is_empty());
+    }
+
+    #[cfg(feature = "mutants")]
+    #[test]
+    fn no_wal_mutant_forgets_acked_writes() {
+        let store = StoreHandle::mem();
+        let mut s = Server::new_mutant_no_wal(store.clone());
+        write(&mut s, 1, 10, 1);
+        assert!(!s.history().is_empty(), "ack implies the write applied");
+        assert_eq!(s.restore_state(), 0, "nothing was logged");
+        assert!(s.history().is_empty(), "the acked write is gone");
     }
 }

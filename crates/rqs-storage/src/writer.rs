@@ -137,6 +137,36 @@ impl Writer {
         self.enter_round(1, ctx);
     }
 
+    /// Re-broadcasts the in-progress round's `wr` message without
+    /// re-invoking the operation: the timestamp, value, round and quorum
+    /// ids are exactly those of the original broadcast, so servers that
+    /// already applied it re-ack idempotently and duplicate acks collapse
+    /// in the round's ack [`ProcessSet`]. This is the retry seam for
+    /// clients hardened against message loss and amnesia restarts: a
+    /// nudge can never double-apply a write or fork its timestamp.
+    ///
+    /// Returns `false` (and sends nothing) when no write is in progress.
+    pub fn resend_round(&mut self, ctx: &mut Context<StorageMsg>) -> bool {
+        let Some(w) = self.current.as_ref() else {
+            return false;
+        };
+        let sets: BTreeSet<QuorumId> = if w.round == 2 {
+            w.qc2_prime.iter().copied().collect()
+        } else {
+            BTreeSet::new()
+        };
+        ctx.broadcast(
+            self.servers.clone(),
+            StorageMsg::Wr {
+                ts: self.ts,
+                val: w.val.clone(),
+                sets,
+                rnd: w.round,
+            },
+        );
+        true
+    }
+
     fn enter_round(&mut self, round: usize, ctx: &mut Context<StorageMsg>) {
         let ts = self.ts;
         let w = self.current.as_mut().expect("write in progress");
@@ -406,6 +436,44 @@ mod tests {
         w.on_message(NodeId(77), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
         let cur = w.current.as_ref().unwrap();
         assert!(cur.acks.is_empty());
+    }
+
+    #[test]
+    fn resend_repeats_round_and_duplicate_acks_collapse() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        let timer = ctx.armed_timers()[0].1;
+        // Two acks arrive, then the network goes quiet.
+        for i in 0..2 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        }
+        // A nudge re-broadcasts round 1 verbatim: same ts, no new timer.
+        let mut c = new_ctx(9);
+        assert!(w.resend_round(&mut c));
+        assert_eq!(c.sent().len(), 5);
+        match &c.sent()[0].1 {
+            StorageMsg::Wr { ts, rnd, .. } => assert_eq!((*ts, *rnd), (1, 1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.armed_timers().is_empty(), "resend arms no round timer");
+        // A duplicate ack from server 0 does not inflate the ack set…
+        let mut c = new_ctx(10);
+        w.on_message(NodeId(0), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        assert_eq!(w.current.as_ref().unwrap().acks.len(), 2);
+        // …while a fresh ack still counts, completing after the timer.
+        let mut c = new_ctx(10);
+        w.on_message(NodeId(2), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        let mut c = new_ctx(11);
+        w.on_timer(timer, &mut c);
+        assert!(!w.is_idle(), "3 of 5 is class-2: round 2 follows");
+        assert_eq!(w.outcomes().len(), 0);
+        // Idle writers have nothing to resend.
+        let mut w2 = Writer::new(rqs_5(), servers());
+        let mut c = new_ctx(0);
+        assert!(!w2.resend_round(&mut c));
+        assert!(c.sent().is_empty());
     }
 
     #[test]

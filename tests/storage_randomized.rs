@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use rqs::storage::byzantine::ForgedServer;
 use rqs::storage::{StorageHarness, TsVal, Value};
 use rqs::{ProcessSet, ThresholdConfig};
-use rqs_sim::{Envelope, Fate};
+use rqs_sim::{Envelope, Fate, Scenario};
 
 /// Runs a seeded random workload over a configuration with random crash
 /// times, returning the atomicity verdict.
@@ -57,8 +57,54 @@ fn random_workload(
     h.check_atomicity().map_err(|e| e.to_string())
 }
 
+/// Runs a seeded workload on a durable (write-ahead-logged) deployment,
+/// amnesia-crashing and recovering a random server before every
+/// `interrupt_every`-th operation, and returns the per-read timestamps
+/// plus the atomicity verdict. `interrupt_every == 0` never interrupts.
+fn durable_run(seed: u64, ops: usize, interrupt_every: usize) -> (Vec<u64>, Result<(), String>) {
+    let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+    let n = rqs.universe_size();
+    let mut h = StorageHarness::durable_with_scenario(rqs, 2, Scenario::default());
+    // Separate RNG streams so the interrupted and uninterrupted runs
+    // draw the identical operation sequence.
+    let mut op_rng = StdRng::seed_from_u64(seed);
+    let mut int_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut reads = Vec::new();
+    for op in 0..ops {
+        if interrupt_every > 0 && op % interrupt_every == 0 {
+            let victim = int_rng.gen_range(0..n);
+            let set: ProcessSet = (victim..victim + 1).collect();
+            h.crash_servers_amnesia(set);
+            h.restart_servers(set);
+        }
+        if op_rng.gen_bool(0.5) {
+            h.write(Value::from(op as u64 + 1));
+        } else {
+            reads.push(h.read(op_rng.gen_range(0..2)).returned.ts);
+        }
+    }
+    (reads, h.check_atomicity().map_err(|e| e.to_string()))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recovery equivalence: a run interrupted by K amnesia
+    /// crash-recoveries is indistinguishable from the uninterrupted run —
+    /// same read results, same atomicity verdict. Write-ahead logging is
+    /// exactly what makes recovery invisible to clients.
+    #[test]
+    fn amnesia_interrupts_are_equivalent_to_uninterrupted(
+        seed in 0u64..500,
+        interrupt_every in 1usize..4,
+    ) {
+        let ops = 8;
+        let (base_reads, base_verdict) = durable_run(seed, ops, 0);
+        let (reads, verdict) = durable_run(seed, ops, interrupt_every);
+        prop_assert_eq!(&verdict, &base_verdict);
+        prop_assert!(verdict.is_ok(), "{:?}", verdict);
+        prop_assert_eq!(reads, base_reads);
+    }
 
     #[test]
     fn crash_only_system_always_atomic(seed in 0u64..1000, crashes in 0usize..3) {
