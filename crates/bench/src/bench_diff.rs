@@ -1,0 +1,357 @@
+//! Benchmark regression gate: re-runs the quick KV and soak experiments
+//! and compares their throughput against the committed `BENCH_kv.json` /
+//! `BENCH_soak.json` baselines (recorded with `--quick --json` on the
+//! default seed).
+//!
+//! Two kinds of throughput cells appear in the reports:
+//!
+//! - **`ops/tick`** (simulator) — deterministic: same seed ⇒ same
+//!   number on every machine. A regression here is a real protocol or
+//!   batching regression, so it *fails* the gate.
+//! - **`ops/s` / `ops/sec`** (threaded runtime, wall clock) — machine-
+//!   and load-dependent, so cross-machine comparison against a committed
+//!   number is advisory: reported in the table, never failing unless
+//!   `strict_wall` is set.
+//!
+//! The `bench_diff` binary exits non-zero when any deterministic entry
+//! drops more than the tolerance (default 30%) below its baseline, or
+//! when a baseline entry disappears from the fresh run.
+
+use crate::report::Report;
+use std::collections::BTreeMap;
+
+/// Relative drop that fails the gate (30%).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One extracted throughput number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputEntry {
+    /// The numeric value (ops per tick or ops per second).
+    pub value: f64,
+    /// Whether the number is wall-clock (`ops/s`, advisory) rather than
+    /// deterministic (`ops/tick`, gating).
+    pub wall_clock: bool,
+}
+
+/// Splits a JSON array of report objects (the `exp_* --json` output)
+/// into its elements and parses each with [`Report::from_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element or any array
+/// syntax error.
+pub fn parse_report_array(s: &str) -> Result<Vec<Report>, String> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or("expected a JSON array of reports")?;
+    let mut reports = Vec::new();
+    let (mut depth, mut in_string, mut escaped) = (0usize, false, false);
+    let mut start = None;
+    for (i, c) in inner.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced '}'")?;
+                if depth == 0 {
+                    let obj = &inner[start.take().ok_or("unbalanced '}'")?..=i];
+                    reports.push(Report::from_json(obj)?);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err("truncated report array".into());
+    }
+    Ok(reports)
+}
+
+/// Extracts every throughput cell from `reports`, keyed by
+/// `"<title> / <row label>"`. Three shapes are recognized: a column
+/// whose header is `ops/tick`, a `throughput` column whose cells carry
+/// an `ops/tick` or `ops/s` suffix, and `metric`/`value` tables with an
+/// `ops/sec` row.
+pub fn throughputs(reports: &[Report]) -> BTreeMap<String, ThroughputEntry> {
+    let mut out = BTreeMap::new();
+    for r in reports {
+        let label = |row: &[String]| -> String {
+            let first = row.first().map(String::as_str).unwrap_or("?");
+            format!("{} / {first}", r.title)
+        };
+        if let Some(ci) = r.headers.iter().position(|h| h == "ops/tick") {
+            for row in &r.rows {
+                if let Some(v) = row.get(ci).and_then(|c| c.parse::<f64>().ok()) {
+                    out.insert(
+                        label(row),
+                        ThroughputEntry {
+                            value: v,
+                            wall_clock: false,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(ci) = r.headers.iter().position(|h| h == "throughput") {
+            for row in &r.rows {
+                let Some(cell) = row.get(ci) else { continue };
+                let entry = if let Some(n) = cell.strip_suffix(" ops/tick") {
+                    n.parse::<f64>().ok().map(|value| ThroughputEntry {
+                        value,
+                        wall_clock: false,
+                    })
+                } else if let Some(n) = cell.strip_suffix(" ops/s") {
+                    n.parse::<f64>().ok().map(|value| ThroughputEntry {
+                        value,
+                        wall_clock: true,
+                    })
+                } else {
+                    None
+                };
+                if let Some(e) = entry {
+                    out.insert(label(row), e);
+                }
+            }
+        }
+        if r.headers == ["metric", "value"] {
+            for row in &r.rows {
+                if row.first().map(String::as_str) == Some("ops/sec") {
+                    if let Some(v) = row.get(1).and_then(|c| c.parse::<f64>().ok()) {
+                        out.insert(
+                            label(row),
+                            ThroughputEntry {
+                                value: v,
+                                wall_clock: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One compared entry: key, baseline, fresh, relative change
+/// (`fresh/baseline - 1`), and whether it is advisory (wall-clock).
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// `"<report title> / <row label>"`.
+    pub key: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub fresh: f64,
+    /// Relative change: negative means the fresh run is slower.
+    pub change: f64,
+    /// Wall-clock entries never gate (unless `strict_wall`).
+    pub wall_clock: bool,
+}
+
+/// The outcome of a baseline-vs-fresh comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// Every matched throughput entry.
+    pub lines: Vec<DiffLine>,
+    /// Keys of gating entries that regressed beyond the tolerance.
+    pub regressions: Vec<String>,
+    /// Baseline keys absent from the fresh run (always failures: a
+    /// vanished row hides whatever number it used to carry).
+    pub missing: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares fresh reports against a committed baseline. Gating entries
+/// (deterministic `ops/tick`; plus wall-clock ones iff `strict_wall`)
+/// regress when they drop more than `tolerance` (e.g. `0.30`) below the
+/// baseline. Entries new in `fresh` are ignored — adding rows is fine.
+pub fn diff(
+    baseline: &[Report],
+    fresh: &[Report],
+    tolerance: f64,
+    strict_wall: bool,
+) -> DiffOutcome {
+    let base = throughputs(baseline);
+    let new = throughputs(fresh);
+    let mut out = DiffOutcome::default();
+    for (key, b) in &base {
+        let Some(f) = new.get(key) else {
+            out.missing.push(key.clone());
+            continue;
+        };
+        let change = if b.value == 0.0 {
+            0.0
+        } else {
+            f.value / b.value - 1.0
+        };
+        let gates = !b.wall_clock || strict_wall;
+        if gates && change < -tolerance {
+            out.regressions.push(key.clone());
+        }
+        out.lines.push(DiffLine {
+            key: key.clone(),
+            baseline: b.value,
+            fresh: f.value,
+            change,
+            wall_clock: b.wall_clock,
+        });
+    }
+    out
+}
+
+/// Renders the comparison as a report table.
+pub fn render(outcome: &DiffOutcome, tolerance: f64) -> Report {
+    let mut r = Report::new("bench_diff (throughput gate)");
+    r.note(format!(
+        "fresh --quick runs vs committed BENCH_*.json; gate: deterministic \
+         ops/tick entries must stay within {:.0}% of baseline",
+        tolerance * 100.0
+    ));
+    r.note("wall-clock entries (ops/s) are advisory: machine-dependent");
+    r.headers(["entry", "baseline", "fresh", "change", "verdict"]);
+    for l in &outcome.lines {
+        let regressed = outcome.regressions.contains(&l.key);
+        let verdict = match (regressed, l.wall_clock) {
+            (true, _) => "REGRESSED",
+            (false, true) => "advisory",
+            (false, false) => "ok",
+        };
+        r.row([
+            l.key.clone(),
+            format!("{:.2}", l.baseline),
+            format!("{:.2}", l.fresh),
+            format!("{:+.1}%", l.change * 100.0),
+            verdict.to_string(),
+        ]);
+    }
+    for key in &outcome.missing {
+        r.row([
+            key.clone(),
+            "-".into(),
+            "MISSING".into(),
+            "-".into(),
+            "REGRESSED".into(),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_like(tp: &str) -> Report {
+        let mut r = Report::new("E15b (rqs-kv substrates)");
+        r.headers(["substrate", "ops", "throughput", "fast-path"]);
+        r.row(["sim (all correct)", "40", tp, "0.95"]);
+        r.row(["threaded (1ms tick)", "40", "2500 ops/s", "0.90"]);
+        r
+    }
+
+    fn soak_like(ops_sec: &str) -> Report {
+        let mut r = Report::new("E18 (streaming-validation soak)");
+        r.headers(["metric", "value"]);
+        r.row(["ops", "4000"]);
+        r.row(["ops/sec", ops_sec]);
+        r
+    }
+
+    fn batching_like(tp: &str) -> Report {
+        let mut r = Report::new("E15a (rqs-kv batching)");
+        r.headers(["batch", "envelopes", "ops/tick"]);
+        r.row(["1", "100", tp]);
+        r
+    }
+
+    #[test]
+    fn array_round_trips() {
+        let a = kv_like("3.00 ops/tick");
+        let b = soak_like("4000");
+        let json = format!("[{},{}]", a.to_json(), b.to_json());
+        let back = parse_report_array(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].title, a.title);
+        assert_eq!(back[1].rows, b.rows);
+        assert_eq!(parse_report_array("[]").unwrap().len(), 0);
+        assert!(parse_report_array("{}").is_err());
+        assert!(parse_report_array("[{").is_err());
+    }
+
+    #[test]
+    fn extracts_all_three_shapes() {
+        let t = throughputs(&[
+            kv_like("3.00 ops/tick"),
+            soak_like("4400"),
+            batching_like("1.50"),
+        ]);
+        assert_eq!(t.len(), 4);
+        let sim = &t["E15b (rqs-kv substrates) / sim (all correct)"];
+        assert!(!sim.wall_clock);
+        assert!((sim.value - 3.0).abs() < 1e-9);
+        assert!(t["E15b (rqs-kv substrates) / threaded (1ms tick)"].wall_clock);
+        assert!(t["E18 (streaming-validation soak) / ops/sec"].wall_clock);
+        assert!(!t["E15a (rqs-kv batching) / 1"].wall_clock);
+    }
+
+    #[test]
+    fn gate_fails_on_deterministic_regression_only() {
+        let base = [kv_like("3.00 ops/tick"), soak_like("4000")];
+        // Deterministic throughput down 50%: fail.
+        let slow = [kv_like("1.50 ops/tick"), soak_like("4000")];
+        let out = diff(&base, &slow, DEFAULT_TOLERANCE, false);
+        assert!(!out.ok());
+        assert_eq!(out.regressions.len(), 1);
+        // Wall-clock down 50%: advisory, gate passes.
+        let wall = [kv_like("3.00 ops/tick"), soak_like("2000")];
+        let out = diff(&base, &wall, DEFAULT_TOLERANCE, false);
+        assert!(out.ok(), "{:?}", out.regressions);
+        // ... unless strict.
+        assert!(!diff(&base, &wall, DEFAULT_TOLERANCE, true).ok());
+        // Within tolerance: pass.
+        let near = [kv_like("2.40 ops/tick"), soak_like("4000")];
+        assert!(diff(&base, &near, DEFAULT_TOLERANCE, false).ok());
+    }
+
+    #[test]
+    fn missing_baseline_entries_fail() {
+        let base = [kv_like("3.00 ops/tick"), soak_like("4000")];
+        let fresh = [kv_like("3.00 ops/tick")];
+        let out = diff(&base, &fresh, DEFAULT_TOLERANCE, false);
+        assert!(!out.ok());
+        assert_eq!(out.missing.len(), 1);
+        let table = render(&out, DEFAULT_TOLERANCE).to_string();
+        assert!(table.contains("MISSING"));
+    }
+
+    #[test]
+    fn render_marks_verdicts() {
+        let base = [kv_like("3.00 ops/tick")];
+        let fresh = [kv_like("1.00 ops/tick")];
+        let out = diff(&base, &fresh, DEFAULT_TOLERANCE, false);
+        let table = render(&out, DEFAULT_TOLERANCE).to_string();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("advisory"));
+    }
+}

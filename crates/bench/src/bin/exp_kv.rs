@@ -1,9 +1,21 @@
 //! E15: the sharded, batched multi-object KV service — batching effect
-//! and sim-vs-threaded substrate comparison.
+//! and sim-vs-threaded substrate comparison. `--trace PATH` exports the
+//! all-correct sim run as Chrome trace-event JSON.
+
+use rqs_obs::{FlightRecorder, NopTracer, ObsHandle, Tracer};
+use std::sync::Arc;
+
 fn main() {
     let args = bench::cli::ExpArgs::parse();
-    args.emit(&[
+    let rec = args.tracing().then(FlightRecorder::for_export);
+    let tracer: ObsHandle = match &rec {
+        Some(r) => r.clone(),
+        None => Arc::new(NopTracer),
+    };
+    let reports = [
         bench::exp_kv::batching_report(args.seed, args.quick),
-        bench::exp_kv::substrate_report(args.seed, args.quick),
-    ]);
+        bench::exp_kv::substrate_report_traced(args.seed, args.quick, tracer),
+    ];
+    let events = rec.map(|r| r.snapshot()).unwrap_or_default();
+    args.emit_traced(&reports, &events);
 }

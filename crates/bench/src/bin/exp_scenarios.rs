@@ -1,11 +1,22 @@
 //! E16: the scenario engine — partition+heal, flaky (lossy+duplicating)
-//! links and crash+restart, each run on both the deterministic simulator
-//! and the threaded runtime, for storage and the KV service.
+//! links, crash+restart (retain and amnesia) and the compound
+//! flaky+crash, each run on both the deterministic simulator and the
+//! threaded runtime, for storage and the KV service. `--trace PATH`
+//! exports the flaky+crash sim run as Chrome trace-event JSON.
 
 use bench::cli::ExpArgs;
 use bench::exp_scenarios;
+use rqs_obs::{FlightRecorder, NopTracer, ObsHandle, Tracer};
+use std::sync::Arc;
 
 fn main() {
     let args = ExpArgs::parse();
-    args.emit(&[exp_scenarios::report(args.seed, args.quick)]);
+    let rec = args.tracing().then(FlightRecorder::for_export);
+    let tracer: ObsHandle = match &rec {
+        Some(r) => r.clone(),
+        None => Arc::new(NopTracer),
+    };
+    let reports = [exp_scenarios::report_traced(args.seed, args.quick, tracer)];
+    let events = rec.map(|r| r.snapshot()).unwrap_or_default();
+    args.emit_traced(&reports, &events);
 }

@@ -2,12 +2,24 @@
 //! runtime with the checker sidecar validating every operation as it
 //! completes. Exits non-zero if the sidecar reports an atomicity
 //! violation, so CI can run `exp_soak --quick --json` as a smoke step.
+//! `--trace PATH` exports the (tail of the) run as Chrome trace-event
+//! JSON.
+
+use rqs_obs::{FlightRecorder, NopTracer, ObsHandle, Tracer};
+use std::sync::Arc;
+
 fn main() {
     let args = bench::cli::ExpArgs::parse();
+    let rec = args.tracing().then(FlightRecorder::for_export);
+    let tracer: ObsHandle = match &rec {
+        Some(r) => r.clone(),
+        None => Arc::new(NopTracer),
+    };
     let params = bench::exp_soak::SoakParams::for_mode(args.quick);
-    let run = bench::exp_soak::run_soak(args.seed, params);
+    let run = bench::exp_soak::run_soak_traced(args.seed, params, tracer);
     let violated = run.sidecar.verdict.is_err();
-    args.emit(&[bench::exp_soak::render(args.seed, params, &run)]);
+    let events = rec.map(|r| r.snapshot()).unwrap_or_default();
+    args.emit_traced(&[bench::exp_soak::render(args.seed, params, &run)], &events);
     if violated {
         std::process::exit(1);
     }

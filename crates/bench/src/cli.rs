@@ -10,15 +10,20 @@
 //!   [`Report::to_json`](crate::Report::to_json)) instead of tables, for
 //!   mechanical capture of benchmark trajectories.
 //! - `--quick` — shrink workload parameters for CI smoke runs.
+//! - `--trace PATH` — write a Chrome `trace_event` JSON export of the
+//!   run's flight-recorder events to `PATH` (load it in
+//!   `chrome://tracing` / Perfetto). Binaries without an instrumented
+//!   run emit a valid empty trace.
 //! - `--help` / `-h` — print usage and the available flags, then exit.
 
 use crate::report::Report;
+use rqs_obs::TraceEvent;
 
 /// The seed used when `--seed` is not given (the historical fixed seed).
 pub const DEFAULT_SEED: u64 = 42;
 
 /// Parsed experiment-binary arguments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExpArgs {
     /// Workload/RNG seed (`--seed N`, default [`DEFAULT_SEED`]).
     pub seed: u64,
@@ -26,6 +31,8 @@ pub struct ExpArgs {
     pub json: bool,
     /// Use small smoke-run parameters (`--quick`).
     pub quick: bool,
+    /// Chrome trace-event export path (`--trace PATH`), if requested.
+    pub trace: Option<String>,
     /// Usage was requested (`--help` / `-h`).
     pub help: bool,
 }
@@ -36,6 +43,7 @@ impl Default for ExpArgs {
             seed: DEFAULT_SEED,
             json: false,
             quick: false,
+            trace: None,
             help: false,
         }
     }
@@ -46,13 +54,15 @@ impl ExpArgs {
     /// available flag.
     pub fn usage() -> String {
         [
-            "usage: exp_* [--seed N] [--json] [--quick] [--help]",
+            "usage: exp_* [--seed N] [--json] [--quick] [--trace PATH] [--help]",
             "",
             "options:",
             "  --seed N, --seed=N  workload/RNG seed (default 42); purely",
             "                      deterministic experiments accept and ignore it",
             "  --json              emit the report(s) as a JSON array instead of tables",
             "  --quick             shrink workload parameters for CI smoke runs",
+            "  --trace PATH        write a Chrome trace-event JSON export of the run's",
+            "                      flight-recorder events to PATH (chrome://tracing)",
             "  -h, --help          print this help and exit",
         ]
         .join("\n")
@@ -96,10 +106,20 @@ impl ExpArgs {
             } else {
                 arg.strip_prefix("--seed=").map(str::to_owned)
             };
+            let trace_val = if arg == "--trace" {
+                Some(it.next().ok_or("--trace requires a path")?)
+            } else {
+                arg.strip_prefix("--trace=").map(str::to_owned)
+            };
             if let Some(val) = seed_val {
                 out.seed = val
                     .parse()
                     .map_err(|_| format!("--seed: not a u64: {val:?}"))?;
+            } else if let Some(path) = trace_val {
+                if path.is_empty() {
+                    return Err("--trace requires a non-empty path".to_string());
+                }
+                out.trace = Some(path);
             } else if arg == "--json" {
                 out.json = true;
             } else if arg == "--quick" {
@@ -113,9 +133,23 @@ impl ExpArgs {
         Ok(out)
     }
 
+    /// Whether a trace export was requested — binaries use this to gate
+    /// flight-recorder construction so untraced runs keep the no-op
+    /// tracer (and its near-zero overhead).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
     /// Prints the reports in the selected format: a JSON array with
     /// `--json`, the usual tables otherwise.
     pub fn emit(&self, reports: &[Report]) {
+        self.emit_traced(reports, &[]);
+    }
+
+    /// [`Self::emit`], plus — when `--trace PATH` was given — a Chrome
+    /// trace-event export of `events` written to the path. Exits with
+    /// status 2 when the file cannot be written.
+    pub fn emit_traced(&self, reports: &[Report], events: &[TraceEvent]) {
         if self.json {
             let items: Vec<String> = reports.iter().map(Report::to_json).collect();
             println!("[{}]", items.join(","));
@@ -123,6 +157,13 @@ impl ExpArgs {
             for report in reports {
                 println!("{report}");
             }
+        }
+        if let Some(path) = &self.trace {
+            if let Err(err) = std::fs::write(path, rqs_obs::chrome_trace(events)) {
+                eprintln!("error: --trace {path}: {err}");
+                std::process::exit(2);
+            }
+            eprintln!("trace: wrote {} events to {path}", events.len());
         }
     }
 }
@@ -158,6 +199,18 @@ mod tests {
         assert!(ExpArgs::try_from_iter(["--seed"]).is_err());
         assert!(ExpArgs::try_from_iter(["--seed", "x"]).is_err());
         assert!(ExpArgs::try_from_iter(["--frobnicate"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--trace"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--trace="]).is_err());
+    }
+
+    #[test]
+    fn trace_both_spellings() {
+        let a = ExpArgs::try_from_iter(["--trace", "out.json"]).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+        assert!(a.tracing());
+        let b = ExpArgs::try_from_iter(["--trace=t.json"]).unwrap();
+        assert_eq!(b.trace.as_deref(), Some("t.json"));
+        assert!(!ExpArgs::default().tracing());
     }
 
     #[test]
@@ -170,7 +223,7 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let usage = ExpArgs::usage();
-        for flag in ["--seed", "--json", "--quick", "--help"] {
+        for flag in ["--seed", "--json", "--quick", "--trace", "--help"] {
             assert!(usage.contains(flag), "usage must document {flag}");
         }
     }

@@ -11,6 +11,9 @@
 use crate::report::Report;
 use rqs_core::threshold::ThresholdConfig;
 use rqs_kv::{workload, ByzantineMode, KvRunStats, KvSim, RtKv, WorkloadConfig};
+use rqs_obs::{NopTracer, ObsHandle};
+use rqs_sim::Scenario;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Workload dimensions for the E15 runs.
@@ -83,10 +86,31 @@ pub fn run_batching(
 /// Runs the workload on the simulator, optionally with one forging
 /// Byzantine server, checking per-object atomicity.
 pub fn run_sim(seed: u64, params: KvParams, batch: usize, byzantine: bool) -> KvRunStats {
+    run_sim_traced(seed, params, batch, byzantine, Arc::new(NopTracer))
+}
+
+/// [`run_sim`] with a structured-trace sink threaded through every
+/// layer (substrate, servers, client lanes) — what `exp_kv --trace`
+/// uses to produce a Chrome trace-event export.
+pub fn run_sim_traced(
+    seed: u64,
+    params: KvParams,
+    batch: usize,
+    byzantine: bool,
+    tracer: ObsHandle,
+) -> KvRunStats {
     let rqs = ThresholdConfig::byzantine_fast(1)
         .build()
         .expect("valid rqs");
-    let mut sim = KvSim::new(rqs, params.objects, params.clients);
+    let mut sim = KvSim::with_setup_traced(
+        rqs,
+        params.objects,
+        params.clients,
+        Scenario::default(),
+        rqs_sim::DEFAULT_TICK,
+        Vec::new(),
+        tracer,
+    );
     if byzantine {
         sim.make_byzantine(0, ByzantineMode::Forge);
     }
@@ -154,20 +178,27 @@ pub fn batching_report(seed: u64, quick: bool) -> Report {
 
 /// The substrate table: sim (correct and Byzantine) vs threaded runtime.
 pub fn substrate_report(seed: u64, quick: bool) -> Report {
-    substrate_report_inner(seed, quick, true)
+    substrate_report_inner(seed, quick, true, Arc::new(NopTracer))
+}
+
+/// [`substrate_report`] with a trace sink: the all-correct sim run is
+/// instrumented end to end (the other rows stay untraced so the ring
+/// buffer holds one coherent run).
+pub fn substrate_report_traced(seed: u64, quick: bool, tracer: ObsHandle) -> Report {
+    substrate_report_inner(seed, quick, true, tracer)
 }
 
 /// The substrate table without the threaded-runtime row: fully
 /// deterministic, no OS threads — what [`crate::all_reports_seeded`]
 /// uses so test suites over the report set stay timing-independent.
 pub fn substrate_report_sim(seed: u64, quick: bool) -> Report {
-    substrate_report_inner(seed, quick, false)
+    substrate_report_inner(seed, quick, false, Arc::new(NopTracer))
 }
 
-fn substrate_report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
+fn substrate_report_inner(seed: u64, quick: bool, threaded: bool, tracer: ObsHandle) -> Report {
     let params = KvParams::for_mode(quick);
     let batch = 4;
-    let sim = run_sim(seed, params, batch, false);
+    let sim = run_sim_traced(seed, params, batch, false, tracer);
     let byz = run_sim(seed, params, batch, true);
     let mut r = Report::new("E15b (rqs-kv substrates)");
     r.note(format!(
@@ -175,13 +206,22 @@ fn substrate_report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
         params.objects, params.clients, params.ops
     ));
     r.note("sim rows are atomicity-checked per object (incl. 1 forging Byzantine server)");
-    r.headers(["substrate", "ops", "throughput", "fast-path", "rounds"]);
+    r.note("slow-path column attributes off-fast-path ops to the paper's degradation causes");
+    r.headers([
+        "substrate",
+        "ops",
+        "throughput",
+        "fast-path",
+        "rounds",
+        "slow-path",
+    ]);
     r.row([
         "sim (all correct)".to_string(),
         sim.ops.to_string(),
         format!("{:.2} ops/tick", sim.throughput()),
         format!("{:.2}", sim.rounds.fast_path_ratio()),
         sim.rounds.render(),
+        sim.attribution.slow_summary(),
     ]);
     r.row([
         "sim (1 Byzantine)".to_string(),
@@ -189,6 +229,7 @@ fn substrate_report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
         format!("{:.2} ops/tick", byz.throughput()),
         format!("{:.2}", byz.rounds.fast_path_ratio()),
         byz.rounds.render(),
+        byz.attribution.slow_summary(),
     ]);
     if threaded {
         let rt = run_threaded(seed, params, batch);
@@ -198,6 +239,7 @@ fn substrate_report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
             format!("{:.0} ops/s", rt.throughput() * 1e6),
             format!("{:.2}", rt.rounds.fast_path_ratio()),
             rt.rounds.render(),
+            rt.attribution.slow_summary(),
         ]);
     }
     r
@@ -240,5 +282,20 @@ mod tests {
         let r = batching_report(1, true);
         assert!(r.to_string().contains("E15a"));
         assert!(r.cell("batch", |row| row[0] == "8").is_some());
+    }
+
+    #[test]
+    fn traced_sim_fills_the_flight_recorder() {
+        use rqs_obs::Tracer;
+        let rec = rqs_obs::FlightRecorder::for_export();
+        let tracer: ObsHandle = rec.clone();
+        let stats = run_sim_traced(5, KvParams::quick(), 4, false, tracer);
+        assert_eq!(stats.ops, KvParams::quick().ops);
+        let events = rec.snapshot();
+        assert!(!events.is_empty(), "traced run must record events");
+        let json = rqs_obs::chrome_trace(&events);
+        let (chrome, round_trip) = rqs_obs::parse_chrome_trace(&json).expect("valid export");
+        assert!(!chrome.is_empty());
+        assert_eq!(round_trip, events);
     }
 }

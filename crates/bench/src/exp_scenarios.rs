@@ -14,6 +14,10 @@
 //!   loses its memory and must rebuild every object by replaying its
 //!   write-ahead store ([`CrashMode::Amnesia`]); the row pair shows the
 //!   retain-vs-amnesia delta under identical schedules.
+//! - **flaky+crash** — the flaky-link treatment *and* a crash+restart
+//!   window at once: the compound scenario whose slow-path attribution
+//!   must show both `retry` (drops nudging the client watchdog) and
+//!   `recovery` (ops overlapping the healed crash window).
 //!
 //! Every KV run is atomicity-checked per object — on the deterministic
 //! simulator *and* on the threaded runtime (the generic driver made the
@@ -24,9 +28,11 @@
 use crate::report::Report;
 use rqs_core::threshold::ThresholdConfig;
 use rqs_kv::{workload, KvBatch, KvDeployment, KvRunStats, WorkloadConfig};
+use rqs_obs::{NopTracer, ObsHandle};
 use rqs_sim::{CrashMode, LinkEffect, LinkRule, Scenario, Substrate, World};
 use rqs_storage::{StorageDeployment, StorageMsg, Value};
 use rqs_store::StoreHandle;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wall-clock tick used for the threaded rows.
@@ -46,6 +52,10 @@ pub fn suite(n: usize, cut: usize) -> Vec<Scenario> {
             .link(LinkRule::every(LinkEffect::Duplicate { lag: 2 })),
         Scenario::named("crash+restart").crash_restart(0, 10, 60),
         Scenario::named("crash+restart amnesia").crash_restart_amnesia(0, 10, 60),
+        Scenario::named("flaky+crash")
+            .lossy_towards(vec![n - 1], 4)
+            .link(LinkRule::every(LinkEffect::Duplicate { lag: 2 }))
+            .crash_restart(0, 10, 60),
     ]
 }
 
@@ -115,17 +125,30 @@ pub fn run_kv_on<S: Substrate<KvBatch>>(
     params: ScenarioParams,
     scenario: Scenario,
 ) -> KvRunStats {
+    run_kv_on_traced::<S>(seed, params, scenario, Arc::new(NopTracer))
+}
+
+/// [`run_kv_on`] with a structured-trace sink threaded through the
+/// substrate, the servers' stores and every client lane — what
+/// `exp_scenarios --trace` uses for its Chrome trace-event export.
+pub fn run_kv_on_traced<S: Substrate<KvBatch>>(
+    seed: u64,
+    params: ScenarioParams,
+    scenario: Scenario,
+    tracer: ObsHandle,
+) -> KvRunStats {
     let rqs = ThresholdConfig::byzantine_fast(1)
         .build()
         .expect("valid rqs");
     let stores = scenario_stores(rqs.universe_size(), &scenario);
-    let mut kv = KvDeployment::<S>::with_setup_stores(
+    let mut kv = KvDeployment::<S>::with_setup_traced(
         rqs,
         params.objects,
         params.clients,
         scenario,
         RT_TICK,
         stores,
+        tracer,
     );
     let cfg = WorkloadConfig::mixed(params.objects, params.clients, params.ops, seed);
     let stats = kv.run_workload(&workload::generate(&cfg), 4);
@@ -163,17 +186,25 @@ pub fn run_storage_on<S: Substrate<StorageMsg>>(
 
 /// The E16 table over both substrates.
 pub fn report(seed: u64, quick: bool) -> Report {
-    report_inner(seed, quick, true)
+    report_inner(seed, quick, true, Arc::new(NopTracer))
+}
+
+/// [`report`] with a trace sink: the compound `flaky+crash` sim run is
+/// the instrumented one (a single coherent run in the ring buffer, and
+/// the one whose trace shows drops, retries, the crash and the
+/// recovery).
+pub fn report_traced(seed: u64, quick: bool, tracer: ObsHandle) -> Report {
+    report_inner(seed, quick, true, tracer)
 }
 
 /// The E16 table with simulator rows only: fully deterministic, no OS
 /// threads — what [`crate::all_reports_seeded`] uses so test suites over
 /// the report set stay timing-independent.
 pub fn report_sim(seed: u64, quick: bool) -> Report {
-    report_inner(seed, quick, false)
+    report_inner(seed, quick, false, Arc::new(NopTracer))
 }
 
-fn report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
+fn report_inner(seed: u64, quick: bool, threaded: bool, tracer: ObsHandle) -> Report {
     let params = ScenarioParams::for_mode(quick);
     let mut r = Report::new("E16 (scenario engine × substrates)");
     r.note(format!(
@@ -187,6 +218,7 @@ fn report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
         "crash+restart rows sweep both crash modes: retain keeps the server's state, \
          amnesia wipes it and recovers by replaying a write-ahead store",
     );
+    r.note("slow-path column attributes off-fast-path ops to the paper's degradation causes");
     r.headers([
         "workload",
         "scenario",
@@ -195,13 +227,19 @@ fn report_inner(seed: u64, quick: bool, threaded: bool) -> Report {
         "fast-path",
         "env/op",
         "rounds",
+        "slow-path",
     ]);
 
     // KV rows: scenarios sized for the n = 4 byzantine_fast(1) universe
     // (t = 1 → cut exactly one server).
     for scenario in suite(4, 1) {
         let name = scenario.name.clone();
-        let stats = run_kv_on::<World<KvBatch>>(seed, params, scenario.clone());
+        let sink = if name == "flaky+crash" {
+            tracer.clone()
+        } else {
+            Arc::new(NopTracer)
+        };
+        let stats = run_kv_on_traced::<World<KvBatch>>(seed, params, scenario.clone(), sink);
         push_kv_row(&mut r, &name, "sim", &stats);
         if threaded {
             let stats = run_kv_on::<RtSub>(seed, params, scenario);
@@ -234,6 +272,7 @@ fn push_kv_row(r: &mut Report, scenario: &str, substrate: &str, stats: &KvRunSta
         format!("{:.2}", stats.rounds.fast_path_ratio()),
         format!("{:.2}", stats.envelopes_per_op()),
         stats.rounds.render(),
+        stats.attribution.slow_summary(),
     ]);
 }
 
@@ -253,6 +292,7 @@ fn push_storage_row(
         "-".to_string(),
         "-".to_string(),
         format!("W {w_rounds:.2} / R {r_rounds:.2} mean"),
+        "-".to_string(),
     ]);
 }
 
@@ -263,17 +303,21 @@ mod tests {
     #[test]
     fn suite_has_the_canonical_scenarios() {
         let s = suite(4, 1);
-        assert_eq!(s.len(), 4);
+        assert_eq!(s.len(), 5);
         assert_eq!(s[0].name, "partition+heal");
         assert_eq!(s[1].name, "flaky links");
         assert_eq!(s[2].name, "crash+restart");
         assert_eq!(s[3].name, "crash+restart amnesia");
+        assert_eq!(s[4].name, "flaky+crash");
         assert!(s.iter().all(|sc| !sc.is_benign()));
         // The two crash scenarios differ only in crash mode.
         assert!(matches!(s[2].crashes[0].crash_mode, CrashMode::Retain));
         assert!(matches!(s[3].crashes[0].crash_mode, CrashMode::Amnesia));
         assert_eq!(s[2].crashes[0].at, s[3].crashes[0].at);
         assert_eq!(s[2].crashes[0].restart_at, s[3].crashes[0].restart_at);
+        // The compound scenario carries both the link faults and a crash.
+        assert!(!s[4].links.is_empty());
+        assert_eq!(s[4].crashes.len(), 1);
     }
 
     #[test]
@@ -313,11 +357,24 @@ mod tests {
     fn sim_report_renders_all_rows() {
         let r = report_sim(3, true);
         assert!(r.to_string().contains("E16"));
-        // 4 scenarios × {kv, storage} on sim only.
-        assert_eq!(r.rows.len(), 8);
+        // 5 scenarios × {kv, storage} on sim only.
+        assert_eq!(r.rows.len(), 10);
         assert!(r.cell("rounds", |row| row[1] == "crash+restart").is_some());
         assert!(r
             .cell("rounds", |row| row[1] == "crash+restart amnesia")
             .is_some());
+        assert!(r.cell("slow-path", |row| row[1] == "flaky+crash").is_some());
+    }
+
+    #[test]
+    fn traced_compound_run_records_events() {
+        use rqs_obs::Tracer;
+        let rec = rqs_obs::FlightRecorder::for_export();
+        let tracer: ObsHandle = rec.clone();
+        let scenario = suite(4, 1).pop().expect("flaky+crash");
+        let stats =
+            run_kv_on_traced::<World<KvBatch>>(3, ScenarioParams::quick(), scenario, tracer);
+        assert_eq!(stats.ops, ScenarioParams::quick().ops);
+        assert!(!rec.snapshot().is_empty());
     }
 }

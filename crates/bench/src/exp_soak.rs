@@ -14,7 +14,10 @@
 use crate::report::Report;
 use rqs_core::threshold::ThresholdConfig;
 use rqs_kv::{workload, KvRunStats, RtKv, WorkloadConfig};
+use rqs_obs::{NopTracer, ObsHandle};
 use rqs_runtime::SidecarReport;
+use rqs_sim::Scenario;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Soak dimensions.
@@ -87,14 +90,24 @@ pub struct SoakRun {
 /// Runs the soak: threaded runtime, sidecar validation, O(wave) driver
 /// memory.
 pub fn run_soak(seed: u64, params: SoakParams) -> SoakRun {
+    run_soak_traced(seed, params, Arc::new(NopTracer))
+}
+
+/// [`run_soak`] with a structured-trace sink — what `exp_soak --trace`
+/// uses. The flight recorder is a bounded ring, so on a million-op soak
+/// the export holds the *tail* of the run.
+pub fn run_soak_traced(seed: u64, params: SoakParams, tracer: ObsHandle) -> SoakRun {
     let rqs = ThresholdConfig::byzantine_fast(1)
         .build()
         .expect("valid rqs");
-    let mut kv = RtKv::with_tick(
+    let mut kv = RtKv::with_setup_traced(
         rqs,
         params.objects,
         params.clients,
+        Scenario::default(),
         Duration::from_micros(params.tick_us),
+        Vec::new(),
+        tracer,
     );
     kv.retain_outcomes(false);
     kv.enable_checker_sidecar();
@@ -154,6 +167,7 @@ pub fn render(seed: u64, params: SoakParams, run: &SoakRun) -> Report {
         "fast-path ratio",
         &format!("{:.3}", stats.rounds.fast_path_ratio()),
     ]);
+    r.row(["slow-path attribution", &stats.attribution.slow_summary()]);
     r.row([
         "checker ops/sec",
         &format!("{:.0}", checker.ops_checked as f64 / wall_s),

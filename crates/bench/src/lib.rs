@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_diff;
 pub mod cli;
 pub mod exp_analysis;
 pub mod exp_chaos;

@@ -177,6 +177,10 @@ pub struct RunCtl {
     /// skipped by replays and shrinking, where digesting every node each
     /// step is pure overhead).
     pub collect_fingerprints: bool,
+    /// Structured-trace sink for the run's world (set on counterexample
+    /// replays to attach a flight-recorder dump; `None` during bulk
+    /// exploration, where tracing every run is pure overhead).
+    pub tracer: Option<rqs_obs::ObsHandle>,
     /// The shared record the scheduler writes into.
     pub rec: Rc<RefCell<RunRecord>>,
 }
@@ -190,7 +194,17 @@ impl RunCtl {
             max_steps,
             collect_trace: false,
             collect_fingerprints: true,
+            tracer: None,
             rec: Rc::new(RefCell::new(RunRecord::default())),
+        }
+    }
+
+    /// The [`rqs_obs::Obs`] handle models hand to their world: the run's
+    /// tracer when one is attached, the no-op observer otherwise.
+    pub fn obs(&self) -> rqs_obs::Obs {
+        match &self.tracer {
+            Some(t) => rqs_obs::Obs::new(t.clone(), 0),
+            None => rqs_obs::Obs::nop(),
         }
     }
 

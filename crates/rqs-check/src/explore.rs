@@ -136,6 +136,12 @@ pub struct FoundViolation {
     pub shrunk: Vec<SchedDecision>,
     /// Pretty-printed event trace of the shrunk run.
     pub rendered: Vec<String>,
+    /// One-line structured JSON failure report
+    /// ([`rqs_obs::dump_json`]): the invariant message plus the
+    /// flight-recorder events of an instrumented replay of the shrunk
+    /// script — machine-readable evidence to file next to the
+    /// counterexample.
+    pub flight_dump: String,
 }
 
 /// The result of one exploration.
@@ -166,6 +172,29 @@ fn rendered_trace(model: &dyn Model, script: &[SchedDecision], max_steps: usize)
     ctl.collect_trace = true;
     ctl.collect_fingerprints = false;
     model.run(&ctl).trace
+}
+
+/// Replays `script` with a flight recorder attached to the model's world
+/// and renders the recorded events as a one-line structured JSON failure
+/// report.
+fn flight_dump(
+    model: &dyn Model,
+    message: &str,
+    script: &[SchedDecision],
+    max_steps: usize,
+) -> String {
+    use rqs_obs::Tracer;
+    let rec = rqs_obs::FlightRecorder::for_export();
+    let mut ctl = RunCtl::new(script.to_vec(), Tail::Canonical, max_steps);
+    ctl.collect_fingerprints = false;
+    ctl.tracer = Some(rec.clone());
+    model.run(&ctl);
+    let details = [
+        ("model", model.name().to_string()),
+        ("invariant", message.to_string()),
+        ("decisions", script.len().to_string()),
+    ];
+    rqs_obs::dump_json("schedule-violation", &details, &rec.snapshot())
 }
 
 /// Does the script still violate an invariant? (Shrinking probe: skips
@@ -250,11 +279,13 @@ fn found(
     let script = strip_trailing_canonical(script);
     let shrunk = shrink(model, script.clone(), bounds.max_steps, 400);
     let rendered = rendered_trace(model, &shrunk, bounds.max_steps);
+    let flight_dump = flight_dump(model, &message, &shrunk, bounds.max_steps);
     FoundViolation {
         message,
         script,
         shrunk,
         rendered,
+        flight_dump,
     }
 }
 

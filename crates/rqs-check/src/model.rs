@@ -329,6 +329,9 @@ impl Model for StorageModel {
         if ctl.collect_trace {
             h.world_mut().enable_trace(|m| m.to_string());
         }
+        if ctl.tracer.is_some() {
+            h.world_mut().set_obs(ctl.obs());
+        }
         let stream = self
             .invariants
             .iter()
@@ -558,6 +561,9 @@ impl Model for ConsensusModel {
         }
         if ctl.collect_trace {
             h.world_mut().enable_trace(|m| format!("{m:?}"));
+        }
+        if ctl.tracer.is_some() {
+            h.world_mut().set_obs(ctl.obs());
         }
         for &(p, v) in &self.proposals {
             h.propose(p, v);

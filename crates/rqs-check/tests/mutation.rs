@@ -91,6 +91,17 @@ fn skip_write_back_mutant_is_found_and_shrunk() {
     assert!(out.violation.is_some(), "shrunk script must still fail");
     // And the rendered trace shows the failing execution.
     assert!(!v.rendered.is_empty());
+    // The flight-recorder dump is a one-line structured report carrying
+    // the instrumented replay's trace events.
+    assert!(v.flight_dump.starts_with('{'), "{}", v.flight_dump);
+    assert!(!v.flight_dump.contains('\n'));
+    assert!(v.flight_dump.contains("schedule-violation"));
+    assert!(v.flight_dump.contains("atomicity"));
+    assert!(
+        v.flight_dump.contains("\"deliver\""),
+        "instrumented replay must record delivery events: {}",
+        v.flight_dump
+    );
 }
 
 /// The same planted bug must NOT be reported when the mutant is absent:

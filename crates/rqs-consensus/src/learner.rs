@@ -10,6 +10,7 @@ use crate::decide::DecisionTracker;
 use crate::persist::LearnerCore;
 use crate::types::{ConsensusMsg, ProposalValue};
 use rqs_core::ProcessSet;
+use rqs_obs::{Obs, TraceKind, LANE_SYS};
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
 use rqs_store::StoreHandle;
 use std::any::Any;
@@ -33,6 +34,7 @@ pub struct Learner {
     one_short_decisions: bool,
     /// Write-ahead store for the learned value; `None` stays volatile.
     store: Option<StoreHandle>,
+    obs: Obs,
 }
 
 impl Learner {
@@ -47,7 +49,15 @@ impl Learner {
             pull_timer: None,
             one_short_decisions: false,
             store: None,
+            obs: Obs::nop(),
         }
+    }
+
+    /// Installs a structured-trace observer; by convention its tag is
+    /// this learner's node id (the learn event is emitted outside a
+    /// context, so the tag doubles as the node attribution).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// A learner journaling its learned value to `store`, so an amnesia
@@ -90,6 +100,14 @@ impl Learner {
     fn learn(&mut self, v: ProposalValue, now: Time) {
         if self.learned.is_none() {
             self.learned = Some((v, now));
+            self.obs.emit(
+                TraceKind::OpCompleted,
+                now.ticks(),
+                self.obs.tag(),
+                LANE_SYS,
+                v,
+                0,
+            );
             // Write-ahead: durable before the learn is observable.
             if let Some(store) = &self.store {
                 store.append(

@@ -8,6 +8,7 @@ use crate::types::{
 };
 use rqs_core::{ProcessId, ProcessSet, QuorumId};
 use rqs_crypto::SignerId;
+use rqs_obs::{Obs, TraceKind, LANE_SYS};
 use rqs_sim::{Automaton, Context, NodeId, TimerToken};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,6 +42,7 @@ pub struct Proposer {
     sync_timer: Option<TimerToken>,
     sync_sent: bool,
     halted: bool,
+    obs: Obs,
 }
 
 impl Proposer {
@@ -61,7 +63,13 @@ impl Proposer {
             sync_timer: None,
             sync_sent: false,
             halted: false,
+            obs: Obs::nop(),
         }
+    }
+
+    /// Installs a structured-trace observer.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The proposer's current view.
@@ -82,8 +90,24 @@ impl Proposer {
     pub fn propose(&mut self, v: ProposalValue, ctx: &mut Context<ConsensusMsg>) {
         assert!(self.value.is_none(), "proposer already proposed");
         self.value = Some(v);
+        self.obs.emit(
+            TraceKind::OpInvoked,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_SYS,
+            v,
+            self.view,
+        );
         if self.view == INIT_VIEW {
             // Initial view: skip the consult phase.
+            self.obs.emit(
+                TraceKind::RoundStarted,
+                ctx.now().ticks(),
+                ctx.me().0 as u64,
+                LANE_SYS,
+                INIT_VIEW,
+                0,
+            );
             ctx.broadcast(
                 self.cfg.acceptors.clone(),
                 ConsensusMsg::Prepare {
@@ -106,6 +130,14 @@ impl Proposer {
     fn start_consult(&mut self, ctx: &mut Context<ConsensusMsg>) {
         self.acks.clear();
         self.consult_active = true;
+        self.obs.emit(
+            TraceKind::RoundStarted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_SYS,
+            self.view,
+            1,
+        );
         ctx.broadcast(
             self.cfg.acceptors.clone(),
             ConsensusMsg::NewView {
@@ -154,6 +186,14 @@ impl Proposer {
                 .map(|p| self.acks[&p].clone())
                 .collect();
             self.consult_active = false;
+            self.obs.emit(
+                TraceKind::QuorumAssembled,
+                ctx.now().ticks(),
+                ctx.me().0 as u64,
+                LANE_SYS,
+                self.view,
+                proof.len() as u64,
+            );
             ctx.broadcast(
                 self.cfg.acceptors.clone(),
                 ConsensusMsg::Prepare {

@@ -29,6 +29,7 @@
 use crate::messages::{BatchAccumulator, KvBatch, KvItem, Lane};
 use crate::object::ObjectId;
 use rqs_core::Rqs;
+use rqs_obs::{Obs, TraceKind, LANE_READER, LANE_WRITER};
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
 use rqs_storage::reader::Reader;
 use rqs_storage::writer::{Writer, CLIENT_TIMEOUT};
@@ -86,6 +87,9 @@ pub struct KvOutcome {
     pub invoked_at: Time,
     /// Response time.
     pub completed_at: Time,
+    /// Retry nudges the client's watchdog issued while this operation
+    /// was in flight (feeds slow-path attribution).
+    pub retries: u32,
 }
 
 #[derive(Debug)]
@@ -193,6 +197,13 @@ fn lane_bit(lane: Lane) -> u64 {
     }
 }
 
+fn lane_tag(lane: Lane) -> u8 {
+    match lane {
+        Lane::Writer => LANE_WRITER,
+        Lane::Reader => LANE_READER,
+    }
+}
+
 /// The multi-object KV client automaton.
 #[derive(Debug)]
 pub struct KvClient {
@@ -222,6 +233,12 @@ pub struct KvClient {
     /// Watchdog state per in-flight lane.
     lane_retry: BTreeMap<(ObjectId, Lane), LaneRetry>,
     retry_stats: RetryStats,
+    /// Structured-trace handle; per-object copies (tagged with the object
+    /// id) are installed on inner automata as they are created.
+    obs: Obs,
+    /// Nudges issued per in-flight lane, consumed into
+    /// [`KvOutcome::retries`] at harvest.
+    lane_nudges: BTreeMap<(ObjectId, Lane), u32>,
 }
 
 impl KvClient {
@@ -250,7 +267,22 @@ impl KvClient {
             retry_timers: BTreeMap::new(),
             lane_retry: BTreeMap::new(),
             retry_stats: RetryStats::default(),
+            obs: Obs::nop(),
+            lane_nudges: BTreeMap::new(),
         }
+    }
+
+    /// Installs a structured-trace handle. Inner automata created from
+    /// now on emit under their object id as the `op` tag; automata that
+    /// already exist are re-tagged too.
+    pub fn set_obs(&mut self, obs: Obs) {
+        for (obj, w) in &mut self.writers {
+            w.set_obs(obs.with_tag(obj.0));
+        }
+        for (obj, r) in &mut self.readers {
+            r.set_obs(obs.with_tag(obj.0));
+        }
+        self.obs = obs;
     }
 
     /// Like [`KvClient::new`] with an explicit [`RetryPolicy`].
@@ -330,11 +362,12 @@ impl KvClient {
                         self.owned.contains(&object),
                         "client is not the owner of {object}: SWMR violation"
                     );
-                    let (rqs, servers) = (&self.rqs, &self.servers);
-                    let writer = self
-                        .writers
-                        .entry(object)
-                        .or_insert_with(|| Writer::new(rqs.clone(), servers.clone()));
+                    let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
+                    let writer = self.writers.entry(object).or_insert_with(|| {
+                        let mut w = Writer::new(rqs.clone(), servers.clone());
+                        w.set_obs(obs.with_tag(object.0));
+                        w
+                    });
                     let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
                     writer.start_write(value, &mut inner);
                     self.in_flight += 1;
@@ -342,11 +375,12 @@ impl KvClient {
                     self.arm_retry(object, Lane::Writer, ctx);
                 }
                 KvOp::Read { object } => {
-                    let (rqs, servers) = (&self.rqs, &self.servers);
-                    let reader = self
-                        .readers
-                        .entry(object)
-                        .or_insert_with(|| Reader::new(rqs.clone(), servers.clone()));
+                    let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
+                    let reader = self.readers.entry(object).or_insert_with(|| {
+                        let mut r = Reader::new(rqs.clone(), servers.clone());
+                        r.set_obs(obs.with_tag(object.0));
+                        r
+                    });
                     let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
                     reader.start_read(&mut inner);
                     self.in_flight += 1;
@@ -450,6 +484,17 @@ impl KvClient {
         }
         self.retry_stats.retries_issued += 1;
         self.retry_stats.backoff_ticks += st.delay;
+        *self.lane_nudges.entry((object, lane)).or_insert(0) += 1;
+        if self.obs.enabled() {
+            self.obs.with_tag(object.0).emit(
+                TraceKind::RetryNudged,
+                ctx.now().ticks(),
+                ctx.me().0 as u64,
+                lane_tag(lane),
+                st.attempt as u64,
+                st.delay,
+            );
+        }
         let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
         let resent = match lane {
             Lane::Writer => self
@@ -490,6 +535,7 @@ impl KvClient {
                 };
                 let cursor = self.taken_w.entry(object).or_insert(0);
                 for out in &w.outcomes()[*cursor..] {
+                    let retries = self.lane_nudges.remove(&(object, lane)).unwrap_or(0);
                     self.outcomes.push(KvOutcome {
                         object,
                         kind: OpKind::Write,
@@ -497,6 +543,7 @@ impl KvClient {
                         rounds: out.rounds,
                         invoked_at: out.invoked_at,
                         completed_at: out.completed_at,
+                        retries,
                     });
                     self.in_flight -= 1;
                     *cursor += 1;
@@ -508,6 +555,7 @@ impl KvClient {
                 };
                 let cursor = self.taken_r.entry(object).or_insert(0);
                 for out in &r.outcomes()[*cursor..] {
+                    let retries = self.lane_nudges.remove(&(object, lane)).unwrap_or(0);
                     self.outcomes.push(KvOutcome {
                         object,
                         kind: OpKind::Read,
@@ -515,6 +563,7 @@ impl KvClient {
                         rounds: out.rounds,
                         invoked_at: out.invoked_at,
                         completed_at: out.completed_at,
+                        retries,
                     });
                     self.in_flight -= 1;
                     *cursor += 1;

@@ -27,6 +27,7 @@ use crate::object::{ObjectId, ShardMap};
 use crate::server::{ByzantineMode, KvByzantineServer, KvServer};
 use crate::workload::{per_client, take_wave, WorkloadOp};
 use rqs_core::Rqs;
+use rqs_obs::{classify, dump_json, NopTracer, Obs, ObsHandle, TraceEvent};
 use rqs_runtime::{CheckerSidecar, Runtime, SidecarReport};
 use rqs_sim::{
     Automaton, CrashMode, NodeId, Scenario, Substrate, SubstrateConfig, World, DEFAULT_AWAIT_STEPS,
@@ -55,6 +56,16 @@ impl core::fmt::Display for KvAtomicityViolation {
 
 impl std::error::Error for KvAtomicityViolation {}
 
+/// One crash-to-restart window in protocol ticks (`end == None` while
+/// the node is still down), used to attribute slow ops to recovery or
+/// server failure.
+#[derive(Clone, Copy, Debug)]
+struct FaultWindow {
+    node: usize,
+    start: u64,
+    end: Option<u64>,
+}
+
 /// A KV deployment on any [`Substrate`].
 pub struct KvDeployment<S: Substrate<KvBatch>> {
     sub: S,
@@ -76,6 +87,13 @@ pub struct KvDeployment<S: Substrate<KvBatch>> {
     sidecar: Option<CheckerSidecar>,
     /// Per-server durable stores (empty for volatile deployments).
     stores: Vec<StoreHandle>,
+    /// Shared structured-trace sink (the zero-overhead [`NopTracer`]
+    /// unless the deployment was built with
+    /// [`with_setup_traced`](Self::with_setup_traced)).
+    tracer: ObsHandle,
+    /// Crash windows (scenario plans plus manual crash/restart calls)
+    /// that slow-path attribution overlaps op windows against.
+    fault_windows: Vec<FaultWindow>,
 }
 
 /// The deterministic simulated KV deployment (back-compat alias).
@@ -143,11 +161,47 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         tick: Duration,
         stores: Vec<StoreHandle>,
     ) -> Self {
+        Self::with_setup_traced(
+            rqs,
+            objects,
+            clients,
+            scenario,
+            tick,
+            stores,
+            Arc::new(NopTracer),
+        )
+    }
+
+    /// Builds with explicit stores **and** a structured-trace sink: the
+    /// substrate (deliver/drop, crash/recover), the servers' durable
+    /// stores (WAL appends, fsyncs) and every client lane (op lifecycle,
+    /// rounds, quorums, retry nudges) emit [`TraceEvent`]s into `tracer`.
+    pub fn with_setup_traced(
+        rqs: Rqs,
+        objects: usize,
+        clients: usize,
+        scenario: Scenario,
+        tick: Duration,
+        stores: Vec<StoreHandle>,
+        tracer: ObsHandle,
+    ) -> Self {
         let rqs = Arc::new(rqs);
         let shard = ShardMap::new(objects, clients);
         let n = rqs.universe_size();
         let server_ids: Vec<NodeId> = (0..n).map(NodeId).collect();
         let byzantine = scenario.byzantine.clone();
+        let fault_windows = scenario
+            .crashes
+            .iter()
+            .map(|p| FaultWindow {
+                node: p.node,
+                start: p.at,
+                end: p.restart_at,
+            })
+            .collect();
+        for (i, s) in stores.iter().enumerate() {
+            s.set_obs(Obs::new(tracer.clone(), i as u64));
+        }
         let mut nodes: Vec<Box<dyn Automaton<KvBatch> + Send>> = Vec::new();
         for i in 0..n {
             nodes.push(match stores.get(i) {
@@ -156,16 +210,15 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             });
         }
         for c in 0..clients {
-            nodes.push(Box::new(KvClient::new(
-                rqs.clone(),
-                server_ids.clone(),
-                shard.owned_by(c),
-            )));
+            let mut client = KvClient::new(rqs.clone(), server_ids.clone(), shard.owned_by(c));
+            client.set_obs(Obs::new(tracer.clone(), 0));
+            nodes.push(Box::new(client));
         }
         let config = SubstrateConfig::new(nodes)
             .scenario(scenario)
             .sizer(|b: &KvBatch| b.len() as u64)
-            .tick(tick);
+            .tick(tick)
+            .tracer(tracer.clone());
         let mut sub = S::build(config);
         for idx in byzantine {
             sub.replace_node(
@@ -184,7 +237,15 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             retain_outcomes: true,
             sidecar: None,
             stores,
+            tracer,
+            fault_windows,
         }
+    }
+
+    /// The retained tail of the deployment's trace sink (empty for the
+    /// default [`NopTracer`]).
+    pub fn obs_events(&self) -> Vec<TraceEvent> {
+        self.tracer.snapshot()
     }
 
     /// Controls whether harvested outcomes accumulate in
@@ -222,11 +283,25 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
     /// Crashes server `idx` in the given [`CrashMode`] (amnesia requires
     /// a durable deployment or the server restarts empty).
     pub fn crash_server(&mut self, idx: usize, mode: CrashMode) {
+        self.fault_windows.push(FaultWindow {
+            node: idx,
+            start: self.sub.now_ticks().ticks(),
+            end: None,
+        });
         self.sub.crash_with(self.servers[idx], mode);
     }
 
     /// Restarts a crashed server.
     pub fn restart_server(&mut self, idx: usize) {
+        let now = self.sub.now_ticks().ticks();
+        if let Some(w) = self
+            .fault_windows
+            .iter_mut()
+            .rev()
+            .find(|w| w.node == idx && w.end.is_none())
+        {
+            w.end = Some(now);
+        }
         self.sub.restart(self.servers[idx]);
     }
 
@@ -323,15 +398,19 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
                     self.sub
                         .await_on::<KvClient>(c, |k| k.in_flight() == 0, DEFAULT_AWAIT_STEPS);
                 if !done {
-                    // Before panicking, dump the stuck inner automata:
-                    // their rounds and ack sets say which servers went
-                    // silent, which the panic message alone cannot.
+                    // Before panicking, dump the stuck inner automata as
+                    // one structured JSON report with the flight-recorder
+                    // tail attached: the rounds and ack sets say which
+                    // servers went silent, and the recorded deliver/drop
+                    // history says why.
                     let lanes = self
                         .sub
                         .inspect_on::<KvClient, Vec<String>>(c, |k| k.stuck_lanes());
-                    for line in &lanes {
-                        eprintln!("stalled client {}: {line}", c.0);
-                    }
+                    let details = [("client", c.0.to_string()), ("lanes", lanes.join(" | "))];
+                    eprintln!(
+                        "{}",
+                        dump_json("stuck-lanes", &details, &self.tracer.snapshot())
+                    );
                 }
                 assert!(done, "KV wave did not complete (no correct quorum?)");
             }
@@ -372,6 +451,24 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             self.harvested[ci] += outs.len();
             for out in outs {
                 stats.record_outcome(&out);
+                let (inv, comp) = (out.invoked_at.ticks(), out.completed_at.ticks());
+                let mut in_recovery = false;
+                let mut in_failure = false;
+                for w in &self.fault_windows {
+                    if inv < w.end.unwrap_or(u64::MAX) && comp >= w.start {
+                        match w.end {
+                            Some(_) => in_recovery = true,
+                            None => in_failure = true,
+                        }
+                    }
+                }
+                stats.attribution.record(classify(
+                    out.kind == rqs_storage::OpKind::Read,
+                    out.rounds as u32,
+                    out.retries,
+                    in_recovery,
+                    in_failure,
+                ));
                 let rec = OpRecord {
                     kind: out.kind,
                     client: ci,
@@ -446,12 +543,24 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
     /// Returns the first violating object.
     pub fn check_atomicity(&self) -> Result<(), KvAtomicityViolation> {
         for (object, checker) in &self.checkers {
-            checker
-                .verdict()
-                .map_err(|violation| KvAtomicityViolation {
+            if let Err(violation) = checker.verdict() {
+                // Attach the flight-recorder tail as one structured JSON
+                // report before surfacing the violation: the recorded
+                // deliver/drop/crash history around the violating ops is
+                // the first thing a post-mortem needs.
+                let details = [
+                    ("object", object.to_string()),
+                    ("violation", violation.to_string()),
+                ];
+                eprintln!(
+                    "{}",
+                    dump_json("atomicity-violation", &details, &self.tracer.snapshot())
+                );
+                return Err(KvAtomicityViolation {
                     object: *object,
                     violation,
-                })?;
+                });
+            }
         }
         Ok(())
     }
@@ -771,6 +880,143 @@ mod tests {
         assert!(stats.envelopes > 0, "runtime now counts envelopes too");
         kv.check_atomicity().unwrap();
         kv.shutdown();
+    }
+
+    #[test]
+    fn trace_events_are_deterministic_per_seed() {
+        use rqs_obs::Tracer;
+        let run = || {
+            let rec = Arc::new(rqs_obs::FlightRecorder::new(1 << 14));
+            let mut sim = KvSim::with_setup_traced(
+                ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+                8,
+                2,
+                Scenario::default(),
+                rqs_sim::DEFAULT_TICK,
+                Vec::new(),
+                rec.clone(),
+            );
+            let cfg = WorkloadConfig::mixed(8, 2, 40, 11);
+            sim.run_workload(&generate(&cfg), 4);
+            rec.snapshot()
+        };
+        let a = run();
+        assert!(!a.is_empty(), "a traced sim run must record events");
+        assert_eq!(a, run(), "same seed, same event sequence");
+    }
+
+    #[test]
+    fn traced_run_records_every_layer() {
+        use rqs_obs::TraceKind;
+        let rec = Arc::new(rqs_obs::FlightRecorder::new(1 << 14));
+        let stores = (0..5).map(|_| rqs_store::StoreHandle::mem()).collect();
+        let mut sim = KvSim::with_setup_traced(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+            Scenario::named("amnesia").crash_restart_amnesia(1, 5, 15),
+            rqs_sim::DEFAULT_TICK,
+            stores,
+            rec.clone(),
+        );
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 11);
+        sim.run_workload(&generate(&cfg), 4);
+        sim.check_atomicity().unwrap();
+        let events = sim.obs_events();
+        let has = |k: TraceKind| events.iter().any(|e| e.kind == k);
+        assert!(has(TraceKind::OpInvoked), "client lanes traced");
+        assert!(has(TraceKind::OpCompleted));
+        assert!(has(TraceKind::RoundStarted));
+        assert!(has(TraceKind::QuorumAssembled));
+        assert!(has(TraceKind::Deliver), "substrate traced");
+        assert!(has(TraceKind::Crash), "crash plan traced");
+        assert!(has(TraceKind::Recover));
+        assert!(has(TraceKind::WalAppended), "durable store traced");
+    }
+
+    #[test]
+    fn clean_run_attributes_fast_path() {
+        use rqs_obs::SlowPathCause;
+        // Write-only workload on a fault-free synchronous sim: every op
+        // is one round, no retries — the attribution table must say so.
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig {
+            read_percent: 0,
+            ..WorkloadConfig::mixed(8, 2, 60, 11)
+        };
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.attribution.total() as usize, stats.ops);
+        assert!(
+            stats.attribution.fast_ratio() >= 0.99,
+            "clean run must be ≥99% fast path, got {:?}",
+            stats.attribution.rows()
+        );
+        // A mixed run still attributes every op to exactly one cause.
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig::mixed(8, 2, 60, 11);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.attribution.total() as usize, stats.ops);
+        assert_eq!(stats.attribution.count(SlowPathCause::Recovery), 0);
+        assert_eq!(stats.attribution.count(SlowPathCause::ServerFailure), 0);
+    }
+
+    #[test]
+    fn degraded_run_attributes_retry_and_recovery() {
+        use rqs_obs::SlowPathCause;
+        // Flaky links towards every server plus a crash-restart window:
+        // nudged ops outside the window read as retry, slow ops
+        // overlapping it as recovery.
+        let scenario = Scenario::named("flaky-crash")
+            .lossy_towards(vec![0, 1, 2, 3, 4], 2)
+            .crash_restart(0, 10, 60);
+        let mut sim = KvSim::with_scenario(
+            ThresholdConfig::crash_fast(5, 1).build().unwrap(),
+            8,
+            2,
+            scenario,
+        );
+        sim.set_retry_policy(crate::client::RetryPolicy {
+            max_retries: 64,
+            base_backoff: 4,
+            max_backoff: 32,
+            deadline: 1 << 20,
+        });
+        let cfg = WorkloadConfig::mixed(8, 2, 40, 19);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 40);
+        sim.check_atomicity().unwrap();
+        assert_eq!(stats.attribution.total() as usize, stats.ops);
+        assert!(
+            stats.attribution.count(SlowPathCause::Retry) > 0,
+            "lossy links must surface as retry attributions: {:?}",
+            stats.attribution.rows()
+        );
+        assert!(
+            stats.attribution.count(SlowPathCause::Recovery) > 0,
+            "the crash window must surface as recovery attributions: {:?}",
+            stats.attribution.rows()
+        );
+    }
+
+    #[test]
+    fn manual_crash_windows_feed_attribution() {
+        use rqs_obs::SlowPathCause;
+        // Crash a server mid-run by hand; an op window overlapping the
+        // open window reads as server-failure until the restart closes
+        // it.
+        let mut sim = small_sim();
+        let cfg = WorkloadConfig::mixed(8, 2, 20, 3);
+        sim.run_workload(&generate(&cfg), 4);
+        sim.crash_server(0, CrashMode::Retain);
+        let cfg = WorkloadConfig::mixed(8, 2, 20, 5);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        sim.restart_server(0);
+        // 4-of-5 quorums still close in one round with server 0 down, so
+        // not every op is slow — but any slow op must be attributed to
+        // the failure, never to scheduling.
+        assert_eq!(stats.attribution.count(SlowPathCause::Scheduling), 0);
+        assert_eq!(stats.attribution.count(SlowPathCause::Contention), 0);
+        sim.check_atomicity().unwrap();
     }
 
     #[test]

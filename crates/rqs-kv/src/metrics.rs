@@ -2,6 +2,7 @@
 //! accounting, per-op latency percentiles and streaming-checker counters.
 
 use crate::client::{KvOutcome, RetryStats};
+use rqs_obs::{Attribution, LatencyHistogram};
 use rqs_storage::CheckerStats;
 use std::collections::BTreeMap;
 
@@ -85,9 +86,14 @@ pub struct KvRunStats {
     pub envelopes: usize,
     /// Protocol messages carried inside those envelopes.
     pub items: usize,
-    /// Per-operation latencies in duration units (completion minus
-    /// invocation), in harvest order.
-    pub latencies: Vec<u64>,
+    /// Per-operation latency distribution in duration units (completion
+    /// minus invocation): a log-bucketed fixed-size histogram, so memory
+    /// stays bounded on million-op soaks and percentile queries are
+    /// O(buckets) instead of clone-and-sort.
+    pub latencies: LatencyHistogram,
+    /// Why operations left the one-round fast path (the paper's
+    /// degradation conditions), classified at harvest by the deployment.
+    pub attribution: Attribution,
     /// Aggregated counters of the deployment's streaming atomicity
     /// checkers (cumulative over the deployment's lifetime; empty when
     /// checking is offloaded to a sidecar).
@@ -129,7 +135,7 @@ impl KvRunStats {
     pub fn record_outcome(&mut self, out: &KvOutcome) {
         self.ops += 1;
         self.rounds.record(out.rounds);
-        self.latencies.push(
+        self.latencies.record(
             out.completed_at
                 .ticks()
                 .saturating_sub(out.invoked_at.ticks()),
@@ -146,22 +152,18 @@ impl KvRunStats {
         self.duration_units += other.duration_units;
         self.envelopes += other.envelopes;
         self.items += other.items;
-        self.latencies.extend_from_slice(&other.latencies);
+        self.latencies.merge(&other.latencies);
+        self.attribution.merge(&other.attribution);
         self.checker.merge(&other.checker);
         self.retries.merge(&other.retries);
     }
 
     /// The `p`-th latency percentile in duration units (0 when empty).
-    /// `p` is clamped to `[0, 100]`; uses the nearest-rank method.
+    /// `p` is clamped to `[0, 100]`; nearest-rank over the log-bucketed
+    /// histogram — exact below 16 units, within one bucket (≤ 12.5%)
+    /// above.
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        self.latencies.percentile(p.clamp(0.0, 100.0))
     }
 }
 
@@ -189,34 +191,42 @@ mod tests {
 
     #[test]
     fn merge_accumulates_every_field() {
+        use rqs_obs::SlowPathCause;
         let mut a = KvRunStats {
             ops: 3,
             duration_units: 10,
             envelopes: 6,
             items: 12,
-            latencies: vec![1, 2],
             ..Default::default()
         };
+        a.latencies.record(1);
+        a.latencies.record(2);
         a.rounds.record(1);
+        a.attribution.record(SlowPathCause::FastPath);
         let mut b = KvRunStats {
             ops: 2,
             duration_units: 5,
             envelopes: 4,
             items: 8,
-            latencies: vec![9],
             ..Default::default()
         };
+        b.latencies.record(9);
         b.rounds.record(1);
         b.rounds.record(2);
         b.retries.retries_issued = 7;
+        b.attribution.record(SlowPathCause::Retry);
         a.merge(&b);
         assert_eq!(a.ops, 5);
         assert_eq!(a.duration_units, 15);
         assert_eq!(a.envelopes, 10);
         assert_eq!(a.items, 20);
-        assert_eq!(a.latencies, vec![1, 2, 9]);
+        assert_eq!(a.latencies.len(), 3);
+        assert_eq!(a.latencies.min(), 1);
+        assert_eq!(a.latencies.max(), 9);
         assert_eq!(a.rounds.render(), "1r:2 2r:1");
         assert_eq!(a.retries.retries_issued, 7);
+        assert_eq!(a.attribution.count(SlowPathCause::FastPath), 1);
+        assert_eq!(a.attribution.count(SlowPathCause::Retry), 1);
     }
 
     #[test]
@@ -236,10 +246,10 @@ mod tests {
 
     #[test]
     fn latency_percentiles_nearest_rank() {
-        let stats = KvRunStats {
-            latencies: vec![5, 1, 9, 3, 7],
-            ..Default::default()
-        };
+        let mut stats = KvRunStats::default();
+        for v in [5u64, 1, 9, 3, 7] {
+            stats.latencies.record(v);
+        }
         assert_eq!(stats.latency_percentile(50.0), 5);
         assert_eq!(stats.latency_percentile(99.0), 9);
         assert_eq!(stats.latency_percentile(0.0), 1);

@@ -1,0 +1,229 @@
+//! Slow-path attribution: *why* an operation left the one-round fast
+//! path.
+//!
+//! The paper's latency classes promise one-round operations under
+//! favourable conditions and bound the degradation under contention,
+//! failures and asynchrony (Figures 5 and 7). [`classify`] folds the
+//! per-op facts a deployment can observe — rounds used, retry nudges,
+//! overlap with crash/recovery windows, the lane — into one
+//! [`SlowPathCause`], and [`Attribution`] tallies causes into the table
+//! surfaced by `KvRunStats` and the bench reports.
+
+use core::fmt;
+
+/// Why an operation completed the way it did.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(usize)]
+pub enum SlowPathCause {
+    /// One round, no retries: the paper's favourable-conditions class.
+    FastPath = 0,
+    /// The op overlapped a server's crash-to-restart window and paid for
+    /// the recovery (replay, catch-up).
+    Recovery = 1,
+    /// The op overlapped a server crash that never restarted within the
+    /// run.
+    ServerFailure = 2,
+    /// A retry watchdog had to re-send the round (lost or delayed
+    /// messages on an otherwise healthy system).
+    Retry = 3,
+    /// A reader needed the write-back round because it observed
+    /// concurrent writes — the paper's contention degradation.
+    Contention = 4,
+    /// Extra rounds with no failure, retry or contention evidence:
+    /// scheduling/asynchrony delay (e.g. a writer's round advanced on
+    /// timer expiry).
+    Scheduling = 5,
+}
+
+/// All causes, in attribution-table display order.
+pub const ALL_CAUSES: [SlowPathCause; 6] = [
+    SlowPathCause::FastPath,
+    SlowPathCause::Recovery,
+    SlowPathCause::ServerFailure,
+    SlowPathCause::Retry,
+    SlowPathCause::Contention,
+    SlowPathCause::Scheduling,
+];
+
+impl SlowPathCause {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlowPathCause::FastPath => "fast-path",
+            SlowPathCause::Recovery => "recovery",
+            SlowPathCause::ServerFailure => "server-failure",
+            SlowPathCause::Retry => "retry",
+            SlowPathCause::Contention => "contention",
+            SlowPathCause::Scheduling => "scheduling",
+        }
+    }
+}
+
+impl fmt::Display for SlowPathCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Folds per-op facts into one cause.
+///
+/// Precedence (first match wins):
+///
+/// 1. **fast-path** — at most one round and no retry nudges.
+/// 2. **recovery** — the op's `[invoked, completed]` window overlapped a
+///    crash window that ends in a restart (the op paid for recovery).
+/// 3. **server-failure** — the window overlapped a crash with no restart.
+/// 4. **retry** — a watchdog re-sent the round at least once.
+/// 5. **contention** — a reader used ≥ 2 rounds (the write-back round
+///    exists only when concurrent writes were observed).
+/// 6. **scheduling** — anything else (extra writer rounds driven by
+///    timer expiry under asynchrony).
+///
+/// Recovery outranks retry deliberately: ops inside a fault window
+/// almost always also get nudged, and attributing them to the fault
+/// keeps `retry` a clean signal for lossy-link degradation.
+pub fn classify(
+    is_reader: bool,
+    rounds: u32,
+    retries: u32,
+    in_recovery: bool,
+    in_failure: bool,
+) -> SlowPathCause {
+    if rounds <= 1 && retries == 0 {
+        SlowPathCause::FastPath
+    } else if in_recovery {
+        SlowPathCause::Recovery
+    } else if in_failure {
+        SlowPathCause::ServerFailure
+    } else if retries > 0 {
+        SlowPathCause::Retry
+    } else if is_reader && rounds >= 2 {
+        SlowPathCause::Contention
+    } else {
+        SlowPathCause::Scheduling
+    }
+}
+
+/// A tally of [`SlowPathCause`]s — the attribution table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Attribution {
+    counts: [u64; 6],
+}
+
+impl Attribution {
+    /// An empty table.
+    pub fn new() -> Self {
+        Attribution::default()
+    }
+
+    /// Tallies one op.
+    pub fn record(&mut self, cause: SlowPathCause) {
+        self.counts[cause as usize] += 1;
+    }
+
+    /// Ops attributed to `cause`.
+    pub fn count(&self, cause: SlowPathCause) -> u64 {
+        self.counts[cause as usize]
+    }
+
+    /// Total ops attributed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of ops on the fast path (1.0 when empty).
+    pub fn fast_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.count(SlowPathCause::FastPath) as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &Attribution) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// `(label, count)` rows in display order.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        ALL_CAUSES
+            .iter()
+            .map(|&c| (c.label(), self.count(c)))
+            .collect()
+    }
+
+    /// Compact `cause:count` summary of the non-fast-path tallies
+    /// (`"-"` when every op was fast).
+    pub fn slow_summary(&self) -> String {
+        let parts: Vec<String> = ALL_CAUSES
+            .iter()
+            .skip(1)
+            .filter(|&&c| self.count(c) > 0)
+            .map(|&c| format!("{}:{}", c.label(), self.count(c)))
+            .collect();
+        if parts.is_empty() {
+            "-".into()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_wins_even_inside_fault_windows() {
+        assert_eq!(classify(false, 1, 0, true, true), SlowPathCause::FastPath);
+        assert_eq!(classify(true, 0, 0, false, false), SlowPathCause::FastPath);
+    }
+
+    #[test]
+    fn precedence_orders_causes() {
+        assert_eq!(classify(false, 2, 3, true, true), SlowPathCause::Recovery);
+        assert_eq!(
+            classify(false, 2, 3, false, true),
+            SlowPathCause::ServerFailure
+        );
+        assert_eq!(classify(false, 1, 2, false, false), SlowPathCause::Retry);
+        assert_eq!(
+            classify(true, 2, 0, false, false),
+            SlowPathCause::Contention
+        );
+        assert_eq!(
+            classify(false, 2, 0, false, false),
+            SlowPathCause::Scheduling
+        );
+    }
+
+    #[test]
+    fn attribution_tallies_and_merges() {
+        let mut a = Attribution::new();
+        a.record(SlowPathCause::FastPath);
+        a.record(SlowPathCause::FastPath);
+        a.record(SlowPathCause::Retry);
+        let mut b = Attribution::new();
+        b.record(SlowPathCause::Recovery);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(SlowPathCause::FastPath), 2);
+        assert_eq!(a.count(SlowPathCause::Retry), 1);
+        assert_eq!(a.count(SlowPathCause::Recovery), 1);
+        assert!((a.fast_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(a.slow_summary(), "recovery:1 retry:1");
+    }
+
+    #[test]
+    fn empty_table_reads_as_all_fast() {
+        let a = Attribution::new();
+        assert_eq!(a.total(), 0);
+        assert!((a.fast_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(a.slow_summary(), "-");
+        assert_eq!(a.rows().len(), 6);
+    }
+}

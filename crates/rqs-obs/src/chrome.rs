@@ -1,0 +1,493 @@
+//! Exporters: Chrome `trace_event` JSON and structured failure dumps.
+//!
+//! [`chrome_trace`] renders a slice of [`TraceEvent`]s in the Chrome
+//! trace-event format (load it in `chrome://tracing` or Perfetto): every
+//! event becomes an instant (`"ph":"i"`) entry carrying its full payload
+//! in `args`, and every invoked/completed pair additionally becomes a
+//! duration span (`"ph":"X"`) so op latency renders as a bar per
+//! node/lane track. [`parse_chrome_trace`] is the strict inverse used by
+//! the round-trip test and CI validation — it reconstructs the exact
+//! event multiset from the instant entries. [`dump_json`] renders
+//! machine-readable failure reports (stuck lanes, atomicity violations,
+//! counterexamples) with the flight-recorder tail attached.
+
+use crate::trace::{TraceEvent, TraceKind};
+use std::collections::BTreeMap;
+
+/// One parsed Chrome trace entry (instant or span).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Entry name (the [`TraceKind::name`] for instants, `"op"` for
+    /// spans).
+    pub name: String,
+    /// `"i"` for instants, `"X"` for spans.
+    pub ph: String,
+    /// Timestamp (protocol tick, rendered as µs).
+    pub ts: u64,
+    /// Span duration (0 for instants).
+    pub dur: u64,
+    /// Process track: the node id.
+    pub pid: u64,
+    /// Thread track: the lane.
+    pub tid: u64,
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn instant_entry(ev: &TraceEvent) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\
+         \"args\":{{\"op\":{},\"a\":{},\"b\":{}}}}}",
+        json_string(ev.kind.name()),
+        ev.tick,
+        ev.node,
+        ev.lane,
+        ev.op,
+        ev.a,
+        ev.b
+    )
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// Ticks are rendered as microseconds (`1 tick = 1 µs`), nodes as
+/// processes, lanes as threads. Instant entries carry the exact payload;
+/// `X` span entries are synthesized for every
+/// [`TraceKind::OpInvoked`]/[`TraceKind::OpCompleted`] pair on the same
+/// `(node, lane, op)` so operation latency renders as bars.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(events.len());
+    let mut open: BTreeMap<(u64, u8, u64), u64> = BTreeMap::new();
+    for ev in events {
+        entries.push(instant_entry(ev));
+        match ev.kind {
+            TraceKind::OpInvoked => {
+                open.insert((ev.node, ev.lane, ev.op), ev.tick);
+            }
+            TraceKind::OpCompleted => {
+                if let Some(start) = open.remove(&(ev.node, ev.lane, ev.op)) {
+                    entries.push(format!(
+                        "{{\"name\":\"op\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{},\"tid\":{},\"args\":{{\"op\":{},\"rounds\":{}}}}}",
+                        start,
+                        ev.tick.saturating_sub(start),
+                        ev.node,
+                        ev.lane,
+                        ev.op,
+                        ev.a
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        entries.join(",")
+    )
+}
+
+/// Renders a machine-readable failure report: a `report` tag, free-form
+/// string details, and the flight-recorder tail. One JSON object per
+/// call, suitable for a single stderr line CI can parse.
+pub fn dump_json(report: &str, details: &[(&str, String)], events: &[TraceEvent]) -> String {
+    let detail_fields: Vec<String> = details
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+        .collect();
+    let evs: Vec<String> = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"tick\":{},\"node\":{},\"op\":{},\"lane\":{},\"kind\":{},\"a\":{},\"b\":{}}}",
+                e.tick,
+                e.node,
+                e.op,
+                e.lane,
+                json_string(e.kind.name()),
+                e.a,
+                e.b
+            )
+        })
+        .collect();
+    format!(
+        "{{\"report\":{},\"details\":{{{}}},\"flight_recorder\":[{}]}}",
+        json_string(report),
+        detail_fields.join(","),
+        evs.join(",")
+    )
+}
+
+// ---- strict mini-JSON parsing -----------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Str(String),
+    Int(u64),
+    Obj(Vec<(String, Val)>),
+    Arr(Vec<Val>),
+}
+
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { rest: s }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at {:?}", &self.rest[..self.rest.len().min(24)])
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => Err(self.err(&format!("expected {c:?}"))),
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(c)
+    }
+
+    fn comma_or(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix(',') {
+            self.rest = rest;
+            Ok(true)
+        } else if let Some(rest) = self.rest.strip_prefix(close) {
+            self.rest = rest;
+            Ok(false)
+        } else {
+            Err(self.err(&format!("expected ',' or {close:?}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((j, 'u')) => {
+                        let hex = self.rest.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u{hex}: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        if self.rest.starts_with('"') {
+            return Ok(Val::Str(self.string()?));
+        }
+        if self.rest.starts_with('{') {
+            self.expect('{')?;
+            let mut fields = Vec::new();
+            if self.peek_is('}') {
+                self.expect('}')?;
+                return Ok(Val::Obj(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(':')?;
+                fields.push((key, self.value()?));
+                if !self.comma_or('}')? {
+                    return Ok(Val::Obj(fields));
+                }
+            }
+        }
+        if self.rest.starts_with('[') {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            if self.peek_is(']') {
+                self.expect(']')?;
+                return Ok(Val::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                if !self.comma_or(']')? {
+                    return Ok(Val::Arr(items));
+                }
+            }
+        }
+        let digits: String = self
+            .rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            return Err(self.err("expected a JSON value"));
+        }
+        self.rest = &self.rest[digits.len()..];
+        digits
+            .parse::<u64>()
+            .map(Val::Int)
+            .map_err(|e| format!("number {digits:?}: {e}"))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+}
+
+fn obj_get<'v>(fields: &'v [(String, Val)], key: &str) -> Option<&'v Val> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn int_field(fields: &[(String, Val)], key: &str) -> Result<u64, String> {
+    match obj_get(fields, key) {
+        Some(Val::Int(v)) => Ok(*v),
+        Some(other) => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn str_field<'v>(fields: &'v [(String, Val)], key: &str) -> Result<&'v str, String> {
+    match obj_get(fields, key) {
+        Some(Val::Str(v)) => Ok(v),
+        Some(other) => Err(format!("field {key:?}: expected string, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// Strictly parses a [`chrome_trace`] document back into `(entries,
+/// events)`: every entry (instants and spans) plus the exact
+/// [`TraceEvent`] multiset reconstructed from the instant entries.
+///
+/// # Errors
+///
+/// Returns the first structural problem: syntax errors, missing or
+/// mistyped required fields, unknown `ph`/`cat` values, or an instant
+/// whose name is not a known [`TraceKind`].
+pub fn parse_chrome_trace(s: &str) -> Result<(Vec<ChromeEvent>, Vec<TraceEvent>), String> {
+    let mut p = Parser::new(s);
+    let top = p.value()?;
+    p.end()?;
+    let Val::Obj(fields) = top else {
+        return Err("top level must be an object".into());
+    };
+    let Some(Val::Arr(raw_entries)) = obj_get(&fields, "traceEvents") else {
+        return Err("missing \"traceEvents\" array".into());
+    };
+    for (key, _) in &fields {
+        if key != "traceEvents" && key != "displayTimeUnit" {
+            return Err(format!("unknown top-level key {key:?}"));
+        }
+    }
+    let mut entries = Vec::with_capacity(raw_entries.len());
+    let mut events = Vec::new();
+    for raw in raw_entries {
+        let Val::Obj(e) = raw else {
+            return Err("trace entry must be an object".into());
+        };
+        let name = str_field(e, "name")?.to_string();
+        let cat = str_field(e, "cat")?;
+        let ph = str_field(e, "ph")?.to_string();
+        let ts = int_field(e, "ts")?;
+        let pid = int_field(e, "pid")?;
+        let tid = int_field(e, "tid")?;
+        let Some(Val::Obj(args)) = obj_get(e, "args") else {
+            return Err(format!("entry {name:?}: missing \"args\" object"));
+        };
+        let dur = match (ph.as_str(), cat) {
+            ("i", "event") => {
+                let kind = TraceKind::from_name(&name)
+                    .ok_or_else(|| format!("unknown event name {name:?}"))?;
+                events.push(TraceEvent {
+                    tick: ts,
+                    node: pid,
+                    op: int_field(args, "op")?,
+                    lane: u8::try_from(tid).map_err(|_| format!("lane {tid} out of range"))?,
+                    kind,
+                    a: int_field(args, "a")?,
+                    b: int_field(args, "b")?,
+                });
+                0
+            }
+            ("X", "span") => int_field(e, "dur")?,
+            (ph, cat) => return Err(format!("unknown entry shape ph={ph:?} cat={cat:?}")),
+        };
+        entries.push(ChromeEvent {
+            name,
+            ph,
+            ts,
+            dur,
+            pid,
+            tid,
+        });
+    }
+    Ok((entries, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LANE_READER, LANE_WRITER};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                tick: 1,
+                node: 9,
+                op: 4,
+                lane: LANE_WRITER,
+                kind: TraceKind::OpInvoked,
+                a: 0,
+                b: 0,
+            },
+            TraceEvent {
+                tick: 2,
+                node: 0,
+                op: 4,
+                lane: LANE_WRITER,
+                kind: TraceKind::Deliver,
+                a: 9,
+                b: 0,
+            },
+            TraceEvent {
+                tick: 5,
+                node: 9,
+                op: 4,
+                lane: LANE_WRITER,
+                kind: TraceKind::OpCompleted,
+                a: 1,
+                b: 0,
+            },
+            TraceEvent {
+                tick: 6,
+                node: 9,
+                op: 4,
+                lane: LANE_READER,
+                kind: TraceKind::RetryNudged,
+                a: 1,
+                b: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_round_trips_the_event_multiset() {
+        let events = sample_events();
+        let doc = chrome_trace(&events);
+        let (entries, back) = parse_chrome_trace(&doc).expect("trace must parse");
+        assert_eq!(back, events, "instant entries round-trip exactly");
+        // One instant per event plus one span for the op pair.
+        assert_eq!(entries.len(), events.len() + 1);
+        let span = entries.iter().find(|e| e.ph == "X").expect("span");
+        assert_eq!(span.ts, 1);
+        assert_eq!(span.dur, 4);
+        assert_eq!(span.pid, 9);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let doc = chrome_trace(&[]);
+        let (entries, events) = parse_chrome_trace(&doc).unwrap();
+        assert!(entries.is_empty());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("").is_err());
+        assert!(parse_chrome_trace("[]").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":[{}]}").is_err());
+        assert!(parse_chrome_trace("{\"bogus\":[]}").is_err());
+        assert!(parse_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"nope\",\"cat\":\"event\",\"ph\":\"i\",\
+             \"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"op\":0,\"a\":0,\"b\":0}}]}"
+        )
+        .is_err());
+        let doc = chrome_trace(&sample_events());
+        assert!(parse_chrome_trace(&format!("{doc} trailing")).is_err());
+    }
+
+    #[test]
+    fn dump_json_carries_details_and_events() {
+        let events = sample_events();
+        let dump = dump_json(
+            "stuck-lanes",
+            &[("client", "c9".to_string()), ("lane", "o4/w".to_string())],
+            &events[..1],
+        );
+        assert!(dump.starts_with("{\"report\":\"stuck-lanes\""));
+        assert!(dump.contains("\"client\":\"c9\""));
+        assert!(dump.contains("\"kind\":\"op_invoked\""));
+        // The dump itself is valid JSON by the strict parser's rules.
+        let mut p = Parser::new(&dump);
+        let v = p.value().expect("dump must be valid JSON");
+        p.end().unwrap();
+        assert!(matches!(v, Val::Obj(_)));
+    }
+
+    #[test]
+    fn op_span_requires_matching_invoke() {
+        // A completion without an invoke yields no span.
+        let only_complete = vec![TraceEvent {
+            tick: 5,
+            node: 1,
+            op: 2,
+            lane: LANE_WRITER,
+            kind: TraceKind::OpCompleted,
+            a: 1,
+            b: 0,
+        }];
+        let (entries, events) = parse_chrome_trace(&chrome_trace(&only_complete)).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(events, only_complete);
+    }
+}

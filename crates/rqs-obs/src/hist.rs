@@ -1,0 +1,230 @@
+//! A log-bucketed fixed-size latency histogram.
+//!
+//! Replaces the unbounded `Vec<u64>` latency capture (clone + sort per
+//! percentile query) with bounded memory and O(buckets) queries: values
+//! `0..=15` get exact unit buckets; larger values land in one of eight
+//! sub-buckets per power of two, bounding the relative quantization
+//! error at 12.5% — "within one bucket" of the exact nearest-rank
+//! percentile. Histograms merge field-wise, so latency distributions
+//! survive aggregation across crash segments and scenario phases.
+
+/// Unit buckets for values `0..=15`.
+const EXACT: usize = 16;
+/// Sub-buckets per octave above the exact range.
+const SUBS: usize = 8;
+/// First octave with sub-buckets (values `16..=31` are octave 4).
+const FIRST_OCTAVE: u32 = 4;
+/// Total bucket count: 16 exact + 8 per octave for octaves 4..=63.
+const BUCKETS: usize = EXACT + (64 - FIRST_OCTAVE as usize) * SUBS;
+
+/// Bounded-memory latency distribution with log-bucketed percentiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((v >> (octave - 3)) & 7) as usize;
+    EXACT + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+/// The smallest value a bucket holds (its representative for queries).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let octave = FIRST_OCTAVE + ((idx - EXACT) / SUBS) as u32;
+    let sub = ((idx - EXACT) % SUBS) as u64;
+    (1u64 << octave) + (sub << (octave - 3))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Field-wise merge (aggregating crash segments, waves, shards).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down (0 on an empty histogram).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The nearest-rank `p`-th percentile (`0.0..=100.0`), quantized to
+    /// its bucket's floor: exact for values below 16, within 12.5% above.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the true extremes so p0/p100 are exact.
+                return bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(100.0), 9);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.mean(), 5);
+    }
+
+    #[test]
+    fn large_values_stay_within_one_bucket() {
+        let mut h = LatencyHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x: u64 = 17;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 1_000_000;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * exact.len() as f64).ceil() as usize;
+            let truth = exact[rank - 1];
+            let got = h.percentile(p);
+            // Within one log bucket: floor ≤ truth, and the bucket floor
+            // is at most 12.5% below the true value (plus the unit floor).
+            assert!(got <= truth, "p{p}: {got} > {truth}");
+            assert!(
+                (truth - got) as f64 <= (truth as f64) * 0.125 + 1.0,
+                "p{p}: {got} too far below {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket_of must be monotone at {v}");
+            last = b;
+            assert!(bucket_floor(b) <= v);
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_floor(bucket_of(u64::MAX)), 0xF000_0000_0000_0000);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3u64, 100, 250_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 90_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.sum(), both.sum());
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # Observability for RQS deployments
+//!
+//! The paper's whole contribution is *latency classes*: why an operation
+//! completes in one round versus degrading under contention, failures or
+//! asynchrony (Figures 5 and 7). This crate makes that degradation
+//! measurable instead of merely countable:
+//!
+//! - [`TraceEvent`] / [`TraceKind`] — one fixed-size, `Copy` record per
+//!   protocol step worth auditing (op invoked, round started, quorum
+//!   assembled, retry nudged, WAL appended, fsync, crash, recover,
+//!   deliver, drop), with node + op + lane + tick attribution.
+//! - [`Tracer`] — the sink trait every layer emits into. [`NopTracer`]
+//!   is the zero-overhead default (one non-atomic bool check, no
+//!   allocation); [`FlightRecorder`] is a lock-free fixed-capacity ring
+//!   that keeps the last `N` events for post-mortem dumps.
+//! - [`Obs`] — a cheap cloneable handle (`Arc<dyn Tracer>` + a tag)
+//!   embedded in protocol automata, with typed emit helpers.
+//! - [`LatencyHistogram`] — a log-bucketed fixed-size histogram for
+//!   bounded-memory latency percentiles, mergeable across crash
+//!   segments.
+//! - [`SlowPathCause`] / [`Attribution`] — per-op classification of why
+//!   an operation left the one-round fast path, the paper's degradation
+//!   conditions as a table.
+//! - [`chrome_trace`] / [`parse_chrome_trace`] — export to (and strict
+//!   re-parse of) the Chrome `trace_event` JSON format, so any run can
+//!   be opened in `chrome://tracing` / Perfetto.
+//! - [`dump_json`] — structured machine-readable diagnostics (stuck-lane
+//!   dumps, atomicity-violation reports, counterexample annotations).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attr;
+pub mod chrome;
+pub mod hist;
+pub mod trace;
+
+pub use attr::{classify, Attribution, SlowPathCause};
+pub use chrome::{chrome_trace, dump_json, parse_chrome_trace, ChromeEvent};
+pub use hist::LatencyHistogram;
+pub use trace::{
+    FlightRecorder, NopTracer, Obs, ObsHandle, TraceEvent, TraceKind, Tracer, LANE_READER,
+    LANE_SYS, LANE_WRITER,
+};

@@ -1,0 +1,75 @@
+//! Overhead guard: the instrumented hot path must not allocate.
+//!
+//! Every emission site in the protocol crates runs through
+//! [`Obs::emit`], so it is enough to prove here — with a counting global
+//! allocator — that emitting through a `NopTracer` handle performs zero
+//! allocations, and that a pre-sized `FlightRecorder` records without
+//! allocating either. The library itself forbids `unsafe`; the counting
+//! allocator below is test-harness scaffolding, not shipped code.
+
+use rqs_obs::{FlightRecorder, Obs, TraceEvent, TraceKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+// One test body (not two) so no sibling test thread allocates while a
+// measurement window is open.
+#[test]
+fn hot_path_emission_allocates_nothing() {
+    let ev = TraceEvent {
+        tick: 1,
+        node: 2,
+        op: 3,
+        lane: 0,
+        kind: TraceKind::Deliver,
+        a: 4,
+        b: 5,
+    };
+
+    // Disabled tracer: the default every automaton carries.
+    let nop = Obs::nop();
+    let delta = allocations(|| {
+        for t in 0..100_000u64 {
+            nop.emit(TraceKind::Deliver, t, 2, 0, 4, 5);
+            nop.emit_event(ev);
+        }
+    });
+    assert_eq!(delta, 0, "NopTracer emission must not allocate");
+
+    // Enabled flight recorder: the ring is fully allocated up front.
+    let rec = Arc::new(FlightRecorder::new(1024));
+    let obs = Obs::new(rec.clone(), 3);
+    let delta = allocations(|| {
+        for t in 0..100_000u64 {
+            obs.emit(TraceKind::Deliver, t, 2, 0, 4, 5);
+        }
+    });
+    assert_eq!(delta, 0, "FlightRecorder recording must not allocate");
+    assert_eq!(rec.recorded(), 100_000);
+}

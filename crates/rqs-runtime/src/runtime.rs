@@ -16,6 +16,7 @@
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use rqs_obs::{NopTracer, Obs, ObsHandle, TraceKind, LANE_SYS};
 use rqs_sim::{
     Automaton, Context, CrashMode, LinkDecision, NodeId, Scenario, ScenarioNet, Substrate,
     SubstrateConfig, SubstrateStats, Time, TimerToken, DEFAULT_OP_TIMEOUT,
@@ -208,6 +209,7 @@ pub struct RuntimeBuilder<M: Send + 'static> {
     op_timeout: Duration,
     scenario: Scenario,
     sizer: fn(&M) -> u64,
+    tracer: ObsHandle,
 }
 
 impl<M: Send + Clone + 'static> Default for RuntimeBuilder<M> {
@@ -225,6 +227,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             op_timeout: DEFAULT_OP_TIMEOUT,
             scenario: Scenario::default(),
             sizer: |_| 1,
+            tracer: Arc::new(NopTracer),
         }
     }
 
@@ -251,6 +254,14 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
     /// Installs a payload sizer for the message statistics.
     pub fn sizer(mut self, sizer: fn(&M) -> u64) -> Self {
         self.sizer = sizer;
+        self
+    }
+
+    /// Installs a structured-trace sink: node threads emit
+    /// deliver/drop/crash/recover events into it (wall-clock analogue of
+    /// the simulator's world-level tracing).
+    pub fn tracer(mut self, tracer: ObsHandle) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -291,8 +302,9 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             let (tx, rx) = unbounded::<Outbound<M>>();
             let net = self.scenario.network();
             let senders = senders.clone();
+            let obs = Obs::new(self.tracer.clone(), 0);
             let handle =
-                std::thread::spawn(move || run_interposer(rx, senders, net, started, tick));
+                std::thread::spawn(move || run_interposer(rx, senders, net, started, tick, obs));
             (Some(tx), Some(handle))
         };
 
@@ -377,9 +389,11 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
 
         // Node threads.
         let mut handles = Vec::with_capacity(n);
+        let obs = Obs::new(self.tracer.clone(), 0);
         for (i, (mut node, rx)) in self.nodes.into_iter().zip(receivers).enumerate() {
             let net = net.clone();
             let wheel = wheel.clone();
+            let obs = obs.clone();
             let handle = std::thread::spawn(move || {
                 let me = NodeId(i);
                 let mut timer_counter: u64 = (i as u64) << 32;
@@ -408,14 +422,33 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                             *heap = drained.into_iter().filter(|r| r.node != i).collect();
                             drop(heap);
                             cancelled.clear();
+                            obs.emit(
+                                TraceKind::Crash,
+                                now_ticks,
+                                i as u64,
+                                LANE_SYS,
+                                mode as u64,
+                                0,
+                            );
                             continue;
                         }
                         Event::Restart => {
                             crashed = false;
+                            let mut replayed = 0usize;
+                            let mut amnesia = 0u64;
                             if crash_mode == CrashMode::Amnesia {
                                 crash_mode = CrashMode::Retain;
-                                let _ = node.restore_state();
+                                replayed = node.restore_state();
+                                amnesia = 1;
                             }
+                            obs.emit(
+                                TraceKind::Recover,
+                                now_ticks,
+                                i as u64,
+                                LANE_SYS,
+                                replayed as u64,
+                                amnesia,
+                            );
                             continue;
                         }
                         Event::Replace(new_node) => {
@@ -426,8 +459,29 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                         // timers (messages arriving meanwhile are lost,
                         // like the simulator's crashed-receiver drops);
                         // Call still runs so inspection keeps working.
-                        Event::Msg { .. } | Event::Timer(_) if crashed => continue,
-                        Event::Msg { from, msg } => node.on_message(from, msg, &mut ctx),
+                        Event::Msg { from, .. } if crashed => {
+                            obs.emit(
+                                TraceKind::Drop,
+                                now_ticks,
+                                i as u64,
+                                LANE_SYS,
+                                from.0 as u64,
+                                1,
+                            );
+                            continue;
+                        }
+                        Event::Timer(_) if crashed => continue,
+                        Event::Msg { from, msg } => {
+                            obs.emit(
+                                TraceKind::Deliver,
+                                now_ticks,
+                                i as u64,
+                                LANE_SYS,
+                                from.0 as u64,
+                                0,
+                            );
+                            node.on_message(from, msg, &mut ctx)
+                        }
                         Event::Timer(token) => {
                             if let Some(pos) = cancelled.iter().position(|&t| t == token) {
                                 cancelled.swap_remove(pos);
@@ -479,6 +533,7 @@ fn run_interposer<M: Send + Clone + 'static>(
     mut net: ScenarioNet,
     started: Instant,
     tick: Duration,
+    obs: Obs,
 ) {
     let mut heap: BinaryHeap<Reverse<Delayed<M>>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -518,7 +573,16 @@ fn run_interposer<M: Send + Clone + 'static>(
             LinkDecision::DeliverAtTick(t) => {
                 hold(started + ticks_to_wall(tick, t), out, &mut heap);
             }
-            LinkDecision::Drop => {}
+            LinkDecision::Drop => {
+                obs.emit(
+                    TraceKind::Drop,
+                    started_ticks(started, tick),
+                    out.to.0 as u64,
+                    LANE_SYS,
+                    out.from.0 as u64,
+                    0,
+                );
+            }
             LinkDecision::Duplicate { lag } => {
                 let copy = Outbound {
                     from: out.from,
@@ -728,7 +792,8 @@ impl<M: Send + Clone + 'static> Substrate<M> for Runtime<M> {
             .tick(config.tick)
             .op_timeout(config.op_timeout)
             .scenario(config.scenario)
-            .sizer(config.sizer);
+            .sizer(config.sizer)
+            .tracer(config.tracer);
         for node in config.nodes {
             builder = builder.node(node);
         }

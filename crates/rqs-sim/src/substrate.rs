@@ -24,6 +24,8 @@ use crate::node::{Automaton, Context, NodeId};
 use crate::scenario::{CrashMode, Scenario};
 use crate::time::Time;
 use crate::world::World;
+use rqs_obs::{NopTracer, Obs, ObsHandle};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default wall-clock length of one protocol tick on wall-clock
@@ -53,6 +55,10 @@ pub struct SubstrateConfig<M> {
     pub tick: Duration,
     /// Await timeout (wall-clock substrates only).
     pub op_timeout: Duration,
+    /// Structured-trace sink: the substrate emits deliver/drop and
+    /// crash/recover [`rqs_obs::TraceEvent`]s into it. Defaults to the
+    /// zero-overhead [`NopTracer`].
+    pub tracer: ObsHandle,
 }
 
 impl<M> SubstrateConfig<M> {
@@ -64,6 +70,7 @@ impl<M> SubstrateConfig<M> {
             sizer: |_| 1,
             tick: DEFAULT_TICK,
             op_timeout: DEFAULT_OP_TIMEOUT,
+            tracer: Arc::new(NopTracer),
         }
     }
 
@@ -88,6 +95,13 @@ impl<M> SubstrateConfig<M> {
     /// Sets the await timeout for wall-clock substrates.
     pub fn op_timeout(mut self, timeout: Duration) -> Self {
         self.op_timeout = timeout;
+        self
+    }
+
+    /// Installs a structured-trace sink (e.g. a
+    /// [`FlightRecorder`](rqs_obs::FlightRecorder)).
+    pub fn tracer(mut self, tracer: ObsHandle) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -204,6 +218,7 @@ impl<M: Clone + Send + 'static> Substrate<M> for World<M> {
     fn build(config: SubstrateConfig<M>) -> Self {
         let mut world = World::new(config.scenario.network());
         world.set_sizer(config.sizer);
+        world.set_obs(Obs::new(config.tracer, 0));
         for node in config.nodes {
             world.add_node(node);
         }

@@ -10,6 +10,7 @@ use crate::node::{Automaton, Context, NodeId, TimerToken};
 use crate::scenario::CrashMode;
 use crate::sched::{fnv1a_fold, PendingEvent, PendingKind, SchedDecision, Scheduler};
 use crate::time::Time;
+use rqs_obs::{Obs, TraceKind, LANE_SYS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -145,6 +146,7 @@ pub struct World<M> {
     stats: WorldStats,
     trace: Option<Vec<TraceEntry>>,
     trace_fmt: Option<fn(&M) -> String>,
+    obs: Obs,
 }
 
 impl<M: Clone + 'static> World<M> {
@@ -167,7 +169,22 @@ impl<M: Clone + 'static> World<M> {
             stats: WorldStats::default(),
             trace: None,
             trace_fmt: None,
+            obs: Obs::nop(),
         }
+    }
+
+    /// Installs a structured-trace observer: the world emits
+    /// [`TraceKind::Deliver`] / [`TraceKind::Drop`] /
+    /// [`TraceKind::Crash`] / [`TraceKind::Recover`] events for every
+    /// dispatched network/fault event. Defaults to the zero-overhead
+    /// no-op observer.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The installed structured-trace observer (no-op by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Replaces the fate policy mid-run (e.g. to end a synchronous period).
@@ -501,6 +518,14 @@ impl<M: Clone + 'static> World<M> {
                 self.requeue(pending);
                 if let Event::Deliver { from, to, .. } = q.event {
                     self.stats.messages_dropped += 1;
+                    self.obs.emit(
+                        TraceKind::Drop,
+                        self.now.ticks(),
+                        to.0 as u64,
+                        LANE_SYS,
+                        from.0 as u64,
+                        0,
+                    );
                     self.log(format!("{from} → {to}: dropped by scheduler"));
                 }
             }
@@ -545,6 +570,14 @@ impl<M: Clone + 'static> World<M> {
                 // Timers are volatile state: a timer armed before the
                 // crash must not fire after a restart (in either mode).
                 self.purge_node_timers(node.0);
+                self.obs.emit(
+                    TraceKind::Crash,
+                    self.now.ticks(),
+                    node.0 as u64,
+                    LANE_SYS,
+                    mode as u64,
+                    0,
+                );
                 self.log(format!("{node} crashed ({})", mode.label()));
             }
             Event::Restart { node } => {
@@ -552,19 +585,51 @@ impl<M: Clone + 'static> World<M> {
                 if self.crash_modes[node.0] == CrashMode::Amnesia {
                     self.crash_modes[node.0] = CrashMode::Retain;
                     let replayed = self.nodes[node.0].as_mut().map_or(0, |n| n.restore_state());
+                    self.obs.emit(
+                        TraceKind::Recover,
+                        self.now.ticks(),
+                        node.0 as u64,
+                        LANE_SYS,
+                        replayed as u64,
+                        1,
+                    );
                     self.log(format!(
                         "{node} restarted (amnesia: {replayed} log records replayed)"
                     ));
                 } else {
+                    self.obs.emit(
+                        TraceKind::Recover,
+                        self.now.ticks(),
+                        node.0 as u64,
+                        LANE_SYS,
+                        0,
+                        0,
+                    );
                     self.log(format!("{node} restarted"));
                 }
             }
             Event::Deliver { from, to, msg } => {
                 if self.crashed[to.0] {
+                    self.obs.emit(
+                        TraceKind::Drop,
+                        self.now.ticks(),
+                        to.0 as u64,
+                        LANE_SYS,
+                        from.0 as u64,
+                        1,
+                    );
                     self.log(format!("{from} → {to}: dropped (receiver crashed)"));
                     return;
                 }
                 self.stats.messages_delivered += 1;
+                self.obs.emit(
+                    TraceKind::Deliver,
+                    self.now.ticks(),
+                    to.0 as u64,
+                    LANE_SYS,
+                    from.0 as u64,
+                    0,
+                );
                 if let Some(fmt) = self.trace_fmt {
                     self.log(format!("{from} → {to}: {}", fmt(&msg)));
                 }
@@ -773,6 +838,14 @@ impl<M: Clone + 'static> World<M> {
             }
             Fate::Drop => {
                 self.stats.messages_dropped += 1;
+                self.obs.emit(
+                    TraceKind::Drop,
+                    self.now.ticks(),
+                    env.to.0 as u64,
+                    LANE_SYS,
+                    env.from.0 as u64,
+                    0,
+                );
                 self.log(format!("{} → {}: dropped by policy", env.from, env.to));
             }
         }

@@ -23,6 +23,7 @@ use crate::predicates::ReadView;
 use crate::value::TsVal;
 use crate::writer::CLIENT_TIMEOUT;
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use rqs_obs::{Obs, TraceKind, LANE_READER};
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken};
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -115,6 +116,7 @@ pub struct Reader {
     state: State,
     outcomes: Vec<ReadOutcome>,
     muts: Mutations,
+    obs: Obs,
 }
 
 impl Reader {
@@ -137,7 +139,14 @@ impl Reader {
             state: State::Idle,
             outcomes: Vec::new(),
             muts: Mutations::default(),
+            obs: Obs::nop(),
         }
+    }
+
+    /// Installs a structured-trace observer; by convention its tag is the
+    /// object id this reader serves (0 for the single-object deployment).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Mutant: a reader that always returns the initial pair `⟨0,⊥⟩`
@@ -178,6 +187,14 @@ impl Reader {
     pub fn start_read(&mut self, ctx: &mut Context<StorageMsg>) {
         assert!(self.is_idle(), "read already in progress");
         self.read_no += 1;
+        self.obs.emit(
+            TraceKind::OpInvoked,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            self.read_no,
+            0,
+        );
         let n = self.rqs.universe_size();
         let mut p1 = Phase1 {
             invoked_at: ctx.now(),
@@ -190,7 +207,7 @@ impl Reader {
             qc2_prime: Vec::new(),
             highest_ts: 0,
         };
-        Self::enter_phase1_round(&mut p1, self.read_no, &self.servers, ctx);
+        Self::enter_phase1_round(&mut p1, self.read_no, &self.servers, &self.obs, ctx);
         self.state = State::Phase1(p1);
     }
 
@@ -241,9 +258,18 @@ impl Reader {
         p1: &mut Phase1,
         read_no: u64,
         servers: &[NodeId],
+        obs: &Obs,
         ctx: &mut Context<StorageMsg>,
     ) {
         p1.read_rnd += 1;
+        obs.emit(
+            TraceKind::RoundStarted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            p1.read_rnd as u64,
+            read_no,
+        );
         p1.acks_this_round = ProcessSet::empty();
         if p1.read_rnd == 1 {
             p1.timer = Some(ctx.set_timer(CLIENT_TIMEOUT));
@@ -272,6 +298,14 @@ impl Reader {
         if !p1.timer_expired || !self.rqs.any_quorum_within(p1.acks_this_round) {
             return;
         }
+        self.obs.emit(
+            TraceKind::QuorumAssembled,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            p1.read_rnd as u64,
+            p1.acks_this_round.len() as u64,
+        );
         if p1.read_rnd == 1 {
             // Lines 29–31: fix highest_ts and QC'2 at the end of round 1.
             p1.highest_ts = p1
@@ -292,7 +326,7 @@ impl Reader {
         };
         let Some(csel) = view.select() else {
             // C = ∅: another round of the regular part (line 34).
-            Self::enter_phase1_round(p1, self.read_no, &self.servers.clone(), ctx);
+            Self::enter_phase1_round(p1, self.read_no, &self.servers.clone(), &self.obs, ctx);
             return;
         };
 
@@ -308,6 +342,14 @@ impl Reader {
                 csel
             };
             self.state = State::Idle;
+            self.obs.emit(
+                TraceKind::OpCompleted,
+                ctx.now().ticks(),
+                ctx.me().0 as u64,
+                LANE_READER,
+                read_rnd as u64,
+                self.read_no,
+            );
             self.outcomes.push(ReadOutcome {
                 read_no: self.read_no,
                 returned,
@@ -321,6 +363,14 @@ impl Reader {
             // Line 40: BCD(csel, 1, ·) → 1-round read, no write-back.
             if (1..=3).any(|r| view.bcd1(&csel, r)) {
                 self.state = State::Idle;
+                self.obs.emit(
+                    TraceKind::OpCompleted,
+                    ctx.now().ticks(),
+                    ctx.me().0 as u64,
+                    LANE_READER,
+                    1,
+                    self.read_no,
+                );
                 self.outcomes.push(ReadOutcome {
                     read_no: self.read_no,
                     returned: csel,
@@ -370,6 +420,14 @@ impl Reader {
             WbKind::PlainRound1 => (1, BTreeSet::new(), false),
             WbKind::FinalRound2 => (2, BTreeSet::new(), false),
         };
+        self.obs.emit(
+            TraceKind::RoundStarted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            (rounds_so_far + 1) as u64,
+            self.read_no,
+        );
         let timer = with_timer.then(|| ctx.set_timer(CLIENT_TIMEOUT));
         ctx.broadcast(
             self.servers.iter().copied(),
@@ -398,6 +456,14 @@ impl Reader {
         if !wb.timer_expired || !self.rqs.any_quorum_within(wb.acks) {
             return;
         }
+        self.obs.emit(
+            TraceKind::QuorumAssembled,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            (wb.rounds_so_far + 1) as u64,
+            wb.acks.len() as u64,
+        );
         let rounds = wb.rounds_so_far + 1;
         let csel = wb.csel.clone();
         let invoked_at = wb.invoked_at;
@@ -435,6 +501,14 @@ impl Reader {
                 ctx.cancel_timer(t);
             }
         }
+        self.obs.emit(
+            TraceKind::OpCompleted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_READER,
+            rounds as u64,
+            self.read_no,
+        );
         self.outcomes.push(ReadOutcome {
             read_no: self.read_no,
             returned,

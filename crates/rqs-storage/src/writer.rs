@@ -18,6 +18,7 @@
 use crate::messages::StorageMsg;
 use crate::value::{Timestamp, Value};
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use rqs_obs::{Obs, TraceKind, LANE_WRITER};
 use rqs_sim::{Automaton, Context, NodeId, Time, TimerToken, DELTA};
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -65,6 +66,7 @@ pub struct Writer {
     ts: Timestamp,
     current: Option<WriteInProgress>,
     outcomes: Vec<WriteOutcome>,
+    obs: Obs,
 }
 
 impl Writer {
@@ -86,7 +88,14 @@ impl Writer {
             ts: 0,
             current: None,
             outcomes: Vec::new(),
+            obs: Obs::nop(),
         }
+    }
+
+    /// Installs a structured-trace observer; by convention its tag is the
+    /// object id this writer serves (0 for the single-object deployment).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Completed writes, in completion order.
@@ -125,6 +134,14 @@ impl Writer {
         assert!(self.current.is_none(), "write already in progress");
         assert!(!v.is_bottom(), "⊥ is not a writable value");
         self.ts += 1;
+        self.obs.emit(
+            TraceKind::OpInvoked,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_WRITER,
+            self.ts,
+            0,
+        );
         self.current = Some(WriteInProgress {
             val: v,
             invoked_at: ctx.now(),
@@ -169,6 +186,14 @@ impl Writer {
 
     fn enter_round(&mut self, round: usize, ctx: &mut Context<StorageMsg>) {
         let ts = self.ts;
+        self.obs.emit(
+            TraceKind::RoundStarted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_WRITER,
+            round as u64,
+            ts,
+        );
         let w = self.current.as_mut().expect("write in progress");
         w.round = round;
         w.acks = ProcessSet::empty();
@@ -205,6 +230,14 @@ impl Writer {
             return;
         }
         let round = w.round;
+        self.obs.emit(
+            TraceKind::QuorumAssembled,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_WRITER,
+            round as u64,
+            w.acks.len() as u64,
+        );
         match round {
             1 => {
                 if self.rqs.class1_within(w.acks).is_some() {
@@ -241,6 +274,14 @@ impl Writer {
         if let Some(timer) = w.timer {
             ctx.cancel_timer(timer);
         }
+        self.obs.emit(
+            TraceKind::OpCompleted,
+            ctx.now().ticks(),
+            ctx.me().0 as u64,
+            LANE_WRITER,
+            rounds as u64,
+            self.ts,
+        );
         self.outcomes.push(WriteOutcome {
             ts: self.ts,
             val: w.val,

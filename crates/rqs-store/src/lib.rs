@@ -31,6 +31,7 @@
 //! [`install_snapshot`]: Durable::install_snapshot
 //! [`load`]: Durable::load
 
+use rqs_obs::{Obs, TraceKind, LANE_SYS};
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
@@ -447,7 +448,14 @@ impl Durable for FileDurable {
 /// verifying recovery) — the store outlives the node's volatile state,
 /// which is the whole point.
 #[derive(Clone)]
-pub struct StoreHandle(Arc<Mutex<Box<dyn Durable>>>);
+pub struct StoreHandle {
+    inner: Arc<Mutex<Box<dyn Durable>>>,
+    /// Shared across clones so tracing installed by the deployment is
+    /// visible to the automaton's clone too. Durability events are not
+    /// clock-stamped (the store has no clock): they carry tick 0 and the
+    /// owning node id in both the node and op fields.
+    obs: Arc<Mutex<Obs>>,
+}
 
 impl fmt::Debug for StoreHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -458,7 +466,23 @@ impl fmt::Debug for StoreHandle {
 impl StoreHandle {
     /// Wraps any backend.
     pub fn new(backend: Box<dyn Durable>) -> Self {
-        StoreHandle(Arc::new(Mutex::new(backend)))
+        StoreHandle {
+            inner: Arc::new(Mutex::new(backend)),
+            obs: Arc::new(Mutex::new(Obs::nop())),
+        }
+    }
+
+    /// Installs a structured-trace observer (shared by every clone of
+    /// this handle); its tag should be the owning node's id.
+    pub fn set_obs(&self, obs: Obs) {
+        *self.obs.lock().expect("obs lock") = obs;
+    }
+
+    fn emit(&self, kind: TraceKind, a: u64, b: u64) {
+        let obs = self.obs.lock().expect("obs lock");
+        if obs.enabled() {
+            obs.emit(kind, 0, obs.tag(), LANE_SYS, a, b);
+        }
     }
 
     /// A deterministic in-memory store (the simulator default).
@@ -482,35 +506,41 @@ impl StoreHandle {
 
     /// See [`Durable::append`].
     pub fn append(&self, record: &[u8]) {
-        self.0.lock().expect("store lock").append(record);
+        self.inner.lock().expect("store lock").append(record);
+        self.emit(TraceKind::WalAppended, record.len() as u64, 0);
     }
 
     /// See [`Durable::sync`].
     pub fn sync(&self) {
-        self.0.lock().expect("store lock").sync();
+        self.inner.lock().expect("store lock").sync();
+        self.emit(TraceKind::Fsync, 0, 0);
     }
 
     /// See [`Durable::install_snapshot`].
     pub fn install_snapshot(&self, snapshot: &[u8]) {
-        self.0
+        self.inner
             .lock()
             .expect("store lock")
             .install_snapshot(snapshot);
+        self.emit(TraceKind::Fsync, snapshot.len() as u64, 1);
     }
 
     /// See [`Durable::crash`].
     pub fn crash(&self) {
-        self.0.lock().expect("store lock").crash();
+        self.inner.lock().expect("store lock").crash();
+        self.emit(TraceKind::Crash, 0, 2);
     }
 
     /// See [`Durable::load`].
     pub fn load(&self) -> Recovered {
-        self.0.lock().expect("store lock").load()
+        let rec = self.inner.lock().expect("store lock").load();
+        self.emit(TraceKind::Recover, rec.log.len() as u64, 2);
+        rec
     }
 
     /// See [`Durable::stats`].
     pub fn stats(&self) -> StoreStats {
-        self.0.lock().expect("store lock").stats()
+        self.inner.lock().expect("store lock").stats()
     }
 }
 

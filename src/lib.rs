@@ -37,7 +37,13 @@
 //!   many SWMR registers multiplexed over one server set, with
 //!   per-object atomicity checking, a seeded workload generator, and one
 //!   substrate-generic `KvDeployment` driver (`KvSim`/`RtKv` are its
-//!   aliases).
+//!   aliases);
+//! - [`obs`] ([`rqs_obs`]) — end-to-end observability: the
+//!   [`Tracer`](rqs_obs::Tracer) trait with a lock-free flight recorder
+//!   and a zero-overhead no-op sink, typed trace events emitted from
+//!   every layer on both substrates, log-bucketed latency histograms,
+//!   slow-path latency-class attribution (the paper's degradation
+//!   conditions), and Chrome trace-event export.
 //!
 //! ## Two results in two dozen lines
 //!
@@ -73,6 +79,7 @@ pub use rqs_consensus as consensus;
 pub use rqs_core as core;
 pub use rqs_crypto as crypto;
 pub use rqs_kv as kv;
+pub use rqs_obs as obs;
 pub use rqs_runtime as runtime;
 pub use rqs_sim as sim;
 pub use rqs_storage as storage;
