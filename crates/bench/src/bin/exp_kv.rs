@@ -12,9 +12,11 @@ fn main() {
         Some(r) => r.clone(),
         None => Arc::new(NopTracer),
     };
+    let params =
+        bench::exp_kv::KvParams::for_mode(args.quick).with_overrides(args.pipeline, args.workers);
     let reports = [
-        bench::exp_kv::batching_report(args.seed, args.quick),
-        bench::exp_kv::substrate_report_traced(args.seed, args.quick, tracer),
+        bench::exp_kv::batching_report_params(args.seed, params),
+        bench::exp_kv::substrate_report_traced(args.seed, params, tracer),
     ];
     let events = rec.map(|r| r.snapshot()).unwrap_or_default();
     args.emit_traced(&reports, &events);

@@ -10,6 +10,12 @@
 //!   [`Report::to_json`](crate::Report::to_json)) instead of tables, for
 //!   mechanical capture of benchmark trajectories.
 //! - `--quick` — shrink workload parameters for CI smoke runs.
+//! - `--pipeline N` — per-lane client pipeline depth for the KV-driving
+//!   experiments (depth 1 = classic one-op-per-lane waves); experiments
+//!   without a KV workload accept and ignore it.
+//! - `--workers N` — shard workers per KV server on the threaded runtime
+//!   (0 = process batches on the node thread); simulator-only
+//!   experiments accept and ignore it.
 //! - `--trace PATH` — write a Chrome `trace_event` JSON export of the
 //!   run's flight-recorder events to `PATH` (load it in
 //!   `chrome://tracing` / Perfetto). Binaries without an instrumented
@@ -31,6 +37,12 @@ pub struct ExpArgs {
     pub json: bool,
     /// Use small smoke-run parameters (`--quick`).
     pub quick: bool,
+    /// Per-lane client pipeline depth override (`--pipeline N`); `None`
+    /// keeps the experiment's default.
+    pub pipeline: Option<usize>,
+    /// Shard workers per KV server override (`--workers N`); `None`
+    /// keeps the experiment's default.
+    pub workers: Option<usize>,
     /// Chrome trace-event export path (`--trace PATH`), if requested.
     pub trace: Option<String>,
     /// Usage was requested (`--help` / `-h`).
@@ -43,6 +55,8 @@ impl Default for ExpArgs {
             seed: DEFAULT_SEED,
             json: false,
             quick: false,
+            pipeline: None,
+            workers: None,
             trace: None,
             help: false,
         }
@@ -54,13 +68,20 @@ impl ExpArgs {
     /// available flag.
     pub fn usage() -> String {
         [
-            "usage: exp_* [--seed N] [--json] [--quick] [--trace PATH] [--help]",
+            "usage: exp_* [--seed N] [--json] [--quick] [--pipeline N] [--workers N]",
+            "             [--trace PATH] [--help]",
             "",
             "options:",
             "  --seed N, --seed=N  workload/RNG seed (default 42); purely",
             "                      deterministic experiments accept and ignore it",
             "  --json              emit the report(s) as a JSON array instead of tables",
             "  --quick             shrink workload parameters for CI smoke runs",
+            "  --pipeline N        per-lane client pipeline depth for KV workloads",
+            "                      (1 = classic one-op-per-lane waves); experiments",
+            "                      without a KV workload accept and ignore it",
+            "  --workers N         shard workers per KV server on the threaded runtime",
+            "                      (0 = process batches on the node thread); ignored",
+            "                      by simulator-only experiments",
             "  --trace PATH        write a Chrome trace-event JSON export of the run's",
             "                      flight-recorder events to PATH (chrome://tracing)",
             "  -h, --help          print this help and exit",
@@ -111,10 +132,33 @@ impl ExpArgs {
             } else {
                 arg.strip_prefix("--trace=").map(str::to_owned)
             };
+            let pipeline_val = if arg == "--pipeline" {
+                Some(it.next().ok_or("--pipeline requires a value")?)
+            } else {
+                arg.strip_prefix("--pipeline=").map(str::to_owned)
+            };
+            let workers_val = if arg == "--workers" {
+                Some(it.next().ok_or("--workers requires a value")?)
+            } else {
+                arg.strip_prefix("--workers=").map(str::to_owned)
+            };
             if let Some(val) = seed_val {
                 out.seed = val
                     .parse()
                     .map_err(|_| format!("--seed: not a u64: {val:?}"))?;
+            } else if let Some(val) = pipeline_val {
+                let depth: usize = val
+                    .parse()
+                    .map_err(|_| format!("--pipeline: not a usize: {val:?}"))?;
+                if depth == 0 {
+                    return Err("--pipeline: depth must be at least 1".to_string());
+                }
+                out.pipeline = Some(depth);
+            } else if let Some(val) = workers_val {
+                out.workers = Some(
+                    val.parse()
+                        .map_err(|_| format!("--workers: not a usize: {val:?}"))?,
+                );
             } else if let Some(path) = trace_val {
                 if path.is_empty() {
                     return Err("--trace requires a non-empty path".to_string());
@@ -201,6 +245,22 @@ mod tests {
         assert!(ExpArgs::try_from_iter(["--frobnicate"]).is_err());
         assert!(ExpArgs::try_from_iter(["--trace"]).is_err());
         assert!(ExpArgs::try_from_iter(["--trace="]).is_err());
+        assert!(ExpArgs::try_from_iter(["--pipeline"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--pipeline", "x"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--pipeline", "0"]).is_err());
+        assert!(ExpArgs::try_from_iter(["--workers", "many"]).is_err());
+    }
+
+    #[test]
+    fn pipeline_and_workers_both_spellings() {
+        let a = ExpArgs::try_from_iter(["--pipeline", "4", "--workers", "2"]).unwrap();
+        assert_eq!(a.pipeline, Some(4));
+        assert_eq!(a.workers, Some(2));
+        let b = ExpArgs::try_from_iter(["--pipeline=8", "--workers=0"]).unwrap();
+        assert_eq!(b.pipeline, Some(8));
+        assert_eq!(b.workers, Some(0), "0 explicitly disables the pool");
+        let d = ExpArgs::default();
+        assert_eq!((d.pipeline, d.workers), (None, None));
     }
 
     #[test]
@@ -223,7 +283,15 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let usage = ExpArgs::usage();
-        for flag in ["--seed", "--json", "--quick", "--trace", "--help"] {
+        for flag in [
+            "--seed",
+            "--json",
+            "--quick",
+            "--pipeline",
+            "--workers",
+            "--trace",
+            "--help",
+        ] {
             assert!(usage.contains(flag), "usage must document {flag}");
         }
     }

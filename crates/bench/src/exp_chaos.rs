@@ -40,6 +40,13 @@ pub struct ChaosParams {
     pub ops: usize,
     /// Per-client wave size.
     pub batch: usize,
+    /// Per-lane client pipeline depth (≥ 1; 1 = classic one-op-per-lane
+    /// waves). Kept moderate here: deeper pipelines widen the blast
+    /// radius of each crash window.
+    pub pipeline: usize,
+    /// Shard workers per KV server (0 = process batches on the node
+    /// thread). Crash/restart cycles quiesce and respawn the pool.
+    pub workers: usize,
     /// Wall-clock tick length of the threaded runtime, in microseconds.
     pub tick_us: u64,
     /// Amnesia crash/restart cycles injected between workload segments.
@@ -60,6 +67,8 @@ impl ChaosParams {
             clients: 4,
             ops: 100_000,
             batch: 16,
+            pipeline: 2,
+            workers: 2,
             tick_us: 50,
             crash_cycles: 20,
             drop_every: 6,
@@ -74,6 +83,8 @@ impl ChaosParams {
             clients: 2,
             ops: 2000,
             batch: 8,
+            pipeline: 2,
+            workers: 2,
             tick_us: 50,
             crash_cycles: 4,
             drop_every: 6,
@@ -88,6 +99,17 @@ impl ChaosParams {
         } else {
             Self::full()
         }
+    }
+
+    /// Applies `--pipeline` / `--workers` command-line overrides.
+    pub fn with_overrides(mut self, pipeline: Option<usize>, workers: Option<usize>) -> Self {
+        if let Some(depth) = pipeline {
+            self.pipeline = depth;
+        }
+        if let Some(workers) = workers {
+            self.workers = workers;
+        }
+        self
     }
 }
 
@@ -149,6 +171,12 @@ pub fn run_chaos(seed: u64, params: ChaosParams) -> ChaosRun {
     );
     kv.retain_outcomes(false);
     kv.enable_checker_sidecar();
+    if params.pipeline > 1 {
+        kv.set_pipeline(params.pipeline);
+    }
+    if params.workers > 0 {
+        kv.enable_worker_pool(params.workers);
+    }
     // Generous retry budget, but with backoff calibrated above the p99
     // of the fsync-dominated op latency of the file-backed stores
     // (~2000 ticks): a base below real latency turns the watchdogs into
@@ -245,12 +273,14 @@ pub fn report(seed: u64, quick: bool) -> Report {
 pub fn render(seed: u64, params: ChaosParams, run: &ChaosRun) -> Report {
     let mut r = Report::new("E19 (crash-recovery chaos soak)");
     r.note(format!(
-        "{} ops, {} objects, {} clients, batch {}, {}us tick, seed {seed}, threaded runtime, \
-         {} stores",
+        "{} ops, {} objects, {} clients, batch {}, pipeline {}, {} workers/server, \
+         {}us tick, seed {seed}, threaded runtime, {} stores",
         params.ops,
         params.objects,
         params.clients,
         params.batch,
+        params.pipeline,
+        params.workers,
         params.tick_us,
         if params.file_backed {
             "file-backed"
@@ -356,6 +386,8 @@ mod tests {
             clients: 2,
             ops: 120,
             batch: 4,
+            pipeline: 1,
+            workers: 0,
             tick_us: 50,
             crash_cycles: 2,
             drop_every: 6,

@@ -25,6 +25,13 @@ pub struct KvParams {
     pub clients: usize,
     /// Total operations.
     pub ops: usize,
+    /// Per-lane client pipeline depth (≥ 1). The recorded experiment
+    /// keeps depth 1 so the sim rows stay comparable with the
+    /// pre-pipelining trajectory; override with `--pipeline`.
+    pub pipeline: usize,
+    /// Shard workers per server on the threaded-runtime row (0 = node
+    /// thread); the simulator rows ignore it.
+    pub workers: usize,
 }
 
 impl KvParams {
@@ -34,6 +41,8 @@ impl KvParams {
             objects: 16,
             clients: 4,
             ops: 240,
+            pipeline: 1,
+            workers: 0,
         }
     }
 
@@ -43,6 +52,8 @@ impl KvParams {
             objects: 8,
             clients: 2,
             ops: 40,
+            pipeline: 1,
+            workers: 0,
         }
     }
 
@@ -53,6 +64,17 @@ impl KvParams {
         } else {
             Self::full()
         }
+    }
+
+    /// Applies `--pipeline` / `--workers` command-line overrides.
+    pub fn with_overrides(mut self, pipeline: Option<usize>, workers: Option<usize>) -> Self {
+        if let Some(depth) = pipeline {
+            self.pipeline = depth;
+        }
+        if let Some(workers) = workers {
+            self.workers = workers;
+        }
+        self
     }
 
     fn workload_config(&self, seed: u64) -> WorkloadConfig {
@@ -76,6 +98,9 @@ pub fn run_batching(
                 .build()
                 .expect("valid rqs");
             let mut sim = KvSim::new(rqs, params.objects, params.clients);
+            if params.pipeline > 1 {
+                sim.set_pipeline(params.pipeline);
+            }
             let stats = sim.run_workload(&ops, batch);
             sim.check_atomicity().expect("per-object atomicity");
             (batch, stats)
@@ -114,6 +139,9 @@ pub fn run_sim_traced(
     if byzantine {
         sim.make_byzantine(0, ByzantineMode::Forge);
     }
+    if params.pipeline > 1 {
+        sim.set_pipeline(params.pipeline);
+    }
     let cfg = params.workload_config(seed);
     let stats = sim.run_workload(&workload::generate(&cfg), batch);
     sim.check_atomicity().expect("per-object atomicity");
@@ -131,6 +159,12 @@ pub fn run_threaded(seed: u64, params: KvParams, batch: usize) -> KvRunStats {
         params.clients,
         Duration::from_millis(1),
     );
+    if params.pipeline > 1 {
+        kv.set_pipeline(params.pipeline);
+    }
+    if params.workers > 0 {
+        kv.enable_worker_pool(params.workers);
+    }
     let cfg = params.workload_config(seed);
     let stats = kv.run_workload(&workload::generate(&cfg), batch);
     kv.shutdown();
@@ -139,7 +173,12 @@ pub fn run_threaded(seed: u64, params: KvParams, batch: usize) -> KvRunStats {
 
 /// The batching table: envelopes/op must decrease with batch size.
 pub fn batching_report(seed: u64, quick: bool) -> Report {
-    let params = KvParams::for_mode(quick);
+    batching_report_params(seed, KvParams::for_mode(quick))
+}
+
+/// [`batching_report`] with explicit (possibly CLI-overridden)
+/// parameters.
+pub fn batching_report_params(seed: u64, params: KvParams) -> Report {
     let rows = run_batching(seed, params, &[1, 2, 4, 8]);
     let mut r = Report::new("E15a (rqs-kv batching)");
     r.note(format!(
@@ -178,32 +217,38 @@ pub fn batching_report(seed: u64, quick: bool) -> Report {
 
 /// The substrate table: sim (correct and Byzantine) vs threaded runtime.
 pub fn substrate_report(seed: u64, quick: bool) -> Report {
-    substrate_report_inner(seed, quick, true, Arc::new(NopTracer))
+    substrate_report_inner(seed, KvParams::for_mode(quick), true, Arc::new(NopTracer))
 }
 
-/// [`substrate_report`] with a trace sink: the all-correct sim run is
-/// instrumented end to end (the other rows stay untraced so the ring
-/// buffer holds one coherent run).
-pub fn substrate_report_traced(seed: u64, quick: bool, tracer: ObsHandle) -> Report {
-    substrate_report_inner(seed, quick, true, tracer)
+/// [`substrate_report`] with a trace sink and explicit (possibly
+/// CLI-overridden) parameters: the all-correct sim run is instrumented
+/// end to end (the other rows stay untraced so the ring buffer holds
+/// one coherent run).
+pub fn substrate_report_traced(seed: u64, params: KvParams, tracer: ObsHandle) -> Report {
+    substrate_report_inner(seed, params, true, tracer)
 }
 
 /// The substrate table without the threaded-runtime row: fully
 /// deterministic, no OS threads — what [`crate::all_reports_seeded`]
 /// uses so test suites over the report set stay timing-independent.
 pub fn substrate_report_sim(seed: u64, quick: bool) -> Report {
-    substrate_report_inner(seed, quick, false, Arc::new(NopTracer))
+    substrate_report_inner(seed, KvParams::for_mode(quick), false, Arc::new(NopTracer))
 }
 
-fn substrate_report_inner(seed: u64, quick: bool, threaded: bool, tracer: ObsHandle) -> Report {
-    let params = KvParams::for_mode(quick);
+fn substrate_report_inner(
+    seed: u64,
+    params: KvParams,
+    threaded: bool,
+    tracer: ObsHandle,
+) -> Report {
     let batch = 4;
     let sim = run_sim_traced(seed, params, batch, false, tracer);
     let byz = run_sim(seed, params, batch, true);
     let mut r = Report::new("E15b (rqs-kv substrates)");
     r.note(format!(
-        "{} objects, {} clients, {} mixed ops, batch {batch}, seed {seed}",
-        params.objects, params.clients, params.ops
+        "{} objects, {} clients, {} mixed ops, batch {batch}, pipeline {}, \
+         {} workers/server (threaded row), seed {seed}",
+        params.objects, params.clients, params.ops, params.pipeline, params.workers
     ));
     r.note("sim rows are atomicity-checked per object (incl. 1 forging Byzantine server)");
     r.note("slow-path column attributes off-fast-path ops to the paper's degradation causes");

@@ -1,0 +1,297 @@
+//! **E20 (hot-path throughput sweep)** — the client-pipelining ×
+//! server-sharding grid on the threaded runtime:
+//!
+//! - each cell runs the same seeded mixed workload with a per-lane
+//!   client pipeline depth and a per-server shard-worker count, every
+//!   operation validated by the checker sidecar while the workload
+//!   runs;
+//! - the report records ops/sec per cell and the speedup over the
+//!   depth-1 / unsharded baseline cell — the tentpole claim is that
+//!   depth ≥ 4 with ≥ 2 workers at least doubles soak throughput;
+//! - atomicity is non-negotiable: the binary exits non-zero if *any*
+//!   cell's sidecar reports a violation, so CI can run
+//!   `exp_pipeline --quick --json` as a smoke step.
+//!
+//! Per-object SWMR order is preserved at any depth because a lane
+//! issues its pipelined ops in program order and the per-object
+//! sequence tags keep retries from reordering them; the sweep
+//! demonstrates the throughput side of that bargain.
+
+use crate::report::Report;
+use rqs_core::threshold::ThresholdConfig;
+use rqs_kv::{workload, RetryPolicy, RtKv, WorkloadConfig};
+use rqs_sim::Scenario;
+use std::time::Duration;
+
+/// Sweep dimensions (the workload shape; the grid is
+/// [`PipelineParams::grid`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineParams {
+    /// Objects in the key space.
+    pub objects: usize,
+    /// Clients (each owns `objects / clients` objects).
+    pub clients: usize,
+    /// Operations per grid cell.
+    pub ops: usize,
+    /// Per-client wave size.
+    pub batch: usize,
+    /// Wall-clock tick length of the threaded runtime, in microseconds.
+    pub tick_us: u64,
+    /// `--pipeline N` override: sweep only this depth.
+    pub pipeline: Option<usize>,
+    /// `--workers N` override: sweep only this worker count.
+    pub workers: Option<usize>,
+}
+
+impl PipelineParams {
+    /// Full-size sweep (the recorded experiment).
+    pub fn full() -> Self {
+        PipelineParams {
+            objects: 1024,
+            clients: 4,
+            ops: 50_000,
+            batch: 16,
+            tick_us: 50,
+            pipeline: None,
+            workers: None,
+        }
+    }
+
+    /// Small parameters for CI smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        PipelineParams {
+            objects: 64,
+            clients: 4,
+            ops: 2000,
+            batch: 16,
+            tick_us: 50,
+            pipeline: None,
+            workers: None,
+        }
+    }
+
+    /// Picks full or quick parameters.
+    pub fn for_mode(quick: bool) -> Self {
+        if quick {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+
+    /// Applies `--pipeline` / `--workers` command-line overrides: each
+    /// pins its axis of the grid to the single given value.
+    pub fn with_overrides(mut self, pipeline: Option<usize>, workers: Option<usize>) -> Self {
+        self.pipeline = pipeline.or(self.pipeline);
+        self.workers = workers.or(self.workers);
+        self
+    }
+
+    /// The `(depth, workers)` grid: the depth-1/unsharded baseline
+    /// first, then each axis alone, then the combined cells. CLI
+    /// overrides pin an axis to one value (the baseline cell is kept so
+    /// speedups stay anchored).
+    pub fn grid(&self) -> Vec<(usize, usize)> {
+        let depths: Vec<usize> = match self.pipeline {
+            Some(d) => vec![d],
+            None => vec![1, 4, 8],
+        };
+        let workers: Vec<usize> = match self.workers {
+            Some(w) => vec![w],
+            None => vec![0, 2],
+        };
+        let mut cells = vec![(1, 0)];
+        for &w in &workers {
+            for &d in &depths {
+                if !cells.contains(&(d, w)) {
+                    cells.push((d, w));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One grid cell's outcome.
+pub struct PipelineCell {
+    /// Client pipeline depth of the cell.
+    pub depth: usize,
+    /// Shard workers per server (0 = node thread).
+    pub workers: usize,
+    /// Wall-clock ops/sec of the workload phase.
+    pub ops_per_sec: f64,
+    /// p50 operation latency in ticks.
+    pub p50: u64,
+    /// p99 operation latency in ticks.
+    pub p99: u64,
+    /// Network envelopes per operation.
+    pub envelopes_per_op: f64,
+    /// Fraction of ops completing in the paper's fast path.
+    pub fast_ratio: f64,
+    /// The sidecar verdict (`None` = atomic).
+    pub violation: Option<String>,
+}
+
+/// Runs one `(depth, workers)` cell: threaded runtime, sidecar
+/// validation, fresh deployment.
+pub fn run_cell(seed: u64, params: PipelineParams, depth: usize, workers: usize) -> PipelineCell {
+    let rqs = ThresholdConfig::byzantine_fast(1)
+        .build()
+        .expect("valid rqs");
+    let mut kv = RtKv::with_setup(
+        rqs,
+        params.objects,
+        params.clients,
+        Scenario::default(),
+        Duration::from_micros(params.tick_us),
+    );
+    kv.retain_outcomes(false);
+    kv.enable_checker_sidecar();
+    if depth > 1 {
+        kv.set_pipeline(depth);
+    }
+    if workers > 0 {
+        kv.enable_worker_pool(workers);
+    }
+    // Fault-free links: calibrate the watchdog above scheduler jitter
+    // so the sweep measures pipelining/sharding, not nudge storms (see
+    // the calibration note in `exp_soak`).
+    kv.set_retry_policy(RetryPolicy {
+        max_retries: 8,
+        base_backoff: 1000,
+        max_backoff: 16_000,
+        deadline: 1 << 22,
+    });
+    let cfg = WorkloadConfig::mixed(params.objects, params.clients, params.ops, seed);
+    let ops = workload::generate(&cfg);
+    let t0 = std::time::Instant::now();
+    let stats = kv.run_workload(&ops, params.batch);
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let sidecar = kv.finish_sidecar().expect("sidecar was enabled");
+    kv.shutdown();
+    PipelineCell {
+        depth,
+        workers,
+        ops_per_sec: stats.ops as f64 / wall,
+        p50: stats.latency_percentile(50.0),
+        p99: stats.latency_percentile(99.0),
+        envelopes_per_op: stats.envelopes_per_op(),
+        fast_ratio: stats.rounds.fast_path_ratio(),
+        violation: sidecar
+            .verdict
+            .err()
+            .map(|(object, v)| format!("object {object}: {v}")),
+    }
+}
+
+/// Runs the whole grid.
+pub fn run_sweep(seed: u64, params: PipelineParams) -> Vec<PipelineCell> {
+    params
+        .grid()
+        .into_iter()
+        .map(|(depth, workers)| run_cell(seed, params, depth, workers))
+        .collect()
+}
+
+/// `true` iff every cell validated atomic.
+pub fn passed(cells: &[PipelineCell]) -> bool {
+    cells.iter().all(|c| c.violation.is_none())
+}
+
+/// The E20 table.
+pub fn report(seed: u64, quick: bool) -> Report {
+    let params = PipelineParams::for_mode(quick);
+    let cells = run_sweep(seed, params);
+    render(seed, params, &cells)
+}
+
+/// Renders an already-executed sweep as the E20 table (the binary
+/// checks [`passed`] for its exit status, so it runs the sweep itself).
+pub fn render(seed: u64, params: PipelineParams, cells: &[PipelineCell]) -> Report {
+    let mut r = Report::new("E20 (hot-path throughput sweep)");
+    r.note(format!(
+        "{} ops/cell, {} objects, {} clients, batch {}, {}us tick, seed {seed}, \
+         threaded runtime, sidecar-validated",
+        params.ops, params.objects, params.clients, params.batch, params.tick_us
+    ));
+    r.note(
+        "speedup is relative to the depth-1/unsharded baseline cell; \
+         per-object SWMR order holds at every depth",
+    );
+    let baseline = cells.first().map_or(0.0, |c| c.ops_per_sec).max(1e-9);
+    r.headers([
+        "pipeline",
+        "workers",
+        "ops/sec",
+        "speedup",
+        "p50",
+        "p99",
+        "env/op",
+        "fast-path",
+        "atomicity",
+    ]);
+    for c in cells {
+        r.row([
+            c.depth.to_string(),
+            c.workers.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            format!("{:.2}x", c.ops_per_sec / baseline),
+            format!("{} ticks", c.p50),
+            format!("{} ticks", c.p99),
+            format!("{:.2}", c.envelopes_per_op),
+            format!("{:.2}", c.fast_ratio),
+            c.violation
+                .clone()
+                .map_or("ok".to_string(), |v| format!("VIOLATION {v}")),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_always_anchors_the_baseline_cell() {
+        let grid = PipelineParams::quick().grid();
+        assert_eq!(grid[0], (1, 0), "baseline first");
+        assert!(grid.contains(&(4, 2)), "acceptance cell present");
+        assert_eq!(
+            grid.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            grid.len(),
+            "no duplicate cells"
+        );
+        // Overrides pin an axis but keep the baseline anchor.
+        let pinned = PipelineParams::quick()
+            .with_overrides(Some(4), Some(2))
+            .grid();
+        assert_eq!(pinned, vec![(1, 0), (4, 2)]);
+    }
+
+    /// A tiny two-cell sweep: every cell validates atomic and the
+    /// render wires cells into rows (perf ratios are asserted by the
+    /// bench gate, not unit tests — wall-clock is too noisy here).
+    #[test]
+    fn tiny_sweep_is_atomic_and_renders() {
+        let params = PipelineParams {
+            objects: 16,
+            clients: 2,
+            ops: 120,
+            batch: 8,
+            tick_us: 50,
+            pipeline: Some(4),
+            workers: Some(2),
+        };
+        let cells = run_sweep(11, params);
+        assert_eq!(cells.len(), 2);
+        assert!(passed(&cells), "all cells atomic");
+        let r = render(11, params, &cells);
+        let text = r.to_string();
+        assert!(text.contains("E20"));
+        assert_eq!(r.cell("atomicity", |row| row[0] == "4"), Some("ok"));
+        assert!(r
+            .cell("speedup", |row| row[0] == "1" && row[1] == "0")
+            .is_some());
+    }
+}

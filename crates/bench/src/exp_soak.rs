@@ -13,7 +13,7 @@
 
 use crate::report::Report;
 use rqs_core::threshold::ThresholdConfig;
-use rqs_kv::{workload, KvRunStats, RtKv, WorkloadConfig};
+use rqs_kv::{workload, KvRunStats, RetryPolicy, RtKv, WorkloadConfig};
 use rqs_obs::{NopTracer, ObsHandle};
 use rqs_runtime::SidecarReport;
 use rqs_sim::Scenario;
@@ -31,6 +31,12 @@ pub struct SoakParams {
     pub ops: usize,
     /// Per-client wave size.
     pub batch: usize,
+    /// Per-lane client pipeline depth (≥ 1; 1 = classic one-op-per-lane
+    /// waves).
+    pub pipeline: usize,
+    /// Shard workers per KV server (0 = process batches on the node
+    /// thread).
+    pub workers: usize,
     /// Wall-clock tick length of the threaded runtime, in microseconds.
     pub tick_us: u64,
 }
@@ -50,6 +56,8 @@ impl SoakParams {
             clients: 4,
             ops: 1_000_000,
             batch: 16,
+            pipeline: 8,
+            workers: 2,
             tick_us: 50,
         }
     }
@@ -61,6 +69,8 @@ impl SoakParams {
             clients: 4,
             ops: 4000,
             batch: 16,
+            pipeline: 8,
+            workers: 2,
             tick_us: 50,
         }
     }
@@ -72,6 +82,17 @@ impl SoakParams {
         } else {
             Self::full()
         }
+    }
+
+    /// Applies `--pipeline` / `--workers` command-line overrides.
+    pub fn with_overrides(mut self, pipeline: Option<usize>, workers: Option<usize>) -> Self {
+        if let Some(depth) = pipeline {
+            self.pipeline = depth;
+        }
+        if let Some(workers) = workers {
+            self.workers = workers;
+        }
+        self
     }
 }
 
@@ -111,6 +132,25 @@ pub fn run_soak_traced(seed: u64, params: SoakParams, tracer: ObsHandle) -> Soak
     );
     kv.retain_outcomes(false);
     kv.enable_checker_sidecar();
+    if params.pipeline > 1 {
+        kv.set_pipeline(params.pipeline);
+    }
+    if params.workers > 0 {
+        kv.enable_worker_pool(params.workers);
+    }
+    // Nothing is lost on the soak's fault-free links, so a nudge can
+    // only ever be congestion misread as loss. The default watchdog is
+    // calibrated for simulator ticks; on the threaded runtime,
+    // scheduler jitter alone pushes past it and every spurious nudge
+    // re-broadcasts a round to all servers — a storm that feeds the
+    // queueing it reacts to (same calibration note as `exp_chaos`,
+    // which sets its own policy above fsync latency).
+    kv.set_retry_policy(RetryPolicy {
+        max_retries: 8,
+        base_backoff: 1000,
+        max_backoff: 16_000,
+        deadline: 1 << 22,
+    });
     let cfg = WorkloadConfig::mixed(params.objects, params.clients, params.ops, seed);
     let ops = workload::generate(&cfg);
     let t0 = std::time::Instant::now();
@@ -137,8 +177,15 @@ pub fn report(seed: u64, quick: bool) -> Report {
 pub fn render(seed: u64, params: SoakParams, run: &SoakRun) -> Report {
     let mut r = Report::new("E18 (streaming-validation soak)");
     r.note(format!(
-        "{} ops, {} objects, {} clients, batch {}, {}us tick, seed {seed}, threaded runtime",
-        params.ops, params.objects, params.clients, params.batch, params.tick_us
+        "{} ops, {} objects, {} clients, batch {}, pipeline {}, {} workers/server, \
+         {}us tick, seed {seed}, threaded runtime",
+        params.ops,
+        params.objects,
+        params.clients,
+        params.batch,
+        params.pipeline,
+        params.workers,
+        params.tick_us
     ));
     r.note(
         "every op is atomicity-checked by the sidecar while the workload runs; \
@@ -199,10 +246,10 @@ mod tests {
         assert_eq!(run.stats.ops, params.ops);
         assert_eq!(run.sidecar.stats.ops_checked, params.ops as u64);
         assert!(run.sidecar.stats.retired_ops > 0, "retirement must engage");
-        // In-flight ops per object are bounded by clients × batch; each
-        // resident op occupies up to 3 index entries, plus anchor and
-        // boundary context per object.
-        let bound = 3 * params.clients * params.batch + 8 * params.objects;
+        // In-flight ops per object are bounded by clients × batch ×
+        // pipeline depth; each resident op occupies up to 3 index
+        // entries, plus anchor and boundary context per object.
+        let bound = 3 * params.clients * params.batch * params.pipeline + 8 * params.objects;
         assert!(
             run.sidecar.stats.max_frontier <= bound,
             "frontier {} exceeds concurrency bound {bound}",
@@ -220,6 +267,8 @@ mod tests {
             clients: 2,
             ops: 200,
             batch: 8,
+            pipeline: 2,
+            workers: 1,
             tick_us: 50,
         };
         let run = run_soak(11, params);

@@ -26,9 +26,10 @@
 //! | E17 | schedule exploration (model checking) | [`exp_explore`] |
 //! | E18 | streaming-validation soak (threaded + sidecar) | [`exp_soak`] |
 //! | E19 | crash-recovery chaos soak (WAL + amnesia + retries) | [`exp_chaos`] |
+//! | E20 | hot-path throughput sweep (pipelining × sharding) | [`exp_pipeline`] |
 //!
-//! Every binary accepts `--seed N`, `--json` and `--quick`
-//! (see [`cli::ExpArgs`]).
+//! Every binary accepts `--seed N`, `--json`, `--quick`, and the
+//! KV-relevant `--pipeline N` / `--workers N` (see [`cli::ExpArgs`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,6 +48,7 @@ pub mod exp_fig4;
 pub mod exp_fig8;
 pub mod exp_kv;
 pub mod exp_latency;
+pub mod exp_pipeline;
 pub mod exp_regular;
 pub mod exp_scale;
 pub mod exp_scenarios;

@@ -24,7 +24,19 @@
 //!   re-invoke, so a retried operation keeps its timestamp (writes) or
 //!   read number (reads) and duplicate replies are suppressed by the
 //!   protocol's own stale-ack filters: retried ops stay atomic and are
-//!   never double-counted.
+//!   never double-counted;
+//! - with pipelining enabled ([`KvClient::set_pipeline`]), up to N
+//!   operations may be outstanding per `(object, lane)` stream: each
+//!   admitted op is tagged with a client-wide monotone sequence, ops
+//!   beyond the active one wait in a FIFO backlog, and the next op
+//!   launches the moment the lane goes idle — in the *same* step, so its
+//!   round-1 messages join that step's batch flush. The backlog keeps
+//!   program order per lane, and the active op completes before its
+//!   successor is invoked, so per-object program order equals real-time
+//!   order and the atomicity-checker contract is untouched. Queue wait
+//!   is recorded per op ([`KvOutcome::queued_ticks`], traced as
+//!   `queue_wait`, attributed as `scheduling`); depth 1 is byte-identical
+//!   to the unpipelined client.
 
 use crate::messages::{BatchAccumulator, KvBatch, KvItem, Lane};
 use crate::object::ObjectId;
@@ -35,7 +47,7 @@ use rqs_storage::reader::Reader;
 use rqs_storage::writer::{Writer, CLIENT_TIMEOUT};
 use rqs_storage::{OpKind, StorageMsg, TsVal, Value};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// One operation a client can be asked to perform.
@@ -90,6 +102,14 @@ pub struct KvOutcome {
     /// Retry nudges the client's watchdog issued while this operation
     /// was in flight (feeds slow-path attribution).
     pub retries: u32,
+    /// Client-wide monotone admission sequence: per `(object, lane)`
+    /// stream, outcomes complete in strictly increasing `seq` order
+    /// (pipelined ops keep program order).
+    pub seq: u64,
+    /// Ticks this operation waited in the client-side pipeline backlog
+    /// between admission and launch (`0` when it launched immediately,
+    /// as every op does at pipeline depth 1).
+    pub queued_ticks: u64,
 }
 
 #[derive(Debug)]
@@ -190,6 +210,9 @@ struct LaneRetry {
     delay: u64,
 }
 
+/// A backlogged op awaiting launch: `(seq, admitted_at, op)`.
+type Backlogged = (u64, Time, KvOp);
+
 fn lane_bit(lane: Lane) -> u64 {
     match lane {
         Lane::Writer => 0,
@@ -239,6 +262,17 @@ pub struct KvClient {
     /// Nudges issued per in-flight lane, consumed into
     /// [`KvOutcome::retries`] at harvest.
     lane_nudges: BTreeMap<(ObjectId, Lane), u32>,
+    /// Max outstanding (active + backlogged) ops per `(object, lane)`.
+    pipeline: usize,
+    /// Admitted-but-not-launched ops per lane, FIFO.
+    backlog: BTreeMap<(ObjectId, Lane), VecDeque<Backlogged>>,
+    /// `(seq, queued_ticks)` of the op currently active on each lane,
+    /// consumed into the outcome at harvest.
+    lane_meta: BTreeMap<(ObjectId, Lane), (u64, u64)>,
+    /// Highest `seq` harvested per lane (debug check: program order).
+    lane_done: BTreeMap<(ObjectId, Lane), u64>,
+    /// Next admission sequence number.
+    next_seq: u64,
 }
 
 impl KvClient {
@@ -269,6 +303,11 @@ impl KvClient {
             retry_stats: RetryStats::default(),
             obs: Obs::nop(),
             lane_nudges: BTreeMap::new(),
+            pipeline: 1,
+            backlog: BTreeMap::new(),
+            lane_meta: BTreeMap::new(),
+            lane_done: BTreeMap::new(),
+            next_seq: 0,
         }
     }
 
@@ -318,9 +357,50 @@ impl KvClient {
         &self.owned
     }
 
-    /// Operations invoked but not yet completed.
+    /// Sets the pipeline depth: up to `depth` outstanding ops per
+    /// `(object, lane)` stream. Depth 1 (the default) is the classic
+    /// one-op-per-lane client.
+    ///
+    /// A depth above 1 also switches the per-object writer/reader
+    /// automata to *eager round completion* (settle a timed round the
+    /// moment every server has acked it — information-equivalent to
+    /// waiting out the `2Δ` timer, see
+    /// [`Writer::set_eager_completion`]): a pipelined lane must turn
+    /// ops around at network speed, not timer speed, or its own backlog
+    /// queues the replies past the timeout. Depth 1 keeps the classic
+    /// timer-paced schedule, byte-identical to the unpipelined client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_pipeline(&mut self, depth: usize) {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline = depth;
+        let eager = depth > 1;
+        let timeout = CLIENT_TIMEOUT.saturating_mul(depth as u64);
+        for w in self.writers.values_mut() {
+            w.set_eager_completion(eager);
+            w.set_round_timeout(timeout);
+        }
+        for r in self.readers.values_mut() {
+            r.set_eager_completion(eager);
+            r.set_round_timeout(timeout);
+        }
+    }
+
+    /// The pipeline depth in force.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Operations admitted (active or backlogged) but not yet completed.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Operations sitting in lane backlogs, not yet launched.
+    pub fn backlogged(&self) -> usize {
+        self.backlog.values().map(VecDeque::len).sum()
     }
 
     /// Completed operations, in completion order.
@@ -343,53 +423,134 @@ impl KvClient {
                 lanes.push(format!("{obj} reader: {r:?}"));
             }
         }
+        for ((obj, lane), q) in &self.backlog {
+            if !q.is_empty() {
+                lanes.push(format!("{obj} {lane:?} backlog: {} queued", q.len()));
+            }
+        }
         lanes
     }
 
     /// Starts a batch of operations in one step: all their round-1
-    /// messages leave in one [`KvBatch`] per server.
+    /// messages leave in one [`KvBatch`] per server. With pipelining
+    /// ([`KvClient::set_pipeline`]) an op whose lane is busy is admitted
+    /// into that lane's FIFO backlog instead and launches as soon as its
+    /// predecessor completes.
     ///
     /// # Panics
     ///
-    /// Panics if an operation targets an object with one already in
-    /// flight on the same lane (well-formed clients), or if a write
-    /// targets an object this client does not own (SWMR violation).
+    /// Panics if an operation would exceed the pipeline depth of its
+    /// `(object, lane)` stream (well-formed clients; at depth 1 this is
+    /// the classic one-op-per-lane rule), or if a write targets an
+    /// object this client does not own (SWMR violation).
     pub fn start_ops(&mut self, ops: Vec<KvOp>, ctx: &mut Context<KvBatch>) {
         for op in ops {
-            match op {
-                KvOp::Write { object, value } => {
-                    assert!(
-                        self.owned.contains(&object),
-                        "client is not the owner of {object}: SWMR violation"
-                    );
-                    let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
-                    let writer = self.writers.entry(object).or_insert_with(|| {
-                        let mut w = Writer::new(rqs.clone(), servers.clone());
-                        w.set_obs(obs.with_tag(object.0));
-                        w
-                    });
-                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
-                    writer.start_write(value, &mut inner);
-                    self.in_flight += 1;
-                    self.absorb(object, Lane::Writer, inner, ctx);
-                    self.arm_retry(object, Lane::Writer, ctx);
-                }
-                KvOp::Read { object } => {
-                    let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
-                    let reader = self.readers.entry(object).or_insert_with(|| {
-                        let mut r = Reader::new(rqs.clone(), servers.clone());
-                        r.set_obs(obs.with_tag(object.0));
-                        r
-                    });
-                    let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
-                    reader.start_read(&mut inner);
-                    self.in_flight += 1;
-                    self.absorb(object, Lane::Reader, inner, ctx);
-                    self.arm_retry(object, Lane::Reader, ctx);
-                }
+            if let KvOp::Write { object, .. } = &op {
+                assert!(
+                    self.owned.contains(object),
+                    "client is not the owner of {object}: SWMR violation"
+                );
+            }
+            let object = op.object();
+            let lane = match op.kind() {
+                OpKind::Write => Lane::Writer,
+                OpKind::Read => Lane::Reader,
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.in_flight += 1;
+            let key = (object, lane);
+            let busy = !self.lane_idle(object, lane)
+                || self.backlog.get(&key).is_some_and(|q| !q.is_empty());
+            if busy {
+                let q = self.backlog.entry(key).or_default();
+                assert!(
+                    q.len() + 1 < self.pipeline,
+                    "pipeline depth {} exceeded on {object} {lane:?}",
+                    self.pipeline
+                );
+                q.push_back((seq, ctx.now(), op));
+            } else {
+                self.launch(seq, 0, op, ctx);
             }
         }
         self.flush(ctx);
+    }
+
+    /// Invokes one admitted op on its inner automaton. `queued_ticks` is
+    /// the time it spent in the lane backlog (0 for ops that launch in
+    /// their admission step).
+    fn launch(&mut self, seq: u64, queued_ticks: u64, op: KvOp, ctx: &mut Context<KvBatch>) {
+        let object = op.object();
+        let lane = match op.kind() {
+            OpKind::Write => Lane::Writer,
+            OpKind::Read => Lane::Reader,
+        };
+        if queued_ticks > 0 && self.obs.enabled() {
+            let behind = self
+                .backlog
+                .get(&(object, lane))
+                .map_or(0, |q| q.len() as u64);
+            self.obs.with_tag(object.0).emit(
+                TraceKind::QueueWait,
+                ctx.now().ticks(),
+                ctx.me().0 as u64,
+                lane_tag(lane),
+                queued_ticks,
+                behind,
+            );
+        }
+        self.lane_meta.insert((object, lane), (seq, queued_ticks));
+        match op {
+            KvOp::Write { object, value } => {
+                let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
+                let eager = self.pipeline > 1;
+                let timeout = CLIENT_TIMEOUT.saturating_mul(self.pipeline as u64);
+                let writer = self.writers.entry(object).or_insert_with(|| {
+                    let mut w = Writer::new(rqs.clone(), servers.clone());
+                    w.set_obs(obs.with_tag(object.0));
+                    w.set_eager_completion(eager);
+                    w.set_round_timeout(timeout);
+                    w
+                });
+                let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                writer.start_write(value, &mut inner);
+                self.absorb(object, Lane::Writer, inner, ctx);
+                self.arm_retry(object, Lane::Writer, ctx);
+            }
+            KvOp::Read { object } => {
+                let (rqs, servers, obs) = (&self.rqs, &self.servers, &self.obs);
+                let eager = self.pipeline > 1;
+                let timeout = CLIENT_TIMEOUT.saturating_mul(self.pipeline as u64);
+                let reader = self.readers.entry(object).or_insert_with(|| {
+                    let mut r = Reader::new(rqs.clone(), servers.clone());
+                    r.set_obs(obs.with_tag(object.0));
+                    r.set_eager_completion(eager);
+                    r.set_round_timeout(timeout);
+                    r
+                });
+                let mut inner = Context::new(ctx.me(), ctx.now(), self.inner_counter);
+                reader.start_read(&mut inner);
+                self.absorb(object, Lane::Reader, inner, ctx);
+                self.arm_retry(object, Lane::Reader, ctx);
+            }
+        }
+    }
+
+    /// Launches the next backlogged op of a lane that just went idle —
+    /// in the same step, so its round-1 messages ride the same flush.
+    fn pump(&mut self, object: ObjectId, lane: Lane, ctx: &mut Context<KvBatch>) {
+        if !self.lane_idle(object, lane) {
+            return;
+        }
+        let Some(q) = self.backlog.get_mut(&(object, lane)) else {
+            return;
+        };
+        let Some((seq, admitted_at, op)) = q.pop_front() else {
+            return;
+        };
+        let queued = ctx.now().ticks().saturating_sub(admitted_at.ticks());
+        self.launch(seq, queued, op, ctx);
     }
 
     /// Folds one inner step's outputs into the client state: buffers
@@ -425,6 +586,7 @@ impl KvClient {
         }
         self.harvest(object, lane);
         self.settle_retry(object, lane, ctx);
+        self.pump(object, lane, ctx);
     }
 
     /// `true` iff the `(object, lane)` inner automaton has no operation
@@ -441,9 +603,7 @@ impl KvClient {
         if self.retry.max_retries == 0 || self.lane_idle(object, lane) {
             return;
         }
-        let delay = self
-            .retry
-            .backoff(self.retry_seed(object, lane, ctx.me()), 0);
+        let delay = self.retry_delay(object, lane, ctx.me(), 0);
         let token = ctx.set_timer(delay);
         self.retry_timers.insert(token.0, (object, lane));
         self.lane_retry.insert(
@@ -470,6 +630,19 @@ impl KvClient {
 
     fn retry_seed(&self, object: ObjectId, lane: Lane, me: NodeId) -> u64 {
         rqs_sim::fnv1a_fold(rqs_sim::fnv1a_fold(me.0 as u64, object.0), lane_bit(lane))
+    }
+
+    /// Watchdog delay for `attempt`, scaled by the pipeline depth: a
+    /// deeper pipeline queues proportionally more self-induced work
+    /// ahead of every reply, and nudging at single-op cadence under
+    /// that queueing turns the watchdog into a re-broadcast storm that
+    /// feeds the very congestion it mistakes for loss. Depth 1
+    /// multiplies by one, so the classic watchdog schedule is
+    /// untouched.
+    fn retry_delay(&self, object: ObjectId, lane: Lane, me: NodeId, attempt: u32) -> u64 {
+        self.retry
+            .backoff(self.retry_seed(object, lane, me), attempt)
+            .saturating_mul(self.pipeline as u64)
     }
 
     /// Watchdog expiry: nudge the still-pending operation (re-broadcast
@@ -515,9 +688,7 @@ impl KvClient {
             self.retry_stats.exhausted += 1;
             return; // budget spent: the op stays on protocol liveness alone
         }
-        let delay = self
-            .retry
-            .backoff(self.retry_seed(object, lane, ctx.me()), st.attempt);
+        let delay = self.retry_delay(object, lane, ctx.me(), st.attempt);
         let token = ctx.set_timer(delay);
         st.token = token.0;
         st.delay = delay;
@@ -536,6 +707,14 @@ impl KvClient {
                 let cursor = self.taken_w.entry(object).or_insert(0);
                 for out in &w.outcomes()[*cursor..] {
                     let retries = self.lane_nudges.remove(&(object, lane)).unwrap_or(0);
+                    let (seq, queued_ticks) =
+                        self.lane_meta.remove(&(object, lane)).unwrap_or((0, 0));
+                    debug_assert!(
+                        self.lane_done
+                            .insert((object, lane), seq)
+                            .is_none_or(|prev| prev < seq),
+                        "lane outcomes must keep program order"
+                    );
                     self.outcomes.push(KvOutcome {
                         object,
                         kind: OpKind::Write,
@@ -544,6 +723,8 @@ impl KvClient {
                         invoked_at: out.invoked_at,
                         completed_at: out.completed_at,
                         retries,
+                        seq,
+                        queued_ticks,
                     });
                     self.in_flight -= 1;
                     *cursor += 1;
@@ -556,6 +737,14 @@ impl KvClient {
                 let cursor = self.taken_r.entry(object).or_insert(0);
                 for out in &r.outcomes()[*cursor..] {
                     let retries = self.lane_nudges.remove(&(object, lane)).unwrap_or(0);
+                    let (seq, queued_ticks) =
+                        self.lane_meta.remove(&(object, lane)).unwrap_or((0, 0));
+                    debug_assert!(
+                        self.lane_done
+                            .insert((object, lane), seq)
+                            .is_none_or(|prev| prev < seq),
+                        "lane outcomes must keep program order"
+                    );
                     self.outcomes.push(KvOutcome {
                         object,
                         kind: OpKind::Read,
@@ -564,6 +753,8 @@ impl KvClient {
                         invoked_at: out.invoked_at,
                         completed_at: out.completed_at,
                         retries,
+                        seq,
+                        queued_ticks,
                     });
                     self.in_flight -= 1;
                     *cursor += 1;
@@ -618,6 +809,12 @@ impl Automaton<KvBatch> for KvClient {
             acc = rqs_sim::fnv1a_fold(acc, st.attempt as u64);
         }
         acc = rqs_sim::fnv1a_fold(acc, self.retry_stats.retries_issued);
+        acc = rqs_sim::fnv1a_fold(acc, self.next_seq);
+        for ((obj, lane), q) in &self.backlog {
+            acc = rqs_sim::fnv1a_fold(acc, obj.0);
+            acc = rqs_sim::fnv1a_fold(acc, lane_bit(*lane));
+            acc = rqs_sim::fnv1a_fold(acc, q.len() as u64);
+        }
         rqs_sim::fnv1a_fold(acc, self.in_flight as u64)
     }
 
@@ -865,6 +1062,93 @@ mod tests {
         let (c, cx) = stuck_write_client(RetryPolicy::disabled());
         assert_eq!(cx.armed_timers().len(), 1, "only the inner round timer");
         assert_eq!(c.retry_stats(), RetryStats::default());
+    }
+
+    #[test]
+    fn pipelined_ops_queue_and_launch_in_program_order() {
+        let mut c = client();
+        c.set_pipeline(3);
+        assert_eq!(c.pipeline(), 3);
+        let mut cx = ctx();
+        let write = |v: u64| KvOp::Write {
+            object: ObjectId(0),
+            value: Value::from(v),
+        };
+        c.start_ops(vec![write(1), write(2), write(3)], &mut cx);
+        // All three admitted, but only the first is on the wire: 5
+        // envelopes carrying one write each, two ops backlogged.
+        assert_eq!(c.in_flight(), 3);
+        assert_eq!(c.backlogged(), 2);
+        assert_eq!(cx.sent().len(), 5);
+        for (_, batch) in cx.sent() {
+            assert_eq!(batch.len(), 1);
+        }
+        // Complete write 1: a quorum acks, then the round timer fires.
+        for i in 0..4 {
+            let mut cxa = Context::new(NodeId(5), Time(2), 100 + i as u64);
+            c.on_message(
+                NodeId(i),
+                KvBatch(vec![KvItem {
+                    object: ObjectId(0),
+                    lane: Lane::Writer,
+                    msg: StorageMsg::WrAck { ts: 1, rnd: 1 },
+                }]),
+                &mut cxa,
+            );
+        }
+        let (_, round_timer) = cx.armed_timers()[0];
+        let mut cxt = Context::new(NodeId(5), Time(3), 500);
+        c.on_timer(round_timer, &mut cxt);
+        // Write 2 launched in the same step write 1 completed: its
+        // round-1 broadcast rides the same flush.
+        assert_eq!(c.outcomes().len(), 1);
+        assert_eq!(c.in_flight(), 2);
+        assert_eq!(c.backlogged(), 1);
+        assert_eq!(cxt.sent().len(), 5);
+        let first = &c.outcomes()[0];
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.queued_ticks, 0);
+        // Complete write 2 (ts 2): its outcome records the queue wait
+        // (admitted at t0, launched at t3) and a larger seq.
+        for i in 0..4 {
+            let mut cxa = Context::new(NodeId(5), Time(4), 600 + i as u64);
+            c.on_message(
+                NodeId(i),
+                KvBatch(vec![KvItem {
+                    object: ObjectId(0),
+                    lane: Lane::Writer,
+                    msg: StorageMsg::WrAck { ts: 2, rnd: 1 },
+                }]),
+                &mut cxa,
+            );
+        }
+        let (_, round_timer2) = cxt.armed_timers()[0];
+        let mut cxt2 = Context::new(NodeId(5), Time(5), 900);
+        c.on_timer(round_timer2, &mut cxt2);
+        assert_eq!(c.outcomes().len(), 2);
+        let second = &c.outcomes()[1];
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.queued_ticks, 3, "admitted t0, launched t3");
+        assert_eq!(c.backlogged(), 0);
+        assert_eq!(c.in_flight(), 1, "write 3 now active");
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth 1 exceeded")]
+    fn depth_one_rejects_second_op_on_a_busy_lane() {
+        let mut c = client();
+        let mut cx = ctx();
+        c.start_ops(
+            vec![
+                KvOp::Read {
+                    object: ObjectId(1),
+                },
+                KvOp::Read {
+                    object: ObjectId(1),
+                },
+            ],
+            &mut cx,
+        );
     }
 
     #[test]

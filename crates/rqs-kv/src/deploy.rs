@@ -25,7 +25,7 @@ use crate::messages::KvBatch;
 use crate::metrics::KvRunStats;
 use crate::object::{ObjectId, ShardMap};
 use crate::server::{ByzantineMode, KvByzantineServer, KvServer};
-use crate::workload::{per_client, take_wave, WorkloadOp};
+use crate::workload::{per_client, take_wave_depth, WorkloadOp};
 use rqs_core::Rqs;
 use rqs_obs::{classify, dump_json, NopTracer, Obs, ObsHandle, TraceEvent};
 use rqs_runtime::{CheckerSidecar, Runtime, SidecarReport};
@@ -35,7 +35,7 @@ use rqs_sim::{
 use rqs_storage::atomicity::{AtomicityViolation, OpRecord};
 use rqs_storage::checker::{AtomicityChecker, CheckerStats};
 use rqs_store::{StoreHandle, StoreStats};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -94,6 +94,15 @@ pub struct KvDeployment<S: Substrate<KvBatch>> {
     /// Crash windows (scenario plans plus manual crash/restart calls)
     /// that slow-path attribution overlaps op windows against.
     fault_windows: Vec<FaultWindow>,
+    /// Per-lane pipeline depth driven into every client (1 = classic
+    /// one-op-per-lane waves).
+    pipeline: usize,
+    /// Server indices currently running Byzantine automatons (worker
+    /// pools skip them: they are not [`KvServer`]s).
+    byzantine: BTreeSet<usize>,
+    /// Shard workers per benign server (0 = unpooled node-thread
+    /// processing; only ever nonzero on the threaded runtime).
+    workers: usize,
 }
 
 /// The deterministic simulated KV deployment (back-compat alias).
@@ -220,7 +229,7 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             .tick(tick)
             .tracer(tracer.clone());
         let mut sub = S::build(config);
-        for idx in byzantine {
+        for &idx in &byzantine {
             sub.replace_node(
                 server_ids[idx],
                 Box::new(KvByzantineServer::new(ByzantineMode::Forge)),
@@ -239,6 +248,9 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
             stores,
             tracer,
             fault_windows,
+            pipeline: 1,
+            byzantine: byzantine.into_iter().collect(),
+            workers: 0,
         }
     }
 
@@ -276,8 +288,14 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
     /// Replaces server `idx` with a Byzantine automaton behaving per
     /// `mode` on every object — on either substrate.
     pub fn make_byzantine(&mut self, idx: usize, mode: ByzantineMode) {
+        self.byzantine.insert(idx);
         self.sub
             .replace_node(self.servers[idx], Box::new(KvByzantineServer::new(mode)));
+    }
+
+    /// Shard workers per benign server (0 = unpooled).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Crashes server `idx` in the given [`CrashMode`] (amnesia requires
@@ -338,6 +356,28 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         }
     }
 
+    /// Sets the per-lane pipeline depth of every client (call before
+    /// running a workload). Waves grow to `batch × depth` operations so
+    /// the extra in-flight slots are actually used; depth 1 restores the
+    /// classic one-op-per-lane waves byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_pipeline(&mut self, depth: usize) {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline = depth;
+        for &c in &self.clients.clone() {
+            self.sub
+                .invoke_on::<KvClient>(c, move |k, _| k.set_pipeline(depth));
+        }
+    }
+
+    /// The pipeline depth in force.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
     /// Merged client retry counters (cumulative over the deployment's
     /// lifetime).
     pub fn retry_stats(&self) -> RetryStats {
@@ -358,7 +398,11 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
     /// a single step (so their round-1 messages share envelopes), with at
     /// most one in-flight operation per `(object, lane)` — the
     /// well-formedness the single-object automata require. Cross-client
-    /// contention (reads racing the owner's writes) is preserved.
+    /// contention (reads racing the owner's writes) is preserved. With
+    /// [`set_pipeline`](Self::set_pipeline) above 1, waves grow to
+    /// `batch × depth` ops and up to `depth` per lane ride each wave (the
+    /// clients backlog all but the first and stream them out in program
+    /// order as predecessors complete).
     ///
     /// `duration_units` of the returned stats is simulated ticks on the
     /// simulator and wall-clock microseconds on the threaded runtime.
@@ -378,10 +422,11 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
         let retries_before = self.retry_stats();
 
         let mut stats = KvRunStats::default();
+        let wave_cap = batch.saturating_mul(self.pipeline);
         loop {
             let mut launched = false;
             for (ci, queue) in queues.iter_mut().enumerate() {
-                let wave = take_wave(queue, batch);
+                let wave = take_wave_depth(queue, wave_cap, self.pipeline);
                 if !wave.is_empty() {
                     launched = true;
                     self.sub
@@ -468,6 +513,7 @@ impl<S: Substrate<KvBatch>> KvDeployment<S> {
                     out.retries,
                     in_recovery,
                     in_failure,
+                    out.queued_ticks > 0,
                 ));
                 let rec = OpRecord {
                     kind: out.kind,
@@ -636,6 +682,32 @@ impl RtKv {
     /// verdict and aggregated counters.
     pub fn finish_sidecar(&mut self) -> Option<SidecarReport> {
         self.sidecar.take().map(CheckerSidecar::finish)
+    }
+
+    /// Shards every benign server's object state across `workers`
+    /// dedicated threads (objects hash to workers, replies flow through
+    /// the runtime's network handle) — the server-side half of the
+    /// hot-path throughput work. Byzantine servers are skipped: they are
+    /// not [`KvServer`]s. Call before running workloads; threaded
+    /// runtime only, since the deterministic simulator has no real
+    /// threads to shard over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a pool is already enabled.
+    pub fn enable_worker_pool(&mut self, workers: usize) {
+        assert!(workers >= 1, "a worker pool needs at least one worker");
+        assert_eq!(self.workers, 0, "worker pool already enabled");
+        self.workers = workers;
+        for (idx, &sid) in self.servers.clone().iter().enumerate() {
+            if self.byzantine.contains(&idx) {
+                continue;
+            }
+            let net = self.sub.net_handle();
+            self.sub.invoke_on::<KvServer>(sid, move |s, ctx| {
+                s.enable_worker_pool(workers, ctx.me(), net)
+            });
+        }
     }
 }
 
@@ -1017,6 +1089,111 @@ mod tests {
         assert_eq!(stats.attribution.count(SlowPathCause::Scheduling), 0);
         assert_eq!(stats.attribution.count(SlowPathCause::Contention), 0);
         sim.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn pipelined_workload_completes_atomically_and_deterministically() {
+        let run = |depth: usize| {
+            let mut sim = small_sim();
+            sim.set_pipeline(depth);
+            assert_eq!(sim.pipeline(), depth);
+            let cfg = WorkloadConfig::mixed(8, 2, 80, 11);
+            let stats = sim.run_workload(&generate(&cfg), 4);
+            assert_eq!(stats.ops, 80);
+            sim.check_atomicity().unwrap();
+            (stats.ops, sim.op_trace())
+        };
+        for depth in [2, 4, 8] {
+            let (ops_a, trace_a) = run(depth);
+            let (_, trace_b) = run(depth);
+            assert_eq!(ops_a, 80);
+            assert_eq!(
+                trace_a.join("\n"),
+                trace_b.join("\n"),
+                "same seed, same depth ({depth}) ⇒ byte-identical traces"
+            );
+        }
+        // Every depth completes the same op multiset as depth 1.
+        let (_, depth1) = run(1);
+        let (_, depth4) = run(4);
+        assert_eq!(depth1.len(), depth4.len());
+    }
+
+    #[test]
+    fn pipelined_run_records_queue_waits_as_scheduling() {
+        use rqs_obs::SlowPathCause;
+        // Deep pipeline over few objects: most ops wait behind a lane
+        // predecessor, and the attribution table must say scheduling,
+        // not pretend they were fast.
+        let mut sim = KvSim::new(ThresholdConfig::crash_fast(5, 1).build().unwrap(), 2, 2);
+        sim.set_pipeline(8);
+        let cfg = WorkloadConfig::mixed(2, 2, 80, 11);
+        let stats = sim.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 80);
+        sim.check_atomicity().unwrap();
+        assert!(
+            stats.attribution.count(SlowPathCause::Scheduling) > 0,
+            "queued ops must be attributed: {:?}",
+            stats.attribution.rows()
+        );
+        let queued: u64 = sim.completed().iter().map(|(_, o)| o.queued_ticks).sum();
+        assert!(queued > 0, "deep pipeline must actually queue");
+    }
+
+    #[test]
+    fn threaded_kv_with_worker_pool_and_pipeline() {
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 8, 2, Duration::from_millis(1));
+        kv.enable_worker_pool(2);
+        assert_eq!(kv.workers(), 2);
+        kv.set_pipeline(4);
+        let cfg = WorkloadConfig::mixed(8, 2, 48, 37);
+        let stats = kv.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 48);
+        kv.check_atomicity().unwrap();
+        kv.shutdown();
+    }
+
+    #[test]
+    fn threaded_pooled_server_survives_amnesia_crash() {
+        // Durable pooled servers: checkpoint gathers the shards into one
+        // snapshot, an amnesia restart drains the shards, reloads the
+        // shared store, and re-installs each worker's slice.
+        let rqs = ThresholdConfig::crash_fast(5, 1).build().unwrap();
+        let stores: Vec<StoreHandle> = (0..5).map(|_| StoreHandle::mem()).collect();
+        let mut kv = RtKv::with_setup_stores(
+            rqs,
+            8,
+            2,
+            Scenario::default(),
+            Duration::from_millis(1),
+            stores,
+        );
+        kv.enable_worker_pool(2);
+        let cfg = WorkloadConfig::mixed(8, 2, 24, 41);
+        kv.run_workload(&generate(&cfg), 4);
+        kv.checkpoint_server(1); // pooled save_state: barrier + gather
+        kv.crash_server(1, CrashMode::Amnesia);
+        kv.restart_server(1); // pooled restore_state: barrier + install
+        let cfg = WorkloadConfig::mixed(8, 2, 24, 43);
+        let stats = kv.run_workload(&generate(&cfg), 4);
+        assert_eq!(stats.ops, 24);
+        kv.check_atomicity().unwrap();
+        assert_eq!(kv.server_stores()[1].stats().crashes, 1);
+        kv.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_skips_byzantine_servers() {
+        let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
+        let mut kv = RtKv::with_tick(rqs, 4, 2, Duration::from_millis(1));
+        kv.make_byzantine(0, ByzantineMode::Forge);
+        kv.enable_worker_pool(2); // must not downcast-invoke the forger
+        let cfg = WorkloadConfig::mixed(4, 2, 16, 47);
+        let stats = kv.run_workload(&generate(&cfg), 2);
+        assert_eq!(stats.ops, 16);
+        kv.check_atomicity().unwrap();
+        kv.shutdown();
     }
 
     #[test]

@@ -85,6 +85,12 @@ impl fmt::Display for KvBatch {
 /// [`KvBatch`] — the coalescing that makes `B` concurrent operations cost
 /// far fewer than `B×` envelopes.
 ///
+/// The accumulator is built to live across steps: a flush empties the
+/// per-destination buffers but keeps the map nodes, so a long-lived
+/// accumulator cycling over a fixed destination set (a client talking to
+/// its universe, a server answering its clients) stops allocating map
+/// nodes after the first wave.
+///
 /// [`KvClient`]: crate::KvClient
 /// [`KvServer`]: crate::KvServer
 #[derive(Clone, Debug, Default)]
@@ -121,15 +127,28 @@ impl BatchAccumulator {
 
     /// `true` iff nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.values().all(Vec::is_empty)
     }
 
-    /// Sends every buffered item as one batch per destination and resets
-    /// the accumulator.
+    /// Sends every buffered item as one batch per destination, emptying
+    /// the buffers but keeping the per-destination map nodes for reuse.
     pub fn flush(&mut self, ctx: &mut Context<KvBatch>) {
-        for (to, items) in std::mem::take(&mut self.pending) {
-            ctx.send(to, KvBatch(items));
+        for (to, batch) in self.drain() {
+            ctx.send(to, batch);
         }
+    }
+
+    /// Drains every buffered item as one `(destination, batch)` pair —
+    /// the context-free twin of [`flush`](Self::flush) for senders
+    /// outside an automaton step, such as a server worker thread
+    /// replying through a runtime
+    /// [`NetHandle`](rqs_runtime::NetHandle). Map nodes are retained.
+    pub fn drain(&mut self) -> Vec<(NodeId, KvBatch)> {
+        self.pending
+            .iter_mut()
+            .filter(|(_, items)| !items.is_empty())
+            .map(|(to, items)| (*to, KvBatch(std::mem::take(items))))
+            .collect()
     }
 }
 
@@ -170,6 +189,33 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(batch.0[1].object, ObjectId(3));
         assert_eq!(batch.0[1].lane, Lane::Reader);
+    }
+
+    #[test]
+    fn drain_retains_destination_nodes_for_reuse() {
+        let mut acc = BatchAccumulator::new();
+        acc.push(
+            NodeId(4),
+            ObjectId(1),
+            Lane::Writer,
+            StorageMsg::WrAck { ts: 1, rnd: 1 },
+        );
+        let first = acc.drain();
+        assert_eq!(first.len(), 1);
+        assert!(acc.is_empty(), "drained accumulator reads as empty");
+        // Refill the same destination: the retained node is reused and a
+        // second drain sends only the new item.
+        acc.push(
+            NodeId(4),
+            ObjectId(2),
+            Lane::Reader,
+            StorageMsg::WrAck { ts: 2, rnd: 1 },
+        );
+        let second = acc.drain();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].1.len(), 1);
+        assert_eq!(second[0].1 .0[0].object, ObjectId(2));
+        assert!(acc.drain().is_empty(), "empty nodes are skipped");
     }
 
     #[test]

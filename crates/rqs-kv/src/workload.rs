@@ -134,16 +134,34 @@ pub fn per_client(clients: usize, ops: &[WorkloadOp]) -> Vec<Vec<KvOp>> {
 /// [`RtKv`](crate::RtKv)) build their waves through this function, so
 /// the invariant cannot drift between substrates.
 pub fn take_wave(queue: &mut std::collections::VecDeque<KvOp>, batch: usize) -> Vec<KvOp> {
+    take_wave_depth(queue, batch, 1)
+}
+
+/// [`take_wave`] generalised to pipelined clients: up to `depth`
+/// operations per `(object, kind)` lane may ride one wave (the client
+/// backlogs all but the first). `take_wave_depth(q, b, 1)` is exactly
+/// `take_wave(q, b)`.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn take_wave_depth(
+    queue: &mut std::collections::VecDeque<KvOp>,
+    batch: usize,
+    depth: usize,
+) -> Vec<KvOp> {
+    assert!(depth >= 1, "pipeline depth must be at least 1");
     let mut wave: Vec<KvOp> = Vec::new();
-    let mut used: std::collections::BTreeSet<(crate::ObjectId, OpKind)> =
-        std::collections::BTreeSet::new();
+    let mut used: std::collections::BTreeMap<(crate::ObjectId, OpKind), usize> =
+        std::collections::BTreeMap::new();
     while wave.len() < batch {
         let Some(front) = queue.front() else { break };
         let key = (front.object(), front.kind());
-        if used.contains(&key) {
-            break; // same (object, lane) twice: defer to the next wave
+        let n = used.entry(key).or_insert(0);
+        if *n >= depth {
+            break; // lane full for this wave: defer to the next one
         }
-        used.insert(key);
+        *n += 1;
         wave.push(queue.pop_front().expect("front exists"));
     }
     wave
@@ -248,6 +266,33 @@ mod tests {
         let wave2 = take_wave(&mut q, 8);
         assert_eq!(wave2.len(), 2);
         assert!(take_wave(&mut q, 8).is_empty());
+    }
+
+    #[test]
+    fn take_wave_depth_allows_up_to_depth_per_lane() {
+        use crate::ObjectId;
+        use std::collections::VecDeque;
+        let reads = |n: usize| {
+            VecDeque::from(vec![
+                KvOp::Read {
+                    object: ObjectId(0),
+                };
+                n
+            ])
+        };
+        // Depth 1 is exactly take_wave.
+        let mut a = reads(4);
+        let mut b = reads(4);
+        assert_eq!(take_wave_depth(&mut a, 8, 1), take_wave(&mut b, 8));
+        assert_eq!(a.len(), b.len());
+        // Depth 3 lets three same-lane ops ride one wave, defers the 4th.
+        let mut q = reads(4);
+        let wave = take_wave_depth(&mut q, 8, 3);
+        assert_eq!(wave.len(), 3);
+        assert_eq!(q.len(), 1);
+        // The batch cap still applies.
+        let mut q = reads(4);
+        assert_eq!(take_wave_depth(&mut q, 2, 3).len(), 2);
     }
 
     #[test]

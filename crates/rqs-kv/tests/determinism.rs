@@ -6,10 +6,17 @@ use rqs_core::threshold::ThresholdConfig;
 use rqs_kv::{workload, ByzantineMode, KvSim, WorkloadConfig};
 
 fn run_trace(seed: u64, batch: usize, byzantine: bool) -> Vec<String> {
+    run_trace_depth(seed, batch, byzantine, 1)
+}
+
+fn run_trace_depth(seed: u64, batch: usize, byzantine: bool, depth: usize) -> Vec<String> {
     let rqs = ThresholdConfig::byzantine_fast(1).build().unwrap();
     let mut sim = KvSim::new(rqs, 16, 4);
     if byzantine {
         sim.make_byzantine(1, ByzantineMode::Forge);
+    }
+    if depth > 1 {
+        sim.set_pipeline(depth);
     }
     let cfg = WorkloadConfig::mixed(16, 4, 120, seed);
     sim.run_workload(&workload::generate(&cfg), batch);
@@ -41,6 +48,35 @@ fn different_seeds_diverge() {
     let a = run_trace(1, 4, false);
     let b = run_trace(2, 4, false);
     assert_ne!(a.join("\n"), b.join("\n"));
+}
+
+#[test]
+fn depth_one_reproduces_pre_pipelining_traces_exactly() {
+    // The golden file was captured from the client before pipelining
+    // existed (same seed, batch, deployment shape). Depth 1 must keep
+    // reproducing it byte for byte: the pipelined client with an empty
+    // backlog IS the legacy client.
+    let golden = include_str!("golden_depth1_seed42.txt");
+    let trace = run_trace(42, 4, false).join("\n");
+    assert_eq!(
+        trace,
+        golden.trim_end(),
+        "depth-1 trace drifted from the pre-pipelining golden"
+    );
+}
+
+#[test]
+fn same_seed_byte_identical_traces_at_any_fixed_depth() {
+    for depth in [2, 4, 8] {
+        let a = run_trace_depth(33, 4, false, depth);
+        let b = run_trace_depth(33, 4, false, depth);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.join("\n"),
+            b.join("\n"),
+            "depth {depth} must stay deterministic"
+        );
+    }
 }
 
 #[test]

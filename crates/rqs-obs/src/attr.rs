@@ -29,9 +29,10 @@ pub enum SlowPathCause {
     /// A reader needed the write-back round because it observed
     /// concurrent writes — the paper's contention degradation.
     Contention = 4,
-    /// Extra rounds with no failure, retry or contention evidence:
-    /// scheduling/asynchrony delay (e.g. a writer's round advanced on
-    /// timer expiry).
+    /// Delay with no failure, retry or contention evidence:
+    /// scheduling/asynchrony (a writer's round advanced on timer
+    /// expiry, or the op waited in a pipeline backlog behind an
+    /// earlier op on its lane).
     Scheduling = 5,
 }
 
@@ -69,27 +70,32 @@ impl fmt::Display for SlowPathCause {
 ///
 /// Precedence (first match wins):
 ///
-/// 1. **fast-path** — at most one round and no retry nudges.
+/// 1. **fast-path** — at most one round, no retry nudges, and no
+///    pipeline queue wait.
 /// 2. **recovery** — the op's `[invoked, completed]` window overlapped a
 ///    crash window that ends in a restart (the op paid for recovery).
 /// 3. **server-failure** — the window overlapped a crash with no restart.
 /// 4. **retry** — a watchdog re-sent the round at least once.
 /// 5. **contention** — a reader used ≥ 2 rounds (the write-back round
 ///    exists only when concurrent writes were observed).
-/// 6. **scheduling** — anything else (extra writer rounds driven by
-///    timer expiry under asynchrony).
+/// 6. **scheduling** — anything else: extra writer rounds driven by
+///    timer expiry under asynchrony, or time spent queued behind an
+///    earlier op on the same pipelined lane (`queued`).
 ///
 /// Recovery outranks retry deliberately: ops inside a fault window
 /// almost always also get nudged, and attributing them to the fault
-/// keeps `retry` a clean signal for lossy-link degradation.
+/// keeps `retry` a clean signal for lossy-link degradation. Queueing
+/// only demotes an op that has no stronger evidence — a queued op that
+/// also retried still reads as `retry`.
 pub fn classify(
     is_reader: bool,
     rounds: u32,
     retries: u32,
     in_recovery: bool,
     in_failure: bool,
+    queued: bool,
 ) -> SlowPathCause {
-    if rounds <= 1 && retries == 0 {
+    if rounds <= 1 && retries == 0 && !queued {
         SlowPathCause::FastPath
     } else if in_recovery {
         SlowPathCause::Recovery
@@ -179,25 +185,64 @@ mod tests {
 
     #[test]
     fn fast_path_wins_even_inside_fault_windows() {
-        assert_eq!(classify(false, 1, 0, true, true), SlowPathCause::FastPath);
-        assert_eq!(classify(true, 0, 0, false, false), SlowPathCause::FastPath);
+        assert_eq!(
+            classify(false, 1, 0, true, true, false),
+            SlowPathCause::FastPath
+        );
+        assert_eq!(
+            classify(true, 0, 0, false, false, false),
+            SlowPathCause::FastPath
+        );
     }
 
     #[test]
     fn precedence_orders_causes() {
-        assert_eq!(classify(false, 2, 3, true, true), SlowPathCause::Recovery);
         assert_eq!(
-            classify(false, 2, 3, false, true),
+            classify(false, 2, 3, true, true, false),
+            SlowPathCause::Recovery
+        );
+        assert_eq!(
+            classify(false, 2, 3, false, true, false),
             SlowPathCause::ServerFailure
         );
-        assert_eq!(classify(false, 1, 2, false, false), SlowPathCause::Retry);
         assert_eq!(
-            classify(true, 2, 0, false, false),
+            classify(false, 1, 2, false, false, false),
+            SlowPathCause::Retry
+        );
+        assert_eq!(
+            classify(true, 2, 0, false, false, false),
             SlowPathCause::Contention
         );
         assert_eq!(
-            classify(false, 2, 0, false, false),
+            classify(false, 2, 0, false, false, false),
             SlowPathCause::Scheduling
+        );
+    }
+
+    #[test]
+    fn queue_wait_demotes_fast_ops_to_scheduling() {
+        // A one-round op that waited in a pipeline backlog is not
+        // fast-path; with no stronger evidence it reads as scheduling.
+        assert_eq!(
+            classify(false, 1, 0, false, false, true),
+            SlowPathCause::Scheduling
+        );
+        assert_eq!(
+            classify(true, 1, 0, false, false, true),
+            SlowPathCause::Scheduling
+        );
+        // Stronger evidence still wins over the queue wait.
+        assert_eq!(
+            classify(false, 1, 1, false, false, true),
+            SlowPathCause::Retry
+        );
+        assert_eq!(
+            classify(true, 2, 0, false, false, true),
+            SlowPathCause::Contention
+        );
+        assert_eq!(
+            classify(false, 2, 0, true, false, true),
+            SlowPathCause::Recovery
         );
     }
 

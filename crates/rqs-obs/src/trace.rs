@@ -46,6 +46,11 @@ pub enum TraceKind {
     /// The substrate dropped a message (`a` = sender node, `b` = 1 if
     /// dropped because the receiver was crashed).
     Drop = 10,
+    /// A pipelined op left its client-side lane backlog and was issued
+    /// (`a` = ticks spent queued, `b` = backlog depth behind it at
+    /// launch). Emitted only when the wait was non-zero, so depth-1
+    /// runs produce no such events.
+    QueueWait = 11,
 }
 
 impl TraceKind {
@@ -63,6 +68,7 @@ impl TraceKind {
             TraceKind::Recover => "recover",
             TraceKind::Deliver => "deliver",
             TraceKind::Drop => "drop",
+            TraceKind::QueueWait => "queue_wait",
         }
     }
 
@@ -80,6 +86,7 @@ impl TraceKind {
             "recover" => TraceKind::Recover,
             "deliver" => TraceKind::Deliver,
             "drop" => TraceKind::Drop,
+            "queue_wait" => TraceKind::QueueWait,
             _ => return None,
         })
     }
@@ -97,6 +104,7 @@ impl TraceKind {
             8 => TraceKind::Recover,
             9 => TraceKind::Deliver,
             10 => TraceKind::Drop,
+            11 => TraceKind::QueueWait,
             _ => return None,
         })
     }
@@ -483,6 +491,7 @@ mod tests {
             TraceKind::Recover,
             TraceKind::Deliver,
             TraceKind::Drop,
+            TraceKind::QueueWait,
         ] {
             assert_eq!(TraceKind::from_name(k.name()), Some(k));
             assert_eq!(TraceKind::from_u8(k as u8), Some(k));

@@ -31,6 +31,19 @@ use std::time::{Duration, Instant};
 /// Default wall-clock length of one protocol tick (`Δ`).
 pub const DEFAULT_TICK: Duration = rqs_sim::DEFAULT_TICK;
 
+/// Spawns a named OS thread (names show up in `/proc/<pid>/task/*` and
+/// debuggers, which is how per-thread CPU is attributed when profiling
+/// the runtime).
+fn spawn_named<F>(name: &str, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"))
+}
+
 enum Event<M> {
     Msg {
         from: NodeId,
@@ -73,6 +86,18 @@ struct TimerWheel {
     heap: Mutex<BinaryHeap<TimerReq>>,
     cv: Condvar,
     shutdown: Mutex<bool>,
+    /// Tokens cancelled after arming: the wheel drops their entries at
+    /// pop time instead of waking the owning node just to swallow the
+    /// firing. Most protocol timers (op timeouts, retry watchdogs) are
+    /// cancelled on completion, so on the hot path this suppression
+    /// saves one cross-thread event per armed timer.
+    cancelled: Mutex<std::collections::HashSet<u64>>,
+    /// Per-node acks for wheel-side suppression: when the wheel drops a
+    /// cancelled entry it records the token here, and the owner drains
+    /// the list on its next `drain_context` to garbage-collect its own
+    /// swallow list. A cancellation that loses the race (the firing was
+    /// already in flight) is still swallowed node-locally.
+    suppressed: Vec<Mutex<Vec<TimerToken>>>,
 }
 
 /// Message counters shared between node threads and the runtime handle.
@@ -115,6 +140,40 @@ impl<M> NetOut<M> {
         } else if let Some(tx) = self.senders.get(to.0) {
             let _ = tx.send(Event::Msg { from, msg });
         }
+    }
+}
+
+/// A cloneable handle auxiliary threads use to send messages into the
+/// runtime's network — e.g. a server-side worker pool replying on
+/// behalf of its node. Sends are counted and scenario-interposed
+/// exactly like automaton sends.
+///
+/// Handles keep the network path alive: drop them (worker pools join
+/// in their owner's `Drop`, which runs when the node thread exits) so
+/// [`Runtime::shutdown`] can close the interposer.
+pub struct NetHandle<M: Send + 'static> {
+    net: Arc<NetOut<M>>,
+}
+
+impl<M: Send + 'static> Clone for NetHandle<M> {
+    fn clone(&self) -> Self {
+        NetHandle {
+            net: self.net.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> core::fmt::Debug for NetHandle<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("NetHandle")
+    }
+}
+
+impl<M: Send + 'static> NetHandle<M> {
+    /// Injects `msg` into `to`'s inbox attributed to `from`, subject to
+    /// the scenario's link schedule.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.net.send(from, to, msg);
     }
 }
 
@@ -289,6 +348,8 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             heap: Mutex::new(BinaryHeap::new()),
             cv: Condvar::new(),
             shutdown: Mutex::new(false),
+            cancelled: Mutex::new(std::collections::HashSet::new()),
+            suppressed: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let latch = Latch::new();
 
@@ -303,8 +364,10 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             let net = self.scenario.network();
             let senders = senders.clone();
             let obs = Obs::new(self.tracer.clone(), 0);
-            let handle =
-                std::thread::spawn(move || run_interposer(rx, senders, net, started, tick, obs));
+            let handle = std::thread::Builder::new()
+                .name("rt-interposer".into())
+                .spawn(move || run_interposer(rx, senders, net, started, tick, obs))
+                .expect("spawn interposer thread");
             (Some(tx), Some(handle))
         };
 
@@ -323,22 +386,26 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             plan.sort_unstable_by_key(|&(at, node, is_restart, _)| (at, node, is_restart));
             let senders = senders.clone();
             let latch = latch.clone();
-            Some(std::thread::spawn(move || {
-                for (at, node, is_restart, mode) in plan {
-                    let due = started + ticks_to_wall(tick, at);
-                    if latch.wait_until(due) {
-                        return; // shutdown
+            let fault_handle = std::thread::Builder::new()
+                .name("rt-faults".into())
+                .spawn(move || {
+                    for (at, node, is_restart, mode) in plan {
+                        let due = started + ticks_to_wall(tick, at);
+                        if latch.wait_until(due) {
+                            return; // shutdown
+                        }
+                        let event = if is_restart {
+                            Event::Restart
+                        } else {
+                            Event::Crash(mode)
+                        };
+                        if let Some(tx) = senders.get(node) {
+                            let _ = tx.send(event);
+                        }
                     }
-                    let event = if is_restart {
-                        Event::Restart
-                    } else {
-                        Event::Crash(mode)
-                    };
-                    if let Some(tx) = senders.get(node) {
-                        let _ = tx.send(event);
-                    }
-                }
-            }))
+                })
+                .expect("spawn fault scheduler thread");
+            Some(fault_handle)
         };
 
         let net = Arc::new(NetOut {
@@ -354,7 +421,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
         let timer_thread = {
             let wheel = wheel.clone();
             let senders = senders.clone();
-            std::thread::spawn(move || loop {
+            spawn_named("rt-timer-wheel", move || loop {
                 let mut fire: Vec<(usize, TimerToken)> = Vec::new();
                 {
                     let mut heap = wheel.heap.lock();
@@ -381,8 +448,16 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                         }
                     }
                 }
+                let mut cancelled = wheel.cancelled.lock();
                 for (node, token) in fire {
-                    let _ = senders[node].send(Event::Timer(token));
+                    if cancelled.remove(&token.0) {
+                        // Cancelled before it came due: drop the firing
+                        // here and ack the owner so it can forget the
+                        // token.
+                        wheel.suppressed[node].lock().push(token);
+                    } else {
+                        let _ = senders[node].send(Event::Timer(token));
+                    }
                 }
             })
         };
@@ -394,7 +469,7 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
             let net = net.clone();
             let wheel = wheel.clone();
             let obs = obs.clone();
-            let handle = std::thread::spawn(move || {
+            let handle = spawn_named(&format!("rt-node-{i}"), move || {
                 let me = NodeId(i);
                 let mut timer_counter: u64 = (i as u64) << 32;
                 let mut cancelled: Vec<TimerToken> = Vec::new();
@@ -419,8 +494,27 @@ impl<M: Send + Clone + 'static> RuntimeBuilder<M> {
                             // pre-crash timer fires after a restart.
                             let mut heap = wheel.heap.lock();
                             let drained = std::mem::take(&mut *heap);
-                            *heap = drained.into_iter().filter(|r| r.node != i).collect();
+                            let mut purged = Vec::new();
+                            *heap = drained
+                                .into_iter()
+                                .filter(|r| {
+                                    if r.node == i {
+                                        purged.push(r.token);
+                                    }
+                                    r.node != i
+                                })
+                                .collect();
                             drop(heap);
+                            // Purged entries will never reach the wheel's
+                            // pop-time check; drop their suppression
+                            // markers too so the set stays bounded.
+                            if !purged.is_empty() {
+                                let mut wheel_cancelled = wheel.cancelled.lock();
+                                for token in purged {
+                                    wheel_cancelled.remove(&token.0);
+                                }
+                            }
+                            wheel.suppressed[i].lock().clear();
                             cancelled.clear();
                             obs.emit(
                                 TraceKind::Crash,
@@ -625,7 +719,22 @@ fn drain_context<M: Send + Clone + 'static>(
         }
         wheel.cv.notify_one();
     }
+    // Publish cancellations to the wheel (which suppresses the firing
+    // when it wins the race) *and* remember them locally (which swallows
+    // the firing when the wheel already sent it). The wheel acks each
+    // suppression through `suppressed`, so the local list stays bounded
+    // by the genuinely in-flight cancellations.
+    if !newly_cancelled.is_empty() {
+        let mut wheel_cancelled = wheel.cancelled.lock();
+        wheel_cancelled.extend(newly_cancelled.iter().map(|t| t.0));
+    }
     cancelled.extend(newly_cancelled);
+    let acked = std::mem::take(&mut *wheel.suppressed[me.0].lock());
+    for token in acked {
+        if let Some(pos) = cancelled.iter().position(|&t| t == token) {
+            cancelled.swap_remove(pos);
+        }
+    }
     counter
 }
 
@@ -635,6 +744,18 @@ impl<M: Send + Clone + 'static> Runtime<M> {
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
         if let Some(net) = &self.net {
             net.send(from, to, msg);
+        }
+    }
+
+    /// A handle for injecting messages from auxiliary threads (worker
+    /// pools, external drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`Runtime::shutdown`].
+    pub fn net_handle(&self) -> NetHandle<M> {
+        NetHandle {
+            net: self.net.clone().expect("runtime is shut down"),
         }
     }
 

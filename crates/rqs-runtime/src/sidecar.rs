@@ -10,6 +10,21 @@
 //! runs are checked with bounded memory without slowing the workload.
 //! [`CheckerSidecar::finish`] joins the thread and returns the verdict
 //! plus aggregated checker counters.
+//!
+//! # Arrival order
+//!
+//! The sidecar assumes **nothing** about the order records arrive in.
+//! With a sharded `KvServer` worker pool and pipelined clients, the
+//! driver harvests completions lane by lane while workers finish
+//! server-side processing in shard order — so records reach
+//! [`CheckerSidecar::observe`] interleaved across objects and, within
+//! one object, not necessarily in completion order. That is fine:
+//! verdicts derive from each record's own `invoked_at`/`completed_at`
+//! interval, never from arrival position (the per-object
+//! [`AtomicityChecker`] accepts records in any order by contract). The
+//! only ordering the driver must respect is calling
+//! [`CheckerSidecar::retire_settled`] at true quiescent points — after
+//! the records of the settled prefix were handed over.
 
 use rqs_storage::{AtomicityChecker, AtomicityViolation, CheckerStats, OpRecord};
 use std::collections::BTreeMap;
@@ -137,6 +152,67 @@ mod tests {
             "frontier must stay bounded: {:?}",
             report.stats
         );
+    }
+
+    /// A wave of records for two objects, in true completion order.
+    /// `i` is the wave number; timestamps/values advance with it.
+    fn wave(i: u64) -> Vec<(u64, OpRecord)> {
+        let t = i * 10;
+        vec![
+            (1, op(OpKind::Write, i, i, t, t + 4)),
+            (1, op(OpKind::Read, i, i, t + 5, t + 8)),
+            (2, op(OpKind::Write, i, i + 100, t, t + 4)),
+            (2, op(OpKind::Read, i, i + 100, t + 5, t + 8)),
+        ]
+    }
+
+    /// The sharded worker pool hands completions to the harvest loop in
+    /// shard order, not completion order, so the sidecar sees each
+    /// wave's records permuted and interleaved across objects. Feeding
+    /// every wave reversed (reads before the writes they read from,
+    /// objects interleaved) must reach the same clean verdict as the
+    /// in-order feed of `clean_history_passes_with_retirement`.
+    #[test]
+    fn reordered_feed_reaches_the_in_order_verdict() {
+        let sidecar = CheckerSidecar::spawn();
+        for i in 1..=50u64 {
+            for (object, rec) in wave(i).into_iter().rev() {
+                sidecar.observe(object, rec);
+            }
+            // Wave boundaries are quiescent points regardless of the
+            // arrival order inside the wave.
+            sidecar.retire_settled();
+        }
+        let report = sidecar.finish();
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+        assert_eq!(report.objects, 2);
+        assert_eq!(report.stats.ops_checked, 200);
+        assert!(
+            report.stats.max_frontier < 20,
+            "retirement must keep working under reorder: {:?}",
+            report.stats
+        );
+    }
+
+    /// Reordering must not mask a genuine violation either: a stale read
+    /// buried mid-wave is still caught when the wave arrives reversed.
+    #[test]
+    fn reordered_feed_still_catches_a_stale_read() {
+        let sidecar = CheckerSidecar::spawn();
+        for (object, rec) in wave(1).into_iter().rev() {
+            sidecar.observe(object, rec);
+        }
+        let mut bad = wave(2);
+        // Object 1's wave-2 read returns the wave-1 value after the
+        // wave-2 write completed: a stale read.
+        bad[1].1 = op(OpKind::Read, 1, 1, 25, 28);
+        for (object, rec) in bad.into_iter().rev() {
+            sidecar.observe(object, rec);
+        }
+        let report = sidecar.finish();
+        let (object, v) = report.verdict.unwrap_err();
+        assert_eq!(object, 1);
+        assert!(matches!(v, AtomicityViolation::StaleRead { .. }), "{v}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::value::TsVal;
 use rqs_sim::{Automaton, Context, NodeId};
 use std::any::Any;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A server that never replies (crash-faulty from the clients' viewpoint,
 /// but still "registered" so schedules can reference it).
@@ -72,7 +73,7 @@ impl Automaton<StorageMsg> for ForgedServer {
                     StorageMsg::RdAck {
                         read_no,
                         rnd,
-                        history: self.forged.clone(),
+                        history: Arc::new(self.forged.clone()),
                     },
                 );
             }
@@ -194,7 +195,7 @@ mod tests {
                     StorageMsg::RdAck {
                         read_no,
                         rnd,
-                        history: h,
+                        history: Arc::new(h),
                     },
                 );
             }

@@ -5,6 +5,7 @@ use crate::value::{Timestamp, Value};
 use core::fmt;
 use rqs_core::QuorumId;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Messages exchanged between storage clients and servers.
 ///
@@ -45,8 +46,12 @@ pub enum StorageMsg {
         read_no: u64,
         /// Echoed round.
         rnd: usize,
-        /// The server's full history of the shared variable.
-        history: History,
+        /// The server's full history of the shared variable, as a shared
+        /// snapshot: the paper's histories are unbounded (§5) and each
+        /// read round makes every server re-report its whole history, so
+        /// replies share one immutable copy (refreshed on write) instead
+        /// of deep-cloning the map per ack.
+        history: Arc<History>,
     },
 }
 
@@ -85,7 +90,7 @@ mod tests {
         let ra = StorageMsg::RdAck {
             read_no: 1,
             rnd: 2,
-            history: History::new(),
+            history: Arc::new(History::new()),
         };
         assert!(ra.to_string().contains("rd_ack"));
     }

@@ -8,6 +8,7 @@
 use crate::history::History;
 use crate::value::{Timestamp, TsVal};
 use rqs_core::{ProcessId, ProcessSet, QuorumId, Rqs};
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 /// A reader's view of the system: its local copies of server histories
@@ -16,12 +17,17 @@ use std::collections::BTreeMap;
 /// `histories[i]` is the latest history received from server `i` (the
 /// empty history before any reply, matching the reader's initialization
 /// `history[∗,∗,∗] := ⟨⟨0,⊥⟩, ∅⟩`).
+///
+/// The element type is anything that borrows a [`History`]: plain
+/// `History` copies (tests, the regular reader) or the
+/// `Arc<History>` snapshots `rd_ack`s carry (the atomic reader keeps
+/// the shared snapshots as received, no deep copy per ack).
 #[derive(Debug)]
-pub struct ReadView<'a> {
+pub struct ReadView<'a, H: Borrow<History> = History> {
     /// The refined quorum system.
     pub rqs: &'a Rqs,
     /// Per-server history copies (length = universe size).
-    pub histories: &'a [History],
+    pub histories: &'a [H],
     /// Quorums all of whose servers have replied in this read
     /// (`Responded`, lines 52–53).
     pub responded: &'a [QuorumId],
@@ -31,12 +37,17 @@ pub struct ReadView<'a> {
     pub qc2_prime: &'a [QuorumId],
 }
 
-impl ReadView<'_> {
+impl<H: Borrow<History>> ReadView<'_, H> {
+    /// Server `i`'s history copy.
+    fn history(&self, i: usize) -> &History {
+        self.histories[i].borrow()
+    }
+
     /// `read(c, i)` (line 7): server `i`'s history stores `c` in slot 1
     /// or 2. Empty slots read as the initial pair, so
     /// `read(⟨0,⊥⟩, i)` always holds.
     pub fn read_pred(&self, c: &TsVal, i: ProcessId) -> bool {
-        let h = &self.histories[i.index()];
+        let h = self.history(i.index());
         h.pair(c.ts, 1) == *c || h.pair(c.ts, 2) == *c
     }
 
@@ -59,7 +70,7 @@ impl ReadView<'_> {
     pub fn valid1(&self, c: &TsVal, q: ProcessSet) -> bool {
         let w: ProcessSet = q
             .iter()
-            .filter(|&i| self.histories[i.index()].pair(c.ts, 1) == *c)
+            .filter(|&i| self.history(i.index()).pair(c.ts, 1) == *c)
             .collect();
         self.rqs.adversary().is_basic(w)
     }
@@ -67,7 +78,7 @@ impl ReadView<'_> {
     /// `valid2(c, Q)` (line 4): some server of `Q` stores `c` in slot 2.
     pub fn valid2(&self, c: &TsVal, q: ProcessSet) -> bool {
         q.iter()
-            .any(|i| self.histories[i.index()].pair(c.ts, 2) == *c)
+            .any(|i| self.history(i.index()).pair(c.ts, 2) == *c)
     }
 
     /// `valid3(c, Q)` (line 5): there are a class-2 quorum `Q2` and a
@@ -85,7 +96,7 @@ impl ReadView<'_> {
             let w: ProcessSet = inter
                 .iter()
                 .filter(|&i| {
-                    let slot = self.histories[i.index()].slot(c.ts, 1);
+                    let slot = self.history(i.index()).slot(c.ts, 1);
                     slot.pair == *c && slot.sets.contains(&q2_id)
                 })
                 .collect();
@@ -127,7 +138,7 @@ impl ReadView<'_> {
         // linear in the history size instead of quadratic.
         let mut by_ts: BTreeMap<Timestamp, Vec<usize>> = BTreeMap::new();
         for h in self.histories {
-            for c in h.reported_pairs() {
+            for c in h.borrow().reported_pairs() {
                 let bucket = by_ts.entry(c.ts).or_default();
                 if !bucket.iter().any(|&i| out[i] == c) {
                     bucket.push(out.len());
@@ -162,8 +173,79 @@ impl ReadView<'_> {
 
     /// `csel` (line 35): the candidate with the highest timestamp, if the
     /// candidate set is non-empty.
+    ///
+    /// Equivalent to `candidates().into_iter().max_by_key(ts)` but
+    /// evaluated top-down: pairs are scanned in descending timestamp
+    /// order, so the first non-invalid pair fixes the `highCand`
+    /// threshold and the scan stops — one `invalid` evaluation in the
+    /// common case, against one *per reported pair* for the naive form.
+    /// On the read hot path with the paper's unbounded histories (§5)
+    /// that difference is the dominant cost of a read.
+    ///
+    /// The descending sort is stable, so pairs with equal timestamps
+    /// keep their reported order and tie-breaking picks the same pair
+    /// the naive form does.
     pub fn select(&self) -> Option<TsVal> {
-        self.candidates().into_iter().max_by_key(|c| c.ts)
+        if let Some(resolved) = self.select_top_fast() {
+            return resolved;
+        }
+        let mut pairs = self.reported_pairs();
+        pairs.sort_by_key(|c| std::cmp::Reverse(c.ts));
+        let live_max = pairs.iter().find(|c| !self.invalid(c)).map(|c| c.ts);
+        pairs
+            .into_iter()
+            .filter(|c| live_max.is_none_or(|m| m <= c.ts) && self.safe(c))
+            .max_by_key(|c| c.ts)
+    }
+
+    /// The uncontended fast case of [`ReadView::select`], without
+    /// materializing the candidate domain. When the highest reported
+    /// timestamp carries exactly one distinct non-invalid pair `c`,
+    /// every other reported pair sits strictly below the `highCand`
+    /// threshold, so the candidate set is `{c}` filtered by `safe` —
+    /// the result is decided by `c` alone:
+    ///
+    /// - `safe(c)` holds: `c` is `csel` → `Some(Some(c))`.
+    /// - `safe(c)` fails: the candidate set is empty → `Some(None)`
+    ///   (common mid-round, before a full quorum has reported `c`).
+    ///
+    /// When nothing has been reported the top pair is `⟨0,⊥⟩` itself —
+    /// `reported_pairs` always includes it — and the same two-way
+    /// decision applies. Ambiguity at the top — several distinct pairs
+    /// (concurrent or forged writes) or an invalid top pair (the
+    /// `highCand` threshold drops below `top_ts`) — returns `None` and
+    /// the caller runs the exact scan. Keeps a read O(quorum checks)
+    /// instead of O(total history) on the hot path.
+    fn select_top_fast(&self) -> Option<Option<TsVal>> {
+        let top_ts = self
+            .histories
+            .iter()
+            .map(|h| h.borrow().highest_ts())
+            .max()?;
+        let mut top: Option<TsVal> = None;
+        if top_ts == 0 {
+            // No server reported a written pair: the initial pair is the
+            // sole reported (and thus sole top) pair.
+            top = Some(TsVal::initial());
+        }
+        for h in self.histories {
+            for rnd in 1..=2 {
+                let pair = h.borrow().pair(top_ts, rnd);
+                if pair.is_initial() {
+                    continue;
+                }
+                match &top {
+                    Some(seen) if *seen == pair => {}
+                    Some(_) => return None, // contested top timestamp
+                    None => top = Some(pair),
+                }
+            }
+        }
+        let c = top?;
+        if self.invalid(&c) {
+            return None;
+        }
+        Some(self.safe(&c).then_some(c))
     }
 
     /// Quorums of class `r` (`QC_1`, `QC_2`, or the full family for 3).
@@ -190,7 +272,7 @@ impl ReadView<'_> {
             qrs.iter().any(|&qr_id| {
                 let qr = self.rqs.quorum(qr_id);
                 q1.intersection(qr).iter().all(|i| {
-                    let slot = self.histories[i.index()].slot(c.ts, r);
+                    let slot = self.history(i.index()).slot(c.ts, r);
                     slot.pair == *c && (r != 2 || slot.sets.contains(&qr_id))
                 })
             })
@@ -211,7 +293,7 @@ impl ReadView<'_> {
                     let qr = self.rqs.quorum(qr_id);
                     qr.intersection(q2)
                         .iter()
-                        .all(|i| self.histories[i.index()].pair(c.ts, r) == *c)
+                        .all(|i| self.history(i.index()).pair(c.ts, r) == *c)
                 })
             })
             .collect()
@@ -552,6 +634,111 @@ mod tests {
         let x = view.bcd2(&c, 1);
         assert_eq!(x, vec![qa], "only quorums in QC'2 qualify");
         assert!(!x.contains(&qb));
+    }
+
+    /// The exact scan of [`ReadView::select`], re-derived without the
+    /// fast path: the oracle `select_top_fast` must agree with whenever
+    /// it claims a definitive answer.
+    fn select_exact(view: &ReadView<History>) -> Option<TsVal> {
+        let mut pairs = view.reported_pairs();
+        pairs.sort_by_key(|c| std::cmp::Reverse(c.ts));
+        let live_max = pairs.iter().find(|c| !view.invalid(c)).map(|c| c.ts);
+        pairs
+            .into_iter()
+            .filter(|c| live_max.is_none_or(|m| m <= c.ts) && view.safe(c))
+            .max_by_key(|c| c.ts)
+    }
+
+    #[test]
+    fn fast_select_agrees_with_the_exact_scan() {
+        // Views spanning every fast-path branch: empty (top_ts == 0),
+        // uncontested safe top, uncontested top with too few reporters,
+        // contested top (forked slot-1 values), and an invalid ghost
+        // above the real value (fast path must defer, not decide).
+        let rqs = Arc::new(ThresholdConfig::byzantine_fast(1).build().unwrap());
+        let real = pair(1, 42);
+        let fork = pair(1, 7);
+        let ghost = pair(9, 66);
+        let all4 = |c: &TsVal, rnd: usize| (0..4).map(|i| (i, c.clone(), rnd)).collect::<Vec<_>>();
+        let mut ghosted = histories_with(
+            4,
+            &[
+                (0, real.clone(), 2),
+                (1, real.clone(), 2),
+                (2, real.clone(), 2),
+            ],
+        );
+        ghosted[3].apply_write(&ghost, &BTreeSet::new(), 1);
+        let mut forked = histories_with(
+            4,
+            &[
+                (0, real.clone(), 1),
+                (1, real.clone(), 1),
+                (2, real.clone(), 1),
+            ],
+        );
+        forked[3].apply_write(&fork, &BTreeSet::new(), 1);
+        let cases: Vec<(Vec<History>, Timestamp)> = vec![
+            (histories_with(4, &[]), 0),
+            (histories_with(4, &all4(&real, 1)), 1),
+            (histories_with(4, &[(0, real.clone(), 1)]), 1),
+            (forked, 1),
+            (ghosted, 1),
+        ];
+        for responded in [rqs.quorums_within(ProcessSet::universe(4)), vec![]] {
+            for (hs, highest_ts) in &cases {
+                let view = ReadView {
+                    rqs: &rqs,
+                    histories: hs,
+                    responded: &responded,
+                    highest_ts: *highest_ts,
+                    qc2_prime: &[],
+                };
+                assert_eq!(
+                    view.select(),
+                    select_exact(&view),
+                    "responded={responded:?} hs={hs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_select_tri_state() {
+        let rqs = Arc::new(ThresholdConfig::byzantine_fast(1).build().unwrap());
+        let c = pair(1, 42);
+        // Nothing reported: the initial pair is the definitive answer.
+        let empty = histories_with(4, &[]);
+        let view = ReadView {
+            rqs: &rqs,
+            histories: &empty,
+            responded: &[],
+            highest_ts: 0,
+            qc2_prime: &[],
+        };
+        assert_eq!(view.select_top_fast(), Some(Some(TsVal::initial())));
+        // Mid-round: one reporter of an in-range pair is not yet safe —
+        // definitively *no* candidate (the reader waits, not falls back).
+        let thin = histories_with(4, &[(0, c.clone(), 1)]);
+        let view = ReadView {
+            rqs: &rqs,
+            histories: &thin,
+            responded: &[],
+            highest_ts: 1,
+            qc2_prime: &[],
+        };
+        assert_eq!(view.select_top_fast(), Some(None));
+        // Same view after a full quorum responded without supporting the
+        // pair: the top is invalid, so the fast path must defer.
+        let responded = rqs.quorums_within(ProcessSet::universe(4));
+        let view = ReadView {
+            rqs: &rqs,
+            histories: &thin,
+            responded: &responded,
+            highest_ts: 1,
+            qc2_prime: &[],
+        };
+        assert_eq!(view.select_top_fast(), None);
     }
 
     #[test]

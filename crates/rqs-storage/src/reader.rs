@@ -50,7 +50,7 @@ struct Phase1 {
     read_rnd: usize,
     acks_this_round: ProcessSet,
     responded_all: ProcessSet,
-    histories: Vec<History>,
+    histories: Vec<Arc<History>>,
     timer: Option<TimerToken>,
     timer_expired: bool,
     qc2_prime: Vec<QuorumId>,
@@ -117,6 +117,8 @@ pub struct Reader {
     outcomes: Vec<ReadOutcome>,
     muts: Mutations,
     obs: Obs,
+    eager: bool,
+    round_timeout: u64,
 }
 
 impl Reader {
@@ -140,7 +142,31 @@ impl Reader {
             outcomes: Vec::new(),
             muts: Mutations::default(),
             obs: Obs::nop(),
+            eager: false,
+            round_timeout: CLIENT_TIMEOUT,
         }
+    }
+
+    /// Overrides the per-round timer (default [`CLIENT_TIMEOUT`]), the
+    /// read-side analogue of
+    /// [`Writer::set_round_timeout`](crate::writer::Writer::set_round_timeout):
+    /// a synchrony knob, not a safety ingredient — patience only delays
+    /// the fall-back write-back rounds.
+    pub fn set_round_timeout(&mut self, ticks: u64) {
+        assert!(ticks >= 1, "round timeout must be at least one tick");
+        self.round_timeout = ticks;
+    }
+
+    /// Enables eager round completion, the read-side analogue of
+    /// [`Writer::set_eager_completion`](crate::writer::Writer::set_eager_completion):
+    /// once every server in the universe has answered the current timed
+    /// round (phase-1 round 1, or a fast round-1 write-back), the `2Δ`
+    /// timer can contribute no further information, so the round is
+    /// settled immediately. Off by default — it changes event schedules,
+    /// which golden-trace deployments pin; the pipelined hot path
+    /// switches it on.
+    pub fn set_eager_completion(&mut self, on: bool) {
+        self.eager = on;
     }
 
     /// Installs a structured-trace observer; by convention its tag is the
@@ -196,18 +222,28 @@ impl Reader {
             0,
         );
         let n = self.rqs.universe_size();
+        // One shared empty snapshot: every slot is replaced by the
+        // server's own `Arc` as its ack arrives.
+        let empty = Arc::new(History::new());
         let mut p1 = Phase1 {
             invoked_at: ctx.now(),
             read_rnd: 0,
             acks_this_round: ProcessSet::empty(),
             responded_all: ProcessSet::empty(),
-            histories: vec![History::new(); n],
+            histories: vec![empty; n],
             timer: None,
             timer_expired: false,
             qc2_prime: Vec::new(),
             highest_ts: 0,
         };
-        Self::enter_phase1_round(&mut p1, self.read_no, &self.servers, &self.obs, ctx);
+        Self::enter_phase1_round(
+            &mut p1,
+            self.read_no,
+            &self.servers,
+            &self.obs,
+            self.round_timeout,
+            ctx,
+        );
         self.state = State::Phase1(p1);
     }
 
@@ -259,6 +295,7 @@ impl Reader {
         read_no: u64,
         servers: &[NodeId],
         obs: &Obs,
+        round_timeout: u64,
         ctx: &mut Context<StorageMsg>,
     ) {
         p1.read_rnd += 1;
@@ -272,7 +309,7 @@ impl Reader {
         );
         p1.acks_this_round = ProcessSet::empty();
         if p1.read_rnd == 1 {
-            p1.timer = Some(ctx.set_timer(CLIENT_TIMEOUT));
+            p1.timer = Some(ctx.set_timer(round_timeout));
             p1.timer_expired = false;
         } else {
             p1.timer = None;
@@ -326,7 +363,14 @@ impl Reader {
         };
         let Some(csel) = view.select() else {
             // C = ∅: another round of the regular part (line 34).
-            Self::enter_phase1_round(p1, self.read_no, &self.servers.clone(), &self.obs, ctx);
+            Self::enter_phase1_round(
+                p1,
+                self.read_no,
+                &self.servers.clone(),
+                &self.obs,
+                self.round_timeout,
+                ctx,
+            );
             return;
         };
 
@@ -428,7 +472,7 @@ impl Reader {
             (rounds_so_far + 1) as u64,
             self.read_no,
         );
-        let timer = with_timer.then(|| ctx.set_timer(CLIENT_TIMEOUT));
+        let timer = with_timer.then(|| ctx.set_timer(self.round_timeout));
         ctx.broadcast(
             self.servers.iter().copied(),
             StorageMsg::Wr {
@@ -549,6 +593,17 @@ impl Automaton<StorageMsg> for Reader {
                 if rnd == p1.read_rnd {
                     p1.acks_this_round.insert(sender);
                 }
+                // All n answered the timed round: nothing more can
+                // arrive, so settle without waiting out the timer.
+                if self.eager
+                    && !p1.timer_expired
+                    && p1.acks_this_round.len() == self.rqs.universe_size()
+                {
+                    p1.timer_expired = true;
+                    if let Some(timer) = p1.timer.take() {
+                        ctx.cancel_timer(timer);
+                    }
+                }
                 self.try_finish_phase1_round(ctx);
             }
             StorageMsg::WrAck { ts, rnd } => {
@@ -563,6 +618,12 @@ impl Automaton<StorageMsg> for Reader {
                     return;
                 }
                 wb.acks.insert(sender);
+                if self.eager && !wb.timer_expired && wb.acks.len() == self.rqs.universe_size() {
+                    wb.timer_expired = true;
+                    if let Some(timer) = wb.timer.take() {
+                        ctx.cancel_timer(timer);
+                    }
+                }
                 self.try_finish_writeback(ctx);
             }
             _ => {}
@@ -693,6 +754,37 @@ mod tests {
             panic!("still in phase 1");
         };
         assert_eq!(p1.read_rnd, 1, "resend must not advance the round");
+    }
+
+    #[test]
+    fn eager_read_settles_at_all_n_acks() {
+        use rqs_sim::Time;
+        let rqs = Arc::new(ThresholdConfig::crash_fast(5, 1).build().unwrap());
+        let servers: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut r = Reader::new(rqs, servers);
+        r.set_eager_completion(true);
+        let mut c = Context::new(NodeId(5), Time(0), 0);
+        r.start_read(&mut c);
+        let timer = c.armed_timers()[0].1;
+        let ack = || StorageMsg::RdAck {
+            read_no: 1,
+            rnd: 1,
+            history: Arc::new(History::new()),
+        };
+        for i in 0..4 {
+            let mut c2 = Context::new(NodeId(5), Time(2), 1);
+            r.on_message(NodeId(i), ack(), &mut c2);
+            assert!(r.outcomes().is_empty(), "n−1 acks must await the timer");
+        }
+        // The nth ack settles phase 1 at ack time and cancels the timer;
+        // the unwritten register resolves to ⟨0,⊥⟩ in one round.
+        let mut c2 = Context::new(NodeId(5), Time(3), 2);
+        r.on_message(NodeId(4), ack(), &mut c2);
+        assert_eq!(c2.cancelled_timers(), &[timer]);
+        let out = &r.outcomes()[0];
+        assert!(out.returned.is_initial());
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.completed_at, Time(3));
     }
 
     #[test]

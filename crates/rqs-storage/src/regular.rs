@@ -46,7 +46,7 @@ struct InProgress {
     read_rnd: usize,
     acks_this_round: ProcessSet,
     responded_all: ProcessSet,
-    histories: Vec<History>,
+    histories: Vec<Arc<History>>,
     timer: Option<TimerToken>,
     timer_expired: bool,
     qc2_prime: Vec<QuorumId>,
@@ -100,12 +100,15 @@ impl RegularReader {
         assert!(self.is_idle(), "read already in progress");
         self.read_no += 1;
         let n = self.rqs.universe_size();
+        // One shared empty snapshot: every slot is replaced by the
+        // server's own `Arc` as its ack arrives.
+        let empty = Arc::new(History::new());
         let mut ip = InProgress {
             invoked_at: ctx.now(),
             read_rnd: 0,
             acks_this_round: ProcessSet::empty(),
             responded_all: ProcessSet::empty(),
-            histories: vec![History::new(); n],
+            histories: vec![empty; n],
             timer: None,
             timer_expired: false,
             qc2_prime: Vec::new(),

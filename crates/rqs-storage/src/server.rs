@@ -9,6 +9,7 @@ use rqs_sim::{Automaton, Context, NodeId};
 use rqs_store::{Recovered, StoreHandle};
 use std::any::Any;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A benign storage server.
 ///
@@ -25,6 +26,10 @@ use std::collections::BTreeSet;
 #[derive(Clone, Debug, Default)]
 pub struct Server {
     history: History,
+    /// Shared snapshot handed to `rd_ack`s, built lazily on the first
+    /// read after a state change: successive reads of a quiescent object
+    /// clone an `Arc` instead of the whole (unbounded, §5) history.
+    reply_cache: Option<Arc<History>>,
     store: Option<StoreHandle>,
     /// Object tag on logged records (0 for single-register deployments).
     obj: u64,
@@ -85,6 +90,7 @@ impl Server {
     pub fn restore_from(&mut self, rec: &Recovered) -> usize {
         let (history, replayed) = wal::restore_history(rec, self.obj);
         self.history = history;
+        self.reply_cache = None;
         replayed
     }
 
@@ -95,6 +101,7 @@ impl Server {
     /// [`Server::restore_from`].
     pub fn install_history(&mut self, history: History) {
         self.history = history;
+        self.reply_cache = None;
     }
 
     /// Write-ahead step: log the delta for an effective write before
@@ -131,16 +138,21 @@ impl Automaton<StorageMsg> for Server {
                 // leaves, or an amnesia crash forgets an acked write.
                 if changed {
                     self.log_delta(&pair, &sets, rnd);
+                    self.reply_cache = None;
                 }
                 ctx.send(from, StorageMsg::WrAck { ts, rnd });
             }
             StorageMsg::Rd { read_no, rnd } => {
+                if self.reply_cache.is_none() {
+                    self.reply_cache = Some(Arc::new(self.history.clone()));
+                }
+                let history = self.reply_cache.clone().expect("cache just filled");
                 ctx.send(
                     from,
                     StorageMsg::RdAck {
                         read_no,
                         rnd,
-                        history: self.history.clone(),
+                        history,
                     },
                 );
             }
@@ -158,6 +170,7 @@ impl Automaton<StorageMsg> for Server {
 
     fn restore_state(&mut self) -> usize {
         self.history = History::new();
+        self.reply_cache = None;
         let Some(store) = self.store.clone() else {
             return 0;
         };
@@ -259,6 +272,47 @@ mod tests {
             &mut c,
         );
         assert!(matches!(c.sent()[0].1, StorageMsg::WrAck { .. }));
+    }
+
+    fn read_snapshot(s: &mut Server, read_no: u64) -> Arc<History> {
+        let mut c = ctx();
+        s.on_message(NodeId(8), StorageMsg::Rd { read_no, rnd: 1 }, &mut c);
+        match &c.sent()[0].1 {
+            StorageMsg::RdAck { history, .. } => history.clone(),
+            other => panic!("expected RdAck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiescent_reads_share_one_snapshot() {
+        let mut s = Server::new();
+        write(&mut s, 1, 10, 1);
+        let a = read_snapshot(&mut s, 1);
+        let b = read_snapshot(&mut s, 2);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "reads of a quiescent object must clone the cached Arc"
+        );
+    }
+
+    #[test]
+    fn writes_invalidate_the_reply_snapshot() {
+        let mut s = Server::new();
+        write(&mut s, 1, 10, 1);
+        let before = read_snapshot(&mut s, 1);
+        write(&mut s, 2, 20, 1);
+        let after = read_snapshot(&mut s, 2);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert!(after.stores(&TsVal::new(2, Value::from(20u64)), 1));
+        // A write that changes nothing must not rebuild the snapshot…
+        write(&mut s, 2, 20, 1);
+        let again = read_snapshot(&mut s, 3);
+        assert!(Arc::ptr_eq(&after, &again), "no-op write kept the cache");
+        // …and restores always do.
+        s.restore_state();
+        let restored = read_snapshot(&mut s, 4);
+        assert!(!Arc::ptr_eq(&after, &restored));
+        assert!(restored.is_empty());
     }
 
     #[test]

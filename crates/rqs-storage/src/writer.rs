@@ -67,6 +67,8 @@ pub struct Writer {
     current: Option<WriteInProgress>,
     outcomes: Vec<WriteOutcome>,
     obs: Obs,
+    eager: bool,
+    round_timeout: u64,
 }
 
 impl Writer {
@@ -89,7 +91,38 @@ impl Writer {
             current: None,
             outcomes: Vec::new(),
             obs: Obs::nop(),
+            eager: false,
+            round_timeout: CLIENT_TIMEOUT,
         }
+    }
+
+    /// Overrides the per-round timer (default [`CLIENT_TIMEOUT`], the
+    /// paper's `2Δ + 1`). The timeout is a synchrony assumption, not a
+    /// safety ingredient: lengthening it never forfeits atomicity, it
+    /// only delays the fall-back to the next round. Pipelined clients
+    /// stretch it in proportion to their depth — self-induced queueing
+    /// inflates the effective `Δ`, and with eager completion the timer
+    /// is pure fall-back, so patience converts spurious second rounds
+    /// into single-round completions.
+    pub fn set_round_timeout(&mut self, ticks: u64) {
+        assert!(ticks >= 1, "round timeout must be at least one tick");
+        self.round_timeout = ticks;
+    }
+
+    /// Enables eager round completion: when *every* server in the
+    /// universe has acked the current round, the round is settled
+    /// immediately instead of waiting out the `2Δ` timer.
+    ///
+    /// This is information-equivalent to the paper's protocol — the
+    /// timer exists only to collect as many acks as the synchrony bound
+    /// allows before classifying the quorum, and once all `n` acks are
+    /// in, no further ack can arrive. It changes event *schedules*
+    /// though (ops complete at ack time, not timer time), so it is
+    /// off by default and deployments that pin golden traces leave it
+    /// off; the pipelined hot path switches it on to keep lanes moving
+    /// at network speed instead of timer speed.
+    pub fn set_eager_completion(&mut self, on: bool) {
+        self.eager = on;
     }
 
     /// Installs a structured-trace observer; by convention its tag is the
@@ -204,7 +237,7 @@ impl Writer {
             BTreeSet::new()
         };
         if round < 3 {
-            w.timer = Some(ctx.set_timer(CLIENT_TIMEOUT));
+            w.timer = Some(ctx.set_timer(self.round_timeout));
         } else {
             w.timer = None;
         }
@@ -315,6 +348,15 @@ impl Automaton<StorageMsg> for Writer {
             return; // ack for an earlier round/operation
         }
         w.acks.insert(sender);
+        // All n acks collected: the timer can contribute nothing more,
+        // so (when eager completion is on) settle the round now and
+        // release the timer back to the wheel.
+        if self.eager && !w.timer_expired && w.acks.len() == self.rqs.universe_size() {
+            w.timer_expired = true;
+            if let Some(timer) = w.timer.take() {
+                ctx.cancel_timer(timer);
+            }
+        }
         self.try_finish_round(ctx);
     }
 
@@ -515,6 +557,52 @@ mod tests {
         let mut c = new_ctx(0);
         assert!(!w2.resend_round(&mut c));
         assert!(c.sent().is_empty());
+    }
+
+    #[test]
+    fn round_timeout_override_arms_the_longer_timer() {
+        let mut w = Writer::new(rqs_5(), servers());
+        w.set_round_timeout(4 * CLIENT_TIMEOUT);
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        assert_eq!(ctx.armed_timers()[0].0, 4 * CLIENT_TIMEOUT);
+    }
+
+    #[test]
+    fn eager_completion_settles_at_all_n_acks() {
+        let mut w = Writer::new(rqs_5(), servers());
+        w.set_eager_completion(true);
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        let timer = ctx.armed_timers()[0].1;
+        // n−1 acks: a class-1 quorum, but the timer could still reveal
+        // more — the round must keep waiting.
+        for i in 0..4 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+            assert!(!w.is_idle(), "n−1 acks must still await the timer");
+        }
+        // The nth ack settles immediately — no timer firing — and hands
+        // the now-useless timer back to the wheel.
+        let mut c = new_ctx(3);
+        w.on_message(NodeId(4), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        assert!(w.is_idle());
+        assert_eq!(c.cancelled_timers(), &[timer]);
+        let out = &w.outcomes()[0];
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.completed_at, Time(3), "completes at ack time");
+    }
+
+    #[test]
+    fn eager_completion_off_still_waits_for_the_timer() {
+        let mut w = Writer::new(rqs_5(), servers());
+        let mut ctx = new_ctx(0);
+        w.start_write(Value::from(7u64), &mut ctx);
+        for i in 0..5 {
+            let mut c = new_ctx(2);
+            w.on_message(NodeId(i), StorageMsg::WrAck { ts: 1, rnd: 1 }, &mut c);
+        }
+        assert!(!w.is_idle(), "default mode keeps the paper's schedule");
     }
 
     #[test]

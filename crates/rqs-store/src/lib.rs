@@ -31,6 +31,7 @@
 //! [`install_snapshot`]: Durable::install_snapshot
 //! [`load`]: Durable::load
 
+use bytes::BytesMut;
 use rqs_obs::{Obs, TraceKind, LANE_SYS};
 use std::fmt;
 use std::fs;
@@ -54,12 +55,21 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Record framing: `[len: u32 LE][checksum: u64 LE][payload]`.
 const FRAME_HEADER: usize = 4 + 8;
 
-fn frame(record: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(FRAME_HEADER + record.len());
+/// Appends one framed record to `out` in place — the hot-path variant
+/// that lets a store reuse a single tail buffer across appends instead
+/// of allocating a `Vec` per record.
+fn frame_into(out: &mut BytesMut, record: &[u8]) {
+    out.reserve(FRAME_HEADER + record.len());
     out.extend_from_slice(&(record.len() as u32).to_le_bytes());
     out.extend_from_slice(&fnv1a(record).to_le_bytes());
     out.extend_from_slice(record);
-    out
+}
+
+#[cfg(test)]
+fn frame(record: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(FRAME_HEADER + record.len());
+    frame_into(&mut out, record);
+    out.take_vec()
 }
 
 /// Decodes every intact framed record in `bytes`; returns the records and
@@ -213,8 +223,13 @@ pub struct MemDurable {
     disk_log: Vec<u8>,
     /// Durable snapshot.
     disk_snapshot: Option<Vec<u8>>,
-    /// Unsynced framed records (count, bytes).
-    tail: Vec<Vec<u8>>,
+    /// Unsynced framed bytes, in one reusable buffer: `clear` keeps the
+    /// allocation, so a steady append/sync cadence stops allocating once
+    /// the buffer reaches its high-water mark.
+    tail: BytesMut,
+    /// Framed length of each unsynced record (record count for
+    /// `sync_every` / `lost_unsynced`; first entry bounds the torn tail).
+    tail_lens: Vec<usize>,
     stats: StoreStats,
 }
 
@@ -235,20 +250,21 @@ impl MemDurable {
 
 impl Durable for MemDurable {
     fn append(&mut self, record: &[u8]) {
-        self.tail.push(frame(record));
+        frame_into(&mut self.tail, record);
+        self.tail_lens.push(FRAME_HEADER + record.len());
         self.stats.appends += 1;
-        if self.config.sync_every > 0 && self.tail.len() >= self.config.sync_every {
+        if self.config.sync_every > 0 && self.tail_lens.len() >= self.config.sync_every {
             self.sync();
         }
     }
 
     fn sync(&mut self) {
-        if self.tail.is_empty() {
+        if self.tail_lens.is_empty() {
             return;
         }
-        for rec in self.tail.drain(..) {
-            self.disk_log.extend_from_slice(&rec);
-        }
+        self.disk_log.extend_from_slice(&self.tail);
+        self.tail.clear();
+        self.tail_lens.clear();
         self.stats.syncs += 1;
         self.stats.log_bytes = self.disk_log.len();
     }
@@ -258,6 +274,7 @@ impl Durable for MemDurable {
         self.disk_snapshot = Some(snapshot.to_vec());
         self.disk_log.clear();
         self.tail.clear();
+        self.tail_lens.clear();
         self.stats.snapshots += 1;
         self.stats.snapshot_bytes = snapshot.len();
         self.stats.log_bytes = 0;
@@ -265,15 +282,16 @@ impl Durable for MemDurable {
 
     fn crash(&mut self) {
         self.stats.crashes += 1;
-        if self.tail.is_empty() {
+        if self.tail_lens.is_empty() {
             return;
         }
-        self.stats.lost_unsynced += self.tail.len();
+        self.stats.lost_unsynced += self.tail_lens.len();
         if self.config.torn_tail {
-            let first = &self.tail[0];
+            let first = &self.tail[..self.tail_lens[0]];
             self.disk_log.extend_from_slice(&first[..first.len() / 2]);
         }
         self.tail.clear();
+        self.tail_lens.clear();
         self.stats.log_bytes = self.disk_log.len();
     }
 
@@ -311,7 +329,12 @@ impl Durable for MemDurable {
 pub struct FileDurable {
     config: StoreConfig,
     dir: PathBuf,
-    tail: Vec<Vec<u8>>,
+    /// Unsynced framed bytes in one reusable buffer (see
+    /// [`MemDurable::tail`]); synced to the `wal` file in a single
+    /// contiguous write instead of a flatten-and-collect.
+    tail: BytesMut,
+    /// Framed length of each unsynced record.
+    tail_lens: Vec<usize>,
     stats: StoreStats,
 }
 
@@ -338,7 +361,8 @@ impl FileDurable {
         let mut store = FileDurable {
             config,
             dir,
-            tail: Vec::new(),
+            tail: BytesMut::new(),
+            tail_lens: Vec::new(),
             stats: StoreStats::default(),
         };
         store.stats.log_bytes = store
@@ -375,19 +399,24 @@ impl FileDurable {
 
 impl Durable for FileDurable {
     fn append(&mut self, record: &[u8]) {
-        self.tail.push(frame(record));
+        frame_into(&mut self.tail, record);
+        self.tail_lens.push(FRAME_HEADER + record.len());
         self.stats.appends += 1;
-        if self.config.sync_every > 0 && self.tail.len() >= self.config.sync_every {
+        if self.config.sync_every > 0 && self.tail_lens.len() >= self.config.sync_every {
             self.sync();
         }
     }
 
     fn sync(&mut self) {
-        if self.tail.is_empty() {
+        if self.tail_lens.is_empty() {
             return;
         }
-        let bytes: Vec<u8> = self.tail.drain(..).flatten().collect();
+        let bytes = std::mem::take(&mut self.tail);
         self.append_disk(&bytes);
+        // Hand the allocation back so the next sync cycle reuses it.
+        self.tail = bytes;
+        self.tail.clear();
+        self.tail_lens.clear();
         self.stats.syncs += 1;
     }
 
@@ -398,6 +427,7 @@ impl Durable for FileDurable {
         fs::rename(&tmp, self.snapshot_path()).expect("install snapshot");
         let _ = fs::remove_file(self.wal_path());
         self.tail.clear();
+        self.tail_lens.clear();
         self.stats.snapshots += 1;
         self.stats.snapshot_bytes = snapshot.len();
         self.stats.log_bytes = 0;
@@ -405,15 +435,16 @@ impl Durable for FileDurable {
 
     fn crash(&mut self) {
         self.stats.crashes += 1;
-        if self.tail.is_empty() {
+        if self.tail_lens.is_empty() {
             return;
         }
-        self.stats.lost_unsynced += self.tail.len();
+        self.stats.lost_unsynced += self.tail_lens.len();
         if self.config.torn_tail {
-            let first = self.tail[0].clone();
-            self.append_disk(&first[..first.len() / 2]);
+            let torn = self.tail[..self.tail_lens[0] / 2].to_vec();
+            self.append_disk(&torn);
         }
         self.tail.clear();
+        self.tail_lens.clear();
     }
 
     fn load(&mut self) -> Recovered {

@@ -37,7 +37,7 @@ fn slot2_fabrication_forces_extra_read_rounds() {
                 StorageMsg::RdAck {
                     read_no,
                     rnd,
-                    history: forged_history.clone(),
+                    history: forged_history.clone().into(),
                 },
             ),
             StorageMsg::Wr { ts, rnd, .. } => ctx.send(from, StorageMsg::WrAck { ts, rnd }),
@@ -179,7 +179,7 @@ fn value_swapping_server_cannot_poison_reads() {
                     StorageMsg::RdAck {
                         read_no,
                         rnd,
-                        history: hist,
+                        history: hist.into(),
                     },
                 );
             }
